@@ -1,0 +1,293 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// family per table/figure (see DESIGN.md's per-experiment index):
+//
+//	BenchmarkTable1Characteristics  - Table 1
+//	BenchmarkTable2/...             - Table 2 (simulation time per algorithm)
+//	BenchmarkFig4ExecutionTime/...  - Figure 4 (s9234 time vs nodes)
+//	BenchmarkFig5Messaging/...      - Figure 5 (application messages; msgs metric)
+//	BenchmarkFig6Rollbacks/...      - Figure 6 (rollbacks; rollbacks metric)
+//	BenchmarkPartitionerScaling/... - §3 linear-time claim (E6)
+//	BenchmarkPartitionQuality/...   - §5 partition quality study (E7)
+//	BenchmarkRefinerAblation/...    - greedy vs KL vs FM vs none (E8)
+//	BenchmarkCoarsenerAblation/...  - fanout vs heavy-edge vs activity (E9)
+//	BenchmarkSequentialBaseline/... - Table 2 "Seq Time" column
+//
+// Benchmarks run scaled-down circuits so the full suite finishes in minutes;
+// cmd/experiments -paper regenerates the full-size numbers.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/logicsim"
+	"repro/internal/partition"
+	"repro/internal/seqsim"
+)
+
+// benchOptions is the shared scaled-down configuration.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Scale = 0.08
+	o.Cycles = 5
+	o.Grain = 800
+	o.NetSendBusy = 4000
+	o.NetRecvBusy = 4000
+	return o
+}
+
+func benchCircuit(b *testing.B, name string, scale float64) *circuit.Circuit {
+	b.Helper()
+	c, err := circuit.NewBenchmark(name, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkTable1Characteristics regenerates Table 1: building the three
+// benchmark circuits and computing their characteristics.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t1, err := experiments.RunTable1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t1.Rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 cells: one parallel simulation per
+// (circuit, algorithm, nodes) combination.
+func BenchmarkTable2(b *testing.B) {
+	o := benchOptions()
+	for _, name := range []string{"s5378", "s9234", "s15850"} {
+		c := benchCircuit(b, name, o.Scale)
+		for _, nodes := range []int{2, 4, 8} {
+			for _, p := range experiments.Algorithms(o.Seed) {
+				b.Run(fmt.Sprintf("%s/%s/nodes=%d", name, p.Name(), nodes), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						m, err := experiments.MeasureForTest(o, c, p, nodes)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(m.RemoteMessages, "msgs")
+						b.ReportMetric(m.Rollbacks, "rollbacks")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4ExecutionTime regenerates the Figure 4 series: s9234
+// execution time as the node count grows, for the multilevel strategy and
+// the random baseline.
+func BenchmarkFig4ExecutionTime(b *testing.B) {
+	o := benchOptions()
+	c := benchCircuit(b, "s9234", o.Scale)
+	for _, algo := range []partition.Partitioner{core.New(o.Seed), partition.Random{Seed: o.Seed}} {
+		for nodes := 1; nodes <= 8; nodes++ {
+			b.Run(fmt.Sprintf("%s/nodes=%d", algo.Name(), nodes), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.MeasureForTest(o, c, algo, nodes); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Messaging regenerates the Figure 5 series: application
+// messages per run (reported as the "msgs" metric).
+func BenchmarkFig5Messaging(b *testing.B) {
+	o := benchOptions()
+	c := benchCircuit(b, "s9234", o.Scale)
+	for _, p := range experiments.Algorithms(o.Seed) {
+		for _, nodes := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", p.Name(), nodes), func(b *testing.B) {
+				var msgs float64
+				for i := 0; i < b.N; i++ {
+					m, err := experiments.MeasureForTest(o, c, p, nodes)
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs = m.RemoteMessages
+				}
+				b.ReportMetric(msgs, "msgs")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Rollbacks regenerates the Figure 6 series: rollbacks per run
+// (reported as the "rollbacks" metric).
+func BenchmarkFig6Rollbacks(b *testing.B) {
+	o := benchOptions()
+	c := benchCircuit(b, "s9234", o.Scale)
+	for _, p := range experiments.Algorithms(o.Seed) {
+		for _, nodes := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", p.Name(), nodes), func(b *testing.B) {
+				var rb float64
+				for i := 0; i < b.N; i++ {
+					m, err := experiments.MeasureForTest(o, c, p, nodes)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rb = m.Rollbacks
+				}
+				b.ReportMetric(rb, "rollbacks")
+			})
+		}
+	}
+}
+
+// BenchmarkPartitionerScaling supports the §3 linear-time claim: multilevel
+// partitioning time across a circuit-size sweep (E6). ns/op should grow
+// roughly linearly with the edge count reported in the name.
+func BenchmarkPartitionerScaling(b *testing.B) {
+	for _, gates := range []int{1000, 2000, 4000, 8000, 16000} {
+		c := circuit.MustGenerate(circuit.GenSpec{
+			Name:      fmt.Sprintf("scale%d", gates),
+			Inputs:    8 + gates/100,
+			Gates:     gates,
+			Outputs:   8,
+			FlipFlops: gates / 20,
+			Seed:      int64(gates),
+		})
+		b.Run(fmt.Sprintf("gates=%d/edges=%d", gates, c.NumEdges()), func(b *testing.B) {
+			m := core.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Partition(c, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionQuality measures each algorithm's partitioning cost on
+// s9234 and reports the resulting cut (E7).
+func BenchmarkPartitionQuality(b *testing.B) {
+	c := benchCircuit(b, "s9234", 0.25)
+	for _, p := range experiments.Algorithms(1) {
+		b.Run(p.Name(), func(b *testing.B) {
+			var cut int
+			for i := 0; i < b.N; i++ {
+				a, err := p.Partition(c, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = partition.EdgeCut(c, a)
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkRefinerAblation compares the paper's greedy refiner against KL,
+// FM and no refinement (E8); the "cut" metric carries the quality.
+func BenchmarkRefinerAblation(b *testing.B) {
+	c := benchCircuit(b, "s9234", 0.25)
+	for _, r := range []core.Refiner{core.GreedyRefine, core.KLRefine, core.FMRefine, core.NoRefine} {
+		b.Run(r.String(), func(b *testing.B) {
+			m := &core.Multilevel{Opts: core.Options{Seed: 1, Refiner: r}}
+			var cut int
+			for i := 0; i < b.N; i++ {
+				a, err := m.Partition(c, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = partition.EdgeCut(c, a)
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkCoarsenerAblation compares the paper's fanout coarsening against
+// heavy-edge matching and the future-work activity-weighted scheme (E9).
+func BenchmarkCoarsenerAblation(b *testing.B) {
+	c := benchCircuit(b, "s9234", 0.25)
+	act := make([]float64, c.NumGates())
+	for i := range act {
+		act[i] = float64(len(c.Gates[i].Fanout))
+	}
+	for _, s := range []core.CoarsenScheme{core.FanoutCoarsen, core.HeavyEdgeCoarsen, core.ActivityCoarsen} {
+		b.Run(s.String(), func(b *testing.B) {
+			m := &core.Multilevel{Opts: core.Options{Seed: 1, Scheme: s, Activity: act}}
+			var cut int
+			for i := 0; i < b.N; i++ {
+				a, err := m.Partition(c, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cut = partition.EdgeCut(c, a)
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkSequentialBaseline measures the Table 2 "Seq Time" column on the
+// scaled benchmarks.
+func BenchmarkSequentialBaseline(b *testing.B) {
+	o := benchOptions()
+	for _, name := range []string{"s5378", "s9234", "s15850"} {
+		c := benchCircuit(b, name, o.Scale)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := seqsim.New(c, seqsim.Config{Cycles: o.Cycles, StimulusSeed: o.Seed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.SetGrain(o.Grain)
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCancellationAblation compares aggressive and lazy cancellation on
+// a rollback-heavy configuration.
+func BenchmarkCancellationAblation(b *testing.B) {
+	o := benchOptions()
+	c := benchCircuit(b, "s9234", o.Scale)
+	a, err := core.New(1).Partition(c, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lazy := range []bool{false, true} {
+		name := "aggressive"
+		if lazy {
+			name = "lazy"
+		}
+		b.Run(name, func(b *testing.B) {
+			var anti uint64
+			for i := 0; i < b.N; i++ {
+				res, err := logicsim.Run(c, a, logicsim.Config{
+					Cycles:           o.Cycles,
+					StimulusSeed:     o.Seed,
+					Grain:            o.Grain,
+					OptimismCycles:   o.OptimismCycles,
+					LazyCancellation: lazy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				anti = res.Stats.AntiMessages
+			}
+			b.ReportMetric(float64(anti), "antimsgs")
+		})
+	}
+}

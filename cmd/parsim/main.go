@@ -1,0 +1,132 @@
+// Command parsim runs an optimistic parallel logic simulation of a circuit
+// under a chosen partitioning strategy and reports the paper's metrics.
+//
+// Usage:
+//
+//	parsim -bench s9234 -scale 0.3 -nodes 8 -algo multilevel -cycles 10
+//	parsim -nodes 4 circuit.bench
+//
+// The run is verified against the sequential oracle unless -noverify is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logicsim"
+	"repro/internal/partition"
+	"repro/internal/seqsim"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "number of simulation nodes (clusters)")
+		algo     = flag.String("algo", "multilevel", "partitioner: multilevel, random, dfs, cluster, topological, cone")
+		cycles   = flag.Int("cycles", 10, "clock cycles")
+		seed     = flag.Int64("seed", 1, "seed for stimulus and partitioner")
+		grain    = flag.Int("grain", 2000, "busy-loop iterations per gate evaluation")
+		window   = flag.Float64("window", 0.12, "optimism window in clock cycles (0 = unbounded)")
+		lazy     = flag.Bool("lazy", false, "lazy cancellation")
+		bench    = flag.String("bench", "", "built-in benchmark (s5378, s9234, s15850)")
+		scale    = flag.Float64("scale", 0.3, "scale for -bench")
+		noverify = flag.Bool("noverify", false, "skip the sequential oracle cross-check")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*bench, *scale, flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	p, err := buildPartitioner(*algo, *seed)
+	if err != nil {
+		fail(err)
+	}
+	a, err := p.Partition(c, *nodes)
+	if err != nil {
+		fail(err)
+	}
+	q, _ := partition.Measure(p.Name(), c, a)
+	fmt.Printf("circuit %s: %d gates, %d edges\n", c.Name, c.NumGates(), c.NumEdges())
+	fmt.Println(q)
+
+	cfg := logicsim.Config{
+		Cycles:           *cycles,
+		StimulusSeed:     *seed,
+		Grain:            *grain,
+		OptimismCycles:   *window,
+		LazyCancellation: *lazy,
+	}
+	start := time.Now()
+	res, err := logicsim.Run(c, a, cfg)
+	if err != nil {
+		fail(err)
+	}
+	wall := time.Since(start)
+	fmt.Printf("parallel run: %s wall, %d committed events (%.0f events/ms)\n",
+		wall.Round(time.Millisecond), res.CommittedEvents,
+		float64(res.CommittedEvents)/float64(wall.Milliseconds()+1))
+	s := res.Stats
+	fmt.Printf("  processed=%d rolledback=%d rollbacks=%d efficiency=%.1f%%\n",
+		s.EventsProcessed, s.EventsRolledBack, s.Rollbacks,
+		100*float64(s.EventsCommitted)/float64(s.EventsProcessed))
+	fmt.Printf("  remote=%d local=%d anti=%d gvt-rounds=%d\n",
+		s.RemoteMessages, s.LocalMessages, s.AntiMessages, s.GVTRounds)
+
+	if !*noverify {
+		sim, err := seqsim.New(c, seqsim.Config{Cycles: *cycles, StimulusSeed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		want, err := sim.Run()
+		if err != nil {
+			fail(err)
+		}
+		if res.CommittedEvents != want.Events || res.OutputHistory != want.OutputHistory {
+			fail(fmt.Errorf("verification FAILED: committed=%d/%d history=%#x/%#x",
+				res.CommittedEvents, want.Events, res.OutputHistory, want.OutputHistory))
+		}
+		fmt.Println("verified against the sequential oracle")
+	}
+}
+
+func loadCircuit(bench string, scale float64, path string) (*circuit.Circuit, error) {
+	if bench != "" {
+		return circuit.NewBenchmark(bench, scale)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("pass a .bench file or -bench <name>")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return circuit.ParseBench(path, f)
+}
+
+func buildPartitioner(algo string, seed int64) (partition.Partitioner, error) {
+	switch algo {
+	case "random":
+		return partition.Random{Seed: seed}, nil
+	case "dfs":
+		return partition.DepthFirst{}, nil
+	case "cluster", "bfs":
+		return partition.Cluster{}, nil
+	case "topological", "level":
+		return partition.Topological{}, nil
+	case "cone":
+		return partition.Cone{}, nil
+	case "multilevel", "ml":
+		return core.New(seed), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", algo)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "parsim:", err)
+	os.Exit(1)
+}

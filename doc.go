@@ -1,0 +1,26 @@
+// Package repro reproduces "Study of a Multilevel Approach to Partitioning
+// for Parallel Logic Simulation" (Subramanian, Rao, Wilsey; IPPS/SPDP 2000).
+//
+// The implementation lives under internal/:
+//
+//   - internal/circuit: gate-level circuit model, ISCAS'89 .bench I/O, and
+//     synthetic benchmark generators (s5378/s9234/s15850 equivalents);
+//   - internal/partition: partitioner interface, quality metrics, and the
+//     five baseline algorithms (Random, Topological, DFS, Cluster, Cone);
+//   - internal/core: the paper's multilevel partitioning algorithm
+//     (fanout coarsening, concurrency-preserving initial partitioning,
+//     greedy k-way refinement; KL/FM refiners and heavy-edge/activity
+//     coarsening for ablations);
+//   - internal/timewarp: an optimistic parallel discrete event simulation
+//     kernel (Time Warp) with clusters, rollback, anti-messages, GVT,
+//     fossil collection, a configurable LAN model, and an optimism window;
+//   - internal/seqsim: the sequential event-driven simulator used as the
+//     baseline and correctness oracle;
+//   - internal/logicsim: gate-level logic simulation on the Time Warp
+//     kernel;
+//   - internal/experiments: harnesses regenerating every table and figure
+//     of the paper's evaluation.
+//
+// The benchmarks in bench_test.go regenerate the paper's Tables 1-2 and
+// Figures 4-6 plus the supporting linearity, quality, and ablation studies.
+package repro

@@ -1,0 +1,63 @@
+// Comparison: run all six partitioning strategies of the paper on one
+// benchmark circuit and print a quality table (cut, balance, concurrency) —
+// the static counterpart of the paper's Table 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		name  = flag.String("circuit", "s9234", "benchmark circuit (s5378, s9234, s15850)")
+		scale = flag.Float64("scale", 0.25, "circuit scale (1.0 = paper size)")
+		k     = flag.Int("k", 8, "number of partitions")
+	)
+	flag.Parse()
+
+	c, err := circuit.NewBenchmark(*name, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at scale %.2f: %d gates, %d edges, k=%d\n\n",
+		*name, *scale, c.NumGates(), c.NumEdges(), *k)
+
+	algos := []partition.Partitioner{
+		partition.Random{Seed: 7},
+		partition.DepthFirst{},
+		partition.Cluster{},
+		partition.Topological{},
+		core.New(7),
+		partition.Cone{},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tcut\tcut%\timbalance\tconcurrency\tsources\ttime")
+	for _, p := range algos {
+		start := time.Now()
+		a, err := p.Partition(c, *k)
+		took := time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := partition.Measure(p.Name(), c, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.3f\t%.3f\t%.2f\t%s\n",
+			q.Algorithm, q.EdgeCut, 100*q.CutFraction, q.Imbalance, q.Concurrency,
+			q.SourceSpread, took.Round(time.Microsecond))
+	}
+	w.Flush()
+
+	fmt.Println("\nlower cut = less communication; higher concurrency/sources = less idling.")
+}

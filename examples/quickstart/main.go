@@ -1,0 +1,58 @@
+// Quickstart: build a circuit, partition it with the paper's multilevel
+// algorithm, and inspect the partition quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+func main() {
+	// A circuit can be parsed from the ISCAS'89 .bench format...
+	src := `
+# toy sequential circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+n1 = NAND(a, b)
+n2 = XOR(n1, s)
+s  = DFF(n2)
+f  = OR(n2, a)
+`
+	toy, err := circuit.ParseBenchString("toy", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %q: %d gates, %d edges\n", toy.Name, toy.NumGates(), toy.NumEdges())
+
+	// ...or generated: here the synthetic equivalent of the paper's s5378
+	// benchmark at 20%% scale.
+	c, err := circuit.NewBenchmark("s5378", 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := c.ComputeStats()
+	fmt.Printf("benchmark %s: %d inputs, %d gates, %d outputs, %d flip-flops, depth %d\n",
+		stats.Name, stats.Inputs, stats.Gates, stats.Outputs, stats.FlipFlops, stats.Depth)
+
+	// Partition it across 4 simulation nodes with the multilevel algorithm.
+	ml := core.New(42)
+	a, hier, err := ml.PartitionStats(c, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multilevel hierarchy: %d levels, sizes %v\n", hier.Levels, hier.VerticesTotal)
+	fmt.Printf("initial cut %d -> final cut %d after %d refinement passes\n",
+		hier.InitialCut, hier.FinalCut, hier.RefinePasses)
+
+	q, err := partition.Measure(ml.Name(), c, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q)
+	fmt.Println("partition sizes:", a.Sizes())
+}

@@ -1,0 +1,192 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS'89 ".bench" netlist format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G11 = DFF(G10)
+//
+// OUTPUT(x) declares a primary output port reading signal x; the port is
+// materialized as an Output gate named "x$out" so that ports and internal
+// gates remain distinct graph vertices.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	type pending struct {
+		gate   string
+		inputs []string
+		line   int
+	}
+	var defs []pending
+	var outputs []struct {
+		signal string
+		line   int
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case matchDirective(line, "INPUT"):
+			arg, err := directiveArg(line, "INPUT", lineno)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := c.AddGate(arg, Input); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+		case matchDirective(line, "OUTPUT"):
+			arg, err := directiveArg(line, "OUTPUT", lineno)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, struct {
+				signal string
+				line   int
+			}{arg, lineno})
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench %q line %d: expected assignment, got %q", name, lineno, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("bench %q line %d: malformed gate expression %q", name, lineno, rhs)
+			}
+			typeName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			t, err := ParseGateType(typeName)
+			if err != nil {
+				return nil, fmt.Errorf("bench %q line %d: %w", name, lineno, err)
+			}
+			if t == Input || t == Output {
+				return nil, fmt.Errorf("bench %q line %d: %s is a directive, not a gate", name, lineno, typeName)
+			}
+			var ins []string
+			for _, f := range strings.Split(rhs[open+1:close], ",") {
+				f = strings.TrimSpace(f)
+				if f != "" {
+					ins = append(ins, f)
+				}
+			}
+			if _, err := c.AddGate(lhs, t); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			defs = append(defs, pending{gate: lhs, inputs: ins, line: lineno})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %q: %w", name, err)
+	}
+
+	for _, d := range defs {
+		g, _ := c.GateByName(d.gate)
+		for _, in := range d.inputs {
+			src, ok := c.GateByName(in)
+			if !ok {
+				return nil, fmt.Errorf("bench %q line %d: gate %q reads undefined signal %q", name, d.line, d.gate, in)
+			}
+			if err := c.Connect(src.ID, g.ID); err != nil {
+				return nil, fmt.Errorf("line %d: %w", d.line, err)
+			}
+		}
+	}
+	for _, o := range outputs {
+		src, ok := c.GateByName(o.signal)
+		if !ok {
+			return nil, fmt.Errorf("bench %q line %d: OUTPUT reads undefined signal %q", name, o.line, o.signal)
+		}
+		port, err := c.AddGate(o.signal+"$out", Output)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", o.line, err)
+		}
+		if err := c.Connect(src.ID, port.ID); err != nil {
+			return nil, fmt.Errorf("line %d: %w", o.line, err)
+		}
+	}
+	return c, nil
+}
+
+func matchDirective(line, dir string) bool {
+	u := strings.ToUpper(line)
+	return strings.HasPrefix(u, dir) && strings.Contains(u, "(") && !strings.Contains(line, "=")
+}
+
+func directiveArg(line, dir string, lineno int) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("line %d: malformed %s directive %q", lineno, dir, line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("line %d: empty %s directive", lineno, dir)
+	}
+	return arg, nil
+}
+
+// ParseBenchString is ParseBench on a string.
+func ParseBenchString(name, src string) (*Circuit, error) {
+	return ParseBench(name, strings.NewReader(src))
+}
+
+// WriteBench serializes the circuit in .bench format. Output ports named
+// "<signal>$out" round-trip back to OUTPUT(<signal>) directives.
+func (c *Circuit) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d flip-flops, %d gates\n",
+		len(c.Inputs), len(c.Outputs), len(c.FlipFlops), len(c.Gates))
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.Outputs {
+		g := c.Gates[id]
+		if len(g.Fanin) != 1 {
+			return fmt.Errorf("circuit %q: output port %q has %d drivers", c.Name, g.Name, len(g.Fanin))
+		}
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[g.Fanin[0]].Name)
+	}
+	ids := make([]int, 0, len(c.Gates))
+	for _, g := range c.Gates {
+		if g.Type != Input && g.Type != Output {
+			ids = append(ids, g.ID)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		g := c.Gates[id]
+		names := make([]string, len(g.Fanin))
+		for i, s := range g.Fanin {
+			names[i] = c.Gates[s].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// BenchString returns the .bench serialization of the circuit.
+func (c *Circuit) BenchString() (string, error) {
+	var sb strings.Builder
+	if err := c.WriteBench(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

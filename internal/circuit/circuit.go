@@ -1,0 +1,355 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Gate is a vertex of the circuit graph. Fanin lists the IDs of the gates
+// whose output signals feed this gate; Fanout lists the IDs of the gates that
+// read this gate's output signal. Both are maintained by Circuit.Connect.
+type Gate struct {
+	ID     int
+	Name   string
+	Type   GateType
+	Fanin  []int
+	Fanout []int
+	// Delay is the propagation delay of the gate in virtual-time units.
+	// Zero-delay gates are legal for the partitioners but the simulators
+	// normalize them to at least one unit to keep event times strictly
+	// advancing through combinational logic.
+	Delay int64
+}
+
+// Circuit is a directed graph of gates. Gate IDs are dense indices into
+// Gates, so Gates[id].ID == id always holds for valid circuits.
+type Circuit struct {
+	Name      string
+	Gates     []*Gate
+	Inputs    []int // primary input gate IDs, in declaration order
+	Outputs   []int // primary output gate IDs, in declaration order
+	FlipFlops []int // DFF gate IDs, in declaration order
+
+	byName map[string]int
+}
+
+// New returns an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]int)}
+}
+
+// NumGates returns the number of vertices in the circuit graph.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumEdges returns the number of directed edges (driver→reader signal pairs).
+func (c *Circuit) NumEdges() int {
+	n := 0
+	for _, g := range c.Gates {
+		n += len(g.Fanout)
+	}
+	return n
+}
+
+// AddGate appends a gate of the given type and returns it. Names must be
+// unique within the circuit; an empty name is replaced by a generated one.
+func (c *Circuit) AddGate(name string, t GateType) (*Gate, error) {
+	if name == "" {
+		name = fmt.Sprintf("g%d", len(c.Gates))
+	}
+	if c.byName == nil {
+		c.byName = make(map[string]int)
+	}
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("circuit %q: duplicate gate name %q", c.Name, name)
+	}
+	g := &Gate{ID: len(c.Gates), Name: name, Type: t, Delay: 1}
+	c.Gates = append(c.Gates, g)
+	c.byName[name] = g.ID
+	switch t {
+	case Input:
+		c.Inputs = append(c.Inputs, g.ID)
+	case Output:
+		c.Outputs = append(c.Outputs, g.ID)
+	case DFF:
+		c.FlipFlops = append(c.FlipFlops, g.ID)
+	}
+	return g, nil
+}
+
+// MustAddGate is AddGate that panics on error; intended for generators and
+// tests that construct circuits from trusted inputs.
+func (c *Circuit) MustAddGate(name string, t GateType) *Gate {
+	g, err := c.AddGate(name, t)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Gate returns the gate with the given ID, or nil if out of range.
+func (c *Circuit) Gate(id int) *Gate {
+	if id < 0 || id >= len(c.Gates) {
+		return nil
+	}
+	return c.Gates[id]
+}
+
+// GateByName returns the gate with the given name.
+func (c *Circuit) GateByName(name string) (*Gate, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return c.Gates[id], true
+}
+
+// Connect adds a directed edge from the output of gate `from` to an input of
+// gate `to`. Duplicate edges are allowed (a gate may read the same signal on
+// two input pins) and are recorded once per pin.
+func (c *Circuit) Connect(from, to int) error {
+	if from < 0 || from >= len(c.Gates) {
+		return fmt.Errorf("circuit %q: Connect: bad source id %d", c.Name, from)
+	}
+	if to < 0 || to >= len(c.Gates) {
+		return fmt.Errorf("circuit %q: Connect: bad destination id %d", c.Name, to)
+	}
+	if c.Gates[to].Type == Input {
+		return fmt.Errorf("circuit %q: Connect: primary input %q cannot have fanin", c.Name, c.Gates[to].Name)
+	}
+	c.Gates[from].Fanout = append(c.Gates[from].Fanout, to)
+	c.Gates[to].Fanin = append(c.Gates[to].Fanin, from)
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (c *Circuit) MustConnect(from, to int) {
+	if err := c.Connect(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks structural invariants: dense IDs, fanin arity within the
+// gate type's bounds, fanin/fanout symmetry, and the absence of purely
+// combinational cycles (cycles are legal only through DFFs).
+func (c *Circuit) Validate() error {
+	var errs []error
+	for i, g := range c.Gates {
+		if g == nil {
+			errs = append(errs, fmt.Errorf("gate %d is nil", i))
+			continue
+		}
+		if g.ID != i {
+			errs = append(errs, fmt.Errorf("gate %q: ID %d at index %d", g.Name, g.ID, i))
+		}
+		if min := MinFanin(g.Type); len(g.Fanin) < min {
+			errs = append(errs, fmt.Errorf("gate %q (%v): fanin %d below minimum %d", g.Name, g.Type, len(g.Fanin), min))
+		}
+		if max := MaxFanin(g.Type); max >= 0 && len(g.Fanin) > max {
+			errs = append(errs, fmt.Errorf("gate %q (%v): fanin %d above maximum %d", g.Name, g.Type, len(g.Fanin), max))
+		}
+		for _, s := range g.Fanin {
+			if s < 0 || s >= len(c.Gates) {
+				errs = append(errs, fmt.Errorf("gate %q: fanin id %d out of range", g.Name, s))
+			}
+		}
+		for _, d := range g.Fanout {
+			if d < 0 || d >= len(c.Gates) {
+				errs = append(errs, fmt.Errorf("gate %q: fanout id %d out of range", g.Name, d))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	if err := c.checkSymmetry(); err != nil {
+		return err
+	}
+	if _, err := c.Levelize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *Circuit) checkSymmetry() error {
+	// Count edges from both directions; they must agree pairwise.
+	type edge struct{ from, to int }
+	fwd := make(map[edge]int)
+	for _, g := range c.Gates {
+		for _, d := range g.Fanout {
+			fwd[edge{g.ID, d}]++
+		}
+	}
+	for _, g := range c.Gates {
+		for _, s := range g.Fanin {
+			e := edge{s, g.ID}
+			if fwd[e] == 0 {
+				return fmt.Errorf("circuit %q: fanin edge %s->%s missing from fanout lists",
+					c.Name, c.Gates[s].Name, g.Name)
+			}
+			fwd[e]--
+		}
+	}
+	for e, n := range fwd {
+		if n != 0 {
+			return fmt.Errorf("circuit %q: fanout edge %s->%s missing from fanin lists",
+				c.Name, c.Gates[e.from].Name, c.Gates[e.to].Name)
+		}
+	}
+	return nil
+}
+
+// Sources returns the IDs of the gates that act as event sources for
+// combinational propagation: primary inputs and flip-flops.
+func (c *Circuit) Sources() []int {
+	src := make([]int, 0, len(c.Inputs)+len(c.FlipFlops))
+	src = append(src, c.Inputs...)
+	src = append(src, c.FlipFlops...)
+	return src
+}
+
+// Levelize assigns each gate a topological level: sources (primary inputs and
+// DFFs) are level 0 and every other gate is one more than the maximum level
+// of its combinational fanins (fanins that are DFFs contribute level 0; the
+// edge into a DFF's D pin does not constrain the DFF's level). It returns an
+// error if the combinational subgraph contains a cycle.
+func (c *Circuit) Levelize() ([]int, error) {
+	n := len(c.Gates)
+	level := make([]int, n)
+	indeg := make([]int, n)
+	for _, g := range c.Gates {
+		if g.Type == Input || g.Type == DFF {
+			continue // sources: no combinational fanin constraint
+		}
+		indeg[g.ID] = len(g.Fanin)
+	}
+	queue := make([]int, 0, n)
+	for _, g := range c.Gates {
+		if indeg[g.ID] == 0 {
+			queue = append(queue, g.ID)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, d := range c.Gates[id].Fanout {
+			if c.Gates[d].Type == DFF || c.Gates[d].Type == Input {
+				continue // edge into a state element does not levelize
+			}
+			if l := level[id] + 1; l > level[d] {
+				level[d] = l
+			}
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("circuit %q: combinational cycle detected (%d of %d gates levelized)", c.Name, seen, n)
+	}
+	return level, nil
+}
+
+// Depth returns the maximum combinational level in the circuit.
+func (c *Circuit) Depth() (int, error) {
+	levels, err := c.Levelize()
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{
+		Name:      c.Name,
+		Gates:     make([]*Gate, len(c.Gates)),
+		Inputs:    append([]int(nil), c.Inputs...),
+		Outputs:   append([]int(nil), c.Outputs...),
+		FlipFlops: append([]int(nil), c.FlipFlops...),
+		byName:    make(map[string]int, len(c.byName)),
+	}
+	for i, g := range c.Gates {
+		ng := &Gate{
+			ID:     g.ID,
+			Name:   g.Name,
+			Type:   g.Type,
+			Delay:  g.Delay,
+			Fanin:  append([]int(nil), g.Fanin...),
+			Fanout: append([]int(nil), g.Fanout...),
+		}
+		out.Gates[i] = ng
+		out.byName[g.Name] = i
+	}
+	return out
+}
+
+// Stats summarizes a circuit in the shape of the paper's Table 1.
+type Stats struct {
+	Name      string
+	Inputs    int
+	Gates     int // internal gates: everything that is not a primary input or output port
+	Outputs   int
+	FlipFlops int
+	Edges     int
+	Depth     int
+	MaxFanout int
+	AvgFanout float64
+}
+
+// ComputeStats derives the Table 1 characteristics of the circuit.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{
+		Name:      c.Name,
+		Inputs:    len(c.Inputs),
+		Outputs:   len(c.Outputs),
+		FlipFlops: len(c.FlipFlops),
+		Edges:     c.NumEdges(),
+	}
+	s.Gates = len(c.Gates) - s.Inputs - s.Outputs
+	drivers := 0
+	for _, g := range c.Gates {
+		if len(g.Fanout) > s.MaxFanout {
+			s.MaxFanout = len(g.Fanout)
+		}
+		if len(g.Fanout) > 0 {
+			drivers++
+		}
+	}
+	if drivers > 0 {
+		s.AvgFanout = float64(s.Edges) / float64(drivers)
+	}
+	if d, err := c.Depth(); err == nil {
+		s.Depth = d
+	}
+	return s
+}
+
+// TopologicalOrder returns gate IDs in a topological order of the
+// combinational subgraph (sources first, ties broken by ID).
+func (c *Circuit) TopologicalOrder() ([]int, error) {
+	levels, err := c.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(c.Gates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if levels[order[a]] != levels[order[b]] {
+			return levels[order[a]] < levels[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order, nil
+}

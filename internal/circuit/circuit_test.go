@@ -1,0 +1,239 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func small(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("small")
+	a := c.MustAddGate("a", Input)
+	b := c.MustAddGate("b", Input)
+	n1 := c.MustAddGate("n1", Nand)
+	c.MustConnect(a.ID, n1.ID)
+	c.MustConnect(b.ID, n1.ID)
+	ff := c.MustAddGate("ff", DFF)
+	c.MustConnect(n1.ID, ff.ID)
+	n2 := c.MustAddGate("n2", Xor)
+	c.MustConnect(ff.ID, n2.ID)
+	c.MustConnect(a.ID, n2.ID)
+	out := c.MustAddGate("o$out", Output)
+	c.MustConnect(n2.ID, out.ID)
+	return c
+}
+
+func TestAddGateDuplicate(t *testing.T) {
+	c := New("dup")
+	c.MustAddGate("x", Input)
+	if _, err := c.AddGate("x", And); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	c := New("conn")
+	a := c.MustAddGate("a", Input)
+	b := c.MustAddGate("b", Input)
+	if err := c.Connect(a.ID, b.ID); err == nil {
+		t.Error("connecting into a primary input should fail")
+	}
+	if err := c.Connect(-1, a.ID); err == nil {
+		t.Error("bad source accepted")
+	}
+	if err := c.Connect(a.ID, 99); err == nil {
+		t.Error("bad destination accepted")
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := small(t).Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	c := New("cyc")
+	a := c.MustAddGate("a", Input)
+	g1 := c.MustAddGate("g1", And)
+	g2 := c.MustAddGate("g2", And)
+	c.MustConnect(a.ID, g1.ID)
+	c.MustConnect(g2.ID, g1.ID)
+	c.MustConnect(g1.ID, g2.ID)
+	c.MustConnect(a.ID, g2.ID)
+	if err := c.Validate(); err == nil {
+		t.Fatal("combinational cycle not detected")
+	}
+}
+
+func TestCycleThroughDFFAllowed(t *testing.T) {
+	c := New("seqcyc")
+	a := c.MustAddGate("a", Input)
+	g := c.MustAddGate("g", Or)
+	ff := c.MustAddGate("ff", DFF)
+	c.MustConnect(a.ID, g.ID)
+	c.MustConnect(ff.ID, g.ID)
+	c.MustConnect(g.ID, ff.ID)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("sequential cycle rejected: %v", err)
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	c := New("arity")
+	a := c.MustAddGate("a", Input)
+	g := c.MustAddGate("g", And) // needs >= 2 inputs
+	c.MustConnect(a.ID, g.ID)
+	if err := c.Validate(); err == nil {
+		t.Fatal("under-fanin AND accepted")
+	}
+}
+
+func TestLevelize(t *testing.T) {
+	c := small(t)
+	levels, err := c.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := func(n string) int {
+		g, ok := c.GateByName(n)
+		if !ok {
+			t.Fatalf("no gate %s", n)
+		}
+		return levels[g.ID]
+	}
+	if byName("a") != 0 || byName("b") != 0 || byName("ff") != 0 {
+		t.Errorf("sources not at level 0: a=%d b=%d ff=%d", byName("a"), byName("b"), byName("ff"))
+	}
+	if byName("n1") != 1 {
+		t.Errorf("n1 level = %d, want 1", byName("n1"))
+	}
+	if byName("n2") != 1 {
+		t.Errorf("n2 level = %d, want 1 (fed by ff level 0 and a level 0)", byName("n2"))
+	}
+	if byName("o$out") != 2 {
+		t.Errorf("output level = %d, want 2", byName("o$out"))
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	c := small(t)
+	order, err := c.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != c.NumGates() {
+		t.Fatalf("order covers %d of %d gates", len(order), c.NumGates())
+	}
+	levels, _ := c.Levelize()
+	for i := 1; i < len(order); i++ {
+		if levels[order[i-1]] > levels[order[i]] {
+			t.Fatalf("order not monotone in level at %d", i)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := small(t)
+	cl := c.Clone()
+	if cl.NumGates() != c.NumGates() || cl.NumEdges() != c.NumEdges() {
+		t.Fatal("clone size mismatch")
+	}
+	cl.Gates[0].Fanout = append(cl.Gates[0].Fanout, 1)
+	if c.NumEdges() == cl.NumEdges() {
+		t.Error("clone shares fanout storage with original")
+	}
+	if _, ok := cl.GateByName("n1"); !ok {
+		t.Error("clone lost name index")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := small(t)
+	s := c.ComputeStats()
+	if s.Inputs != 2 || s.Outputs != 1 || s.FlipFlops != 1 {
+		t.Errorf("stats ports: %+v", s)
+	}
+	if s.Gates != c.NumGates()-3 {
+		t.Errorf("internal gates = %d, want %d", s.Gates, c.NumGates()-3)
+	}
+	if s.Edges != c.NumEdges() {
+		t.Errorf("edges = %d, want %d", s.Edges, c.NumEdges())
+	}
+	if s.MaxFanout < 1 || s.AvgFanout <= 0 {
+		t.Errorf("fanout stats: %+v", s)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	src := `
+# example
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+c = NAND(a, b)
+d = DFF(c)
+f = XOR(d, a)
+`
+	c, err := ParseBenchString("ex", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 2 || len(c.Outputs) != 1 || len(c.FlipFlops) != 1 {
+		t.Fatalf("parsed shape wrong: %d/%d/%d", len(c.Inputs), len(c.Outputs), len(c.FlipFlops))
+	}
+	out, err := c.BenchString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseBenchString("ex2", out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if c2.NumGates() != c.NumGates() || c2.NumEdges() != c.NumEdges() {
+		t.Errorf("round trip changed size: %d/%d -> %d/%d", c.NumGates(), c.NumEdges(), c2.NumGates(), c2.NumEdges())
+	}
+}
+
+func TestBenchParseErrors(t *testing.T) {
+	cases := []string{
+		"g = FROB(a)",
+		"INPUT()",
+		"g = AND(a, b)",          // undefined signals
+		"OUTPUT(zz)",             // undefined output
+		"INPUT(a)\na = AND(a,a)", // duplicate definition
+		"just garbage",
+	}
+	for _, src := range cases {
+		if _, err := ParseBenchString("bad", src); err == nil {
+			t.Errorf("ParseBenchString(%q) should fail", src)
+		}
+	}
+}
+
+func TestBenchCommentsAndBlank(t *testing.T) {
+	src := "# only comments\n\n   \nINPUT(a)\nOUTPUT(a)\n"
+	c, err := ParseBenchString("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 {
+		t.Fatalf("gates = %d, want 2 (input + output port)", c.NumGates())
+	}
+}
+
+func TestWriteBenchContainsDirectives(t *testing.T) {
+	c := small(t)
+	s, err := c.BenchString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"INPUT(a)", "INPUT(b)", "OUTPUT(n2)", "DFF", "NAND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bench output missing %q:\n%s", want, s)
+		}
+	}
+}

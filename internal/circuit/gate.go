@@ -1,0 +1,250 @@
+// Package circuit models gate-level digital circuits as directed graphs.
+//
+// Vertices are logic gates, edges are the signals that interconnect them
+// (a gate's output signal fans out to the gates that read it). The package
+// provides a four-valued logic system (0, 1, X, Z), gate evaluation,
+// levelization, an ISCAS'89 ".bench" parser/serializer, and deterministic
+// synthetic circuit generators, including structure-matched equivalents of
+// the ISCAS'89 benchmarks used in the paper (s5378, s9234, s15850).
+package circuit
+
+import "fmt"
+
+// Value is a four-valued logic level.
+type Value uint8
+
+// The four logic values. X (unknown) is the initial value of every signal;
+// Z (high impedance) propagates like X through ordinary gates.
+const (
+	X Value = iota // unknown
+	Zero
+	One
+	Z // high impedance
+)
+
+// String returns the conventional single-character spelling of v.
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case Z:
+		return "Z"
+	default:
+		return "X"
+	}
+}
+
+// Not returns the logical complement of v. X and Z complement to X.
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// GateType enumerates the supported gate kinds.
+type GateType uint8
+
+// Gate kinds. Input and Output are the circuit's primary ports; DFF is a
+// positive-edge D flip-flop (the sequential element of the ISCAS'89 suite).
+const (
+	Input GateType = iota
+	Output
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	DFF
+	numGateTypes
+)
+
+var gateTypeNames = [...]string{
+	Input:  "INPUT",
+	Output: "OUTPUT",
+	Buf:    "BUF",
+	Not:    "NOT",
+	And:    "AND",
+	Nand:   "NAND",
+	Or:     "OR",
+	Nor:    "NOR",
+	Xor:    "XOR",
+	Xnor:   "XNOR",
+	DFF:    "DFF",
+}
+
+// String returns the upper-case .bench spelling of t.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// ParseGateType converts an upper-case .bench gate name to a GateType.
+func ParseGateType(s string) (GateType, error) {
+	switch s {
+	case "INPUT":
+		return Input, nil
+	case "OUTPUT":
+		return Output, nil
+	case "BUF", "BUFF":
+		return Buf, nil
+	case "NOT", "INV":
+		return Not, nil
+	case "AND":
+		return And, nil
+	case "NAND":
+		return Nand, nil
+	case "OR":
+		return Or, nil
+	case "NOR":
+		return Nor, nil
+	case "XOR":
+		return Xor, nil
+	case "XNOR":
+		return Xnor, nil
+	case "DFF":
+		return DFF, nil
+	}
+	return 0, fmt.Errorf("circuit: unknown gate type %q", s)
+}
+
+// Eval computes the output of a gate of type t given its input values.
+//
+// Input gates and DFFs are not combinational: Input has no inputs (its value
+// is driven externally) and a DFF's output is its latched state, so Eval
+// returns the first input unchanged for them only as a convenience (Buf
+// semantics). Output gates are transparent buffers.
+func Eval(t GateType, in []Value) Value {
+	switch t {
+	case Buf, Output, Input, DFF:
+		if len(in) == 0 {
+			return X
+		}
+		return canon(in[0])
+	case Not:
+		if len(in) == 0 {
+			return X
+		}
+		return in[0].Not()
+	case And, Nand:
+		v := evalAnd(in)
+		if t == Nand {
+			v = v.Not()
+		}
+		return v
+	case Or, Nor:
+		v := evalOr(in)
+		if t == Nor {
+			v = v.Not()
+		}
+		return v
+	case Xor, Xnor:
+		v := evalXor(in)
+		if t == Xnor {
+			v = v.Not()
+		}
+		return v
+	}
+	return X
+}
+
+// canon collapses Z to X for gates that treat a floating input as unknown.
+func canon(v Value) Value {
+	if v == Z {
+		return X
+	}
+	return v
+}
+
+func evalAnd(in []Value) Value {
+	sawUnknown := false
+	for _, v := range in {
+		switch canon(v) {
+		case Zero:
+			return Zero
+		case X:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return X
+	}
+	if len(in) == 0 {
+		return X
+	}
+	return One
+}
+
+func evalOr(in []Value) Value {
+	sawUnknown := false
+	for _, v := range in {
+		switch canon(v) {
+		case One:
+			return One
+		case X:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return X
+	}
+	if len(in) == 0 {
+		return X
+	}
+	return Zero
+}
+
+func evalXor(in []Value) Value {
+	if len(in) == 0 {
+		return X
+	}
+	parity := Zero
+	for _, v := range in {
+		switch canon(v) {
+		case X:
+			return X
+		case One:
+			parity = parity.Not()
+		}
+	}
+	return parity
+}
+
+// MinFanin returns the minimum number of inputs a gate of type t requires.
+func MinFanin(t GateType) int {
+	switch t {
+	case Input:
+		return 0
+	case Output, Buf, Not, DFF:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum number of inputs a gate of type t accepts,
+// or -1 if unbounded.
+func MaxFanin(t GateType) int {
+	switch t {
+	case Input:
+		return 0
+	case Output, Buf, Not, DFF:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// IsSequential reports whether t is a state-holding element.
+func IsSequential(t GateType) bool { return t == DFF }

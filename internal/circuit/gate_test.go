@@ -1,0 +1,167 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := map[Value]string{Zero: "0", One: "1", X: "X", Z: "Z", Value(200): "X"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Value(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestValueNot(t *testing.T) {
+	cases := map[Value]Value{Zero: One, One: Zero, X: X, Z: X}
+	for v, want := range cases {
+		if got := v.Not(); got != want {
+			t.Errorf("%v.Not() = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestEvalTwoValued(t *testing.T) {
+	type tc struct {
+		t    GateType
+		in   []Value
+		want Value
+	}
+	cases := []tc{
+		{And, []Value{One, One}, One},
+		{And, []Value{One, Zero}, Zero},
+		{And, []Value{Zero, X}, Zero},
+		{And, []Value{One, X}, X},
+		{Nand, []Value{One, One}, Zero},
+		{Nand, []Value{Zero, X}, One},
+		{Or, []Value{Zero, Zero}, Zero},
+		{Or, []Value{Zero, One}, One},
+		{Or, []Value{One, X}, One},
+		{Or, []Value{Zero, X}, X},
+		{Nor, []Value{Zero, Zero}, One},
+		{Xor, []Value{One, Zero}, One},
+		{Xor, []Value{One, One}, Zero},
+		{Xor, []Value{One, X}, X},
+		{Xnor, []Value{One, One}, One},
+		{Xnor, []Value{One, Zero}, Zero},
+		{Not, []Value{One}, Zero},
+		{Not, []Value{X}, X},
+		{Buf, []Value{Zero}, Zero},
+		{Buf, []Value{Z}, X},
+		{Output, []Value{One}, One},
+		{And, []Value{One, One, One, Zero}, Zero},
+		{Or, []Value{Zero, Zero, Zero, One}, One},
+		{Xor, []Value{One, One, One}, One},
+		{And, nil, X},
+		{Xor, nil, X},
+	}
+	for _, c := range cases {
+		if got := Eval(c.t, c.in); got != c.want {
+			t.Errorf("Eval(%v, %v) = %v, want %v", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+// TestEvalDeMorgan checks NAND(a,b) == NOT(AND(a,b)) and NOR == NOT(OR) over
+// all 4-valued input pairs.
+func TestEvalDeMorgan(t *testing.T) {
+	vals := []Value{Zero, One, X, Z}
+	for _, a := range vals {
+		for _, b := range vals {
+			in := []Value{a, b}
+			if Eval(Nand, in) != Eval(And, in).Not() {
+				t.Errorf("NAND(%v,%v) != NOT(AND)", a, b)
+			}
+			if Eval(Nor, in) != Eval(Or, in).Not() {
+				t.Errorf("NOR(%v,%v) != NOT(OR)", a, b)
+			}
+			if Eval(Xnor, in) != Eval(Xor, in).Not() {
+				t.Errorf("XNOR(%v,%v) != NOT(XOR)", a, b)
+			}
+		}
+	}
+}
+
+// TestEvalCommutative: AND/OR/XOR results are invariant under input
+// permutation (property-based).
+func TestEvalCommutative(t *testing.T) {
+	f := func(raw []uint8, swapA, swapB uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		in := make([]Value, len(raw))
+		for i, r := range raw {
+			in[i] = Value(r % 4)
+		}
+		perm := append([]Value(nil), in...)
+		i, j := int(swapA)%len(perm), int(swapB)%len(perm)
+		perm[i], perm[j] = perm[j], perm[i]
+		for _, gt := range []GateType{And, Or, Xor, Nand, Nor, Xnor} {
+			if Eval(gt, in) != Eval(gt, perm) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalXMonotone: replacing an X input by a concrete value never yields a
+// different concrete result than the X case predicted when the X case was
+// already concrete (X-pessimism property).
+func TestEvalXMonotone(t *testing.T) {
+	vals := []Value{Zero, One}
+	for _, gt := range []GateType{And, Or, Xor, Nand, Nor, Xnor} {
+		for _, a := range vals {
+			base := Eval(gt, []Value{a, X})
+			if base == X {
+				continue
+			}
+			for _, b := range vals {
+				if got := Eval(gt, []Value{a, b}); got != base {
+					t.Errorf("%v(%v, X)=%v but %v(%v,%v)=%v", gt, a, base, gt, a, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestParseGateTypeRoundTrip(t *testing.T) {
+	for gt := GateType(0); gt < numGateTypes; gt++ {
+		parsed, err := ParseGateType(gt.String())
+		if err != nil {
+			t.Fatalf("ParseGateType(%q): %v", gt.String(), err)
+		}
+		if parsed != gt {
+			t.Errorf("round trip %v -> %v", gt, parsed)
+		}
+	}
+	if _, err := ParseGateType("FROB"); err == nil {
+		t.Error("ParseGateType(FROB) should fail")
+	}
+	if got, err := ParseGateType("BUFF"); err != nil || got != Buf {
+		t.Errorf("BUFF alias: got %v, %v", got, err)
+	}
+	if got, err := ParseGateType("INV"); err != nil || got != Not {
+		t.Errorf("INV alias: got %v, %v", got, err)
+	}
+}
+
+func TestFaninBounds(t *testing.T) {
+	if MinFanin(Input) != 0 || MaxFanin(Input) != 0 {
+		t.Error("Input fanin bounds wrong")
+	}
+	if MinFanin(Not) != 1 || MaxFanin(Not) != 1 {
+		t.Error("Not fanin bounds wrong")
+	}
+	if MinFanin(And) != 2 || MaxFanin(And) != -1 {
+		t.Error("And fanin bounds wrong")
+	}
+	if !IsSequential(DFF) || IsSequential(And) {
+		t.Error("IsSequential wrong")
+	}
+}

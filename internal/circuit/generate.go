@@ -1,0 +1,356 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenSpec parameterizes the synthetic sequential-circuit generator. The
+// generator emits ISCAS-like structure: primary inputs and flip-flop outputs
+// feed layered combinational logic with a locality-biased, heavy-tailed
+// fanout distribution; flip-flop D pins and primary outputs sample the deep
+// layers, closing sequential feedback loops through the DFFs only (the
+// combinational subgraph stays acyclic by construction).
+type GenSpec struct {
+	Name      string
+	Inputs    int
+	Gates     int // internal gates, including flip-flops
+	Outputs   int
+	FlipFlops int
+	Seed      int64
+	// MaxFanin bounds combinational gate fanin; 0 means the default of 4.
+	MaxFanin int
+	// HubFraction is the fraction of gates designated as high-fanout hubs
+	// (clock-tree / control-like nets). 0 means the default of 0.02.
+	HubFraction float64
+	// LocalityWindow biases fanin selection toward recently created gates,
+	// which produces realistic logic depth. 0 means the default of
+	// max(Inputs+FlipFlops, Gates/12).
+	LocalityWindow int
+}
+
+func (s *GenSpec) setDefaults() error {
+	if s.Inputs < 1 {
+		return fmt.Errorf("circuit: GenSpec %q: need at least 1 input", s.Name)
+	}
+	if s.Outputs < 1 {
+		return fmt.Errorf("circuit: GenSpec %q: need at least 1 output", s.Name)
+	}
+	if s.FlipFlops < 0 || s.FlipFlops > s.Gates {
+		return fmt.Errorf("circuit: GenSpec %q: flip-flops %d out of range [0,%d]", s.Name, s.FlipFlops, s.Gates)
+	}
+	if s.Gates-s.FlipFlops < 1 {
+		return fmt.Errorf("circuit: GenSpec %q: need at least one combinational gate", s.Name)
+	}
+	if s.MaxFanin == 0 {
+		s.MaxFanin = 4
+	}
+	if s.MaxFanin < 2 {
+		return fmt.Errorf("circuit: GenSpec %q: MaxFanin %d < 2", s.Name, s.MaxFanin)
+	}
+	if s.HubFraction == 0 {
+		s.HubFraction = 0.02
+	}
+	if s.LocalityWindow == 0 {
+		s.LocalityWindow = s.Inputs + s.FlipFlops
+		if w := s.Gates / 12; w > s.LocalityWindow {
+			s.LocalityWindow = w
+		}
+	}
+	return nil
+}
+
+// Generate builds a deterministic pseudo-random sequential circuit from the
+// spec. The same spec always yields the identical circuit.
+func Generate(spec GenSpec) (*Circuit, error) {
+	s := spec
+	if err := s.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	c := New(s.Name)
+
+	for i := 0; i < s.Inputs; i++ {
+		c.MustAddGate(fmt.Sprintf("pi%d", i), Input)
+	}
+	// Flip-flops are created up front so their outputs join the source pool;
+	// their D inputs are wired after the combinational logic exists.
+	ffs := make([]int, s.FlipFlops)
+	for i := range ffs {
+		ffs[i] = c.MustAddGate(fmt.Sprintf("ff%d", i), DFF).ID
+	}
+
+	pool := append([]int(nil), c.Inputs...)
+	pool = append(pool, ffs...)
+
+	nComb := s.Gates - s.FlipFlops
+	combTypes := []GateType{Nand, Nor, And, Or, Not, Xor, Buf}
+	combWeights := []int{30, 18, 16, 14, 10, 8, 4}
+	totalWeight := 0
+	for _, w := range combWeights {
+		totalWeight += w
+	}
+
+	nHubs := int(float64(len(pool)+nComb) * s.HubFraction)
+	if nHubs < 1 {
+		nHubs = 1
+	}
+	hubs := make([]int, 0, nHubs)
+	for _, id := range pool {
+		if len(hubs) < nHubs {
+			hubs = append(hubs, id)
+		}
+	}
+
+	pickSource := func() int {
+		// 10% of pins attach to hub nets (heavy-tailed fanout); the rest are
+		// drawn from a window over the most recent pool entries (locality).
+		if len(hubs) > 0 && rng.Float64() < 0.10 {
+			return hubs[rng.Intn(len(hubs))]
+		}
+		w := s.LocalityWindow
+		if w > len(pool) {
+			w = len(pool)
+		}
+		return pool[len(pool)-1-rng.Intn(w)]
+	}
+
+	comb := make([]int, 0, nComb)
+	for i := 0; i < nComb; i++ {
+		r := rng.Intn(totalWeight)
+		var t GateType
+		for ti, w := range combWeights {
+			if r < w {
+				t = combTypes[ti]
+				break
+			}
+			r -= w
+		}
+		g := c.MustAddGate(fmt.Sprintf("n%d", i), t)
+		fanin := 1
+		if MinFanin(t) >= 2 {
+			fanin = 2 + rng.Intn(s.MaxFanin-1)
+		}
+		seen := make(map[int]bool, fanin)
+		for pins := 0; pins < fanin; pins++ {
+			src := pickSource()
+			// Prefer distinct drivers, but a duplicate pin (same signal on
+			// two inputs) is legal and keeps arity correct when the source
+			// pool is tiny.
+			for r := 0; r < 3 && seen[src]; r++ {
+				src = pickSource()
+			}
+			seen[src] = true
+			c.MustConnect(src, g.ID)
+		}
+		pool = append(pool, g.ID)
+		comb = append(comb, g.ID)
+		if len(hubs) < nHubs && rng.Float64() < 0.05 {
+			hubs = append(hubs, g.ID)
+		}
+	}
+
+	// Wire flip-flop D pins from the deep half of the combinational logic so
+	// the sequential feedback spans real logic depth.
+	deepFrom := len(comb) / 2
+	for _, ff := range ffs {
+		src := comb[deepFrom+rng.Intn(len(comb)-deepFrom)]
+		c.MustConnect(src, ff)
+	}
+
+	// Primary outputs sample the deepest quarter, preferring distinct drivers.
+	outFrom := len(comb) * 3 / 4
+	usedOut := make(map[int]bool)
+	for i := 0; i < s.Outputs; i++ {
+		var src int
+		for tries := 0; ; tries++ {
+			src = comb[outFrom+rng.Intn(len(comb)-outFrom)]
+			if !usedOut[src] || tries >= 8 {
+				break
+			}
+		}
+		usedOut[src] = true
+		port := c.MustAddGate(fmt.Sprintf("%s$out", c.Gates[src].Name+fmt.Sprintf("_%d", i)), Output)
+		c.MustConnect(src, port.ID)
+	}
+
+	// Every combinational gate must drive something, or it is dead logic the
+	// simulators would never exercise: attach dangling gates as extra fanin
+	// of a later gate (or a flip-flop when none exists).
+	for _, id := range comb {
+		if len(c.Gates[id].Fanout) > 0 {
+			continue
+		}
+		var dst int
+		if id < comb[len(comb)-1] {
+			// Choose a strictly later combinational gate to preserve
+			// acyclicity (IDs are topologically ordered at generation).
+			lo := 0
+			for lo < len(comb) && comb[lo] <= id {
+				lo++
+			}
+			dst = comb[lo+rng.Intn(len(comb)-lo)]
+			if c.Gates[dst].Type == Not || c.Gates[dst].Type == Buf {
+				// Single-input gates cannot take an extra pin; retarget to a
+				// multi-input gate or fall back to a flip-flop.
+				dst = -1
+				for probe := lo; probe < len(comb); probe++ {
+					t := c.Gates[comb[probe]].Type
+					if t != Not && t != Buf {
+						dst = comb[probe]
+						break
+					}
+				}
+			}
+		} else {
+			dst = -1
+		}
+		if dst < 0 {
+			if len(ffs) > 0 {
+				// Fold into a flip-flop's D cone via a fresh OR gate to keep
+				// the DFF single-input.
+				ff := ffs[rng.Intn(len(ffs))]
+				old := c.Gates[ff].Fanin[0]
+				merge := c.MustAddGate(fmt.Sprintf("merge%d", id), Or)
+				c.disconnect(old, ff)
+				c.MustConnect(old, merge.ID)
+				c.MustConnect(id, merge.ID)
+				c.MustConnect(merge.ID, ff)
+				continue
+			}
+			port := c.MustAddGate(fmt.Sprintf("dangle%d$out", id), Output)
+			c.MustConnect(id, port.ID)
+			continue
+		}
+		c.MustConnect(id, dst)
+	}
+
+	// Flip-flops that no gate happened to sample would be dead state:
+	// attach each as an extra fanin of a random multi-input combinational
+	// gate (DFF outputs are level-0 sources, so this cannot create a
+	// combinational cycle).
+	var multiIn []int
+	for _, id := range comb {
+		t := c.Gates[id].Type
+		if t != Not && t != Buf {
+			multiIn = append(multiIn, id)
+		}
+	}
+	for _, ff := range ffs {
+		if len(c.Gates[ff].Fanout) > 0 {
+			continue
+		}
+		if len(multiIn) == 0 {
+			port := c.MustAddGate(fmt.Sprintf("%s$out", c.Gates[ff].Name), Output)
+			c.MustConnect(ff, port.ID)
+			continue
+		}
+		c.MustConnect(ff, multiIn[rng.Intn(len(multiIn))])
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: generated circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+// disconnect removes one edge from->to from both adjacency lists.
+func (c *Circuit) disconnect(from, to int) {
+	c.Gates[from].Fanout = removeOne(c.Gates[from].Fanout, to)
+	c.Gates[to].Fanin = removeOne(c.Gates[to].Fanin, from)
+}
+
+func removeOne(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(spec GenSpec) *Circuit {
+	c, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// RippleCarryAdder builds an n-bit ripple-carry adder with inputs
+// a0..a(n-1), b0..b(n-1), cin and outputs s0..s(n-1), cout.
+func RippleCarryAdder(bits int) (*Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("circuit: adder needs at least 1 bit")
+	}
+	c := New(fmt.Sprintf("adder%d", bits))
+	a := make([]int, bits)
+	b := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		a[i] = c.MustAddGate(fmt.Sprintf("a%d", i), Input).ID
+		b[i] = c.MustAddGate(fmt.Sprintf("b%d", i), Input).ID
+	}
+	carry := c.MustAddGate("cin", Input).ID
+	for i := 0; i < bits; i++ {
+		axb := c.MustAddGate(fmt.Sprintf("axb%d", i), Xor)
+		c.MustConnect(a[i], axb.ID)
+		c.MustConnect(b[i], axb.ID)
+		sum := c.MustAddGate(fmt.Sprintf("s%d", i), Xor)
+		c.MustConnect(axb.ID, sum.ID)
+		c.MustConnect(carry, sum.ID)
+		and1 := c.MustAddGate(fmt.Sprintf("cand1_%d", i), And)
+		c.MustConnect(axb.ID, and1.ID)
+		c.MustConnect(carry, and1.ID)
+		and2 := c.MustAddGate(fmt.Sprintf("cand2_%d", i), And)
+		c.MustConnect(a[i], and2.ID)
+		c.MustConnect(b[i], and2.ID)
+		cout := c.MustAddGate(fmt.Sprintf("c%d", i+1), Or)
+		c.MustConnect(and1.ID, cout.ID)
+		c.MustConnect(and2.ID, cout.ID)
+		port := c.MustAddGate(fmt.Sprintf("s%d$out", i), Output)
+		c.MustConnect(sum.ID, port.ID)
+		carry = cout.ID
+	}
+	port := c.MustAddGate("cout$out", Output)
+	c.MustConnect(carry, port.ID)
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LFSR builds an n-bit Fibonacci linear feedback shift register with taps at
+// the last two stages, an enable input, and one output per stage. It is the
+// smallest interesting sequential workload: every clock cycle flips state.
+func LFSR(bits int) (*Circuit, error) {
+	if bits < 2 {
+		return nil, fmt.Errorf("circuit: LFSR needs at least 2 bits")
+	}
+	c := New(fmt.Sprintf("lfsr%d", bits))
+	enable := c.MustAddGate("enable", Input).ID
+	ffs := make([]int, bits)
+	for i := range ffs {
+		ffs[i] = c.MustAddGate(fmt.Sprintf("r%d", i), DFF).ID
+	}
+	fb := c.MustAddGate("feedback", Xnor)
+	c.MustConnect(ffs[bits-1], fb.ID)
+	c.MustConnect(ffs[bits-2], fb.ID)
+	gated := c.MustAddGate("gated", Or)
+	c.MustConnect(fb.ID, gated.ID)
+	c.MustConnect(enable, gated.ID)
+	c.MustConnect(gated.ID, ffs[0])
+	for i := 1; i < bits; i++ {
+		buf := c.MustAddGate(fmt.Sprintf("sh%d", i), Buf)
+		c.MustConnect(ffs[i-1], buf.ID)
+		c.MustConnect(buf.ID, ffs[i])
+	}
+	for i := 0; i < bits; i++ {
+		port := c.MustAddGate(fmt.Sprintf("q%d$out", i), Output)
+		c.MustConnect(ffs[i], port.ID)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

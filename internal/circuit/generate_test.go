@@ -1,0 +1,202 @@
+package circuit
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	spec := GenSpec{Name: "g", Inputs: 10, Gates: 500, Outputs: 8, FlipFlops: 40, Seed: 3}
+	c1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := MustGenerate(spec)
+	s1, _ := c1.BenchString()
+	s2, _ := c2.BenchString()
+	if s1 != s2 {
+		t.Error("same spec produced different circuits")
+	}
+	c3 := MustGenerate(GenSpec{Name: "g", Inputs: 10, Gates: 500, Outputs: 8, FlipFlops: 40, Seed: 4})
+	s3, _ := c3.BenchString()
+	if s1 == s3 {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := GenSpec{Name: "g", Inputs: 12, Gates: 800, Outputs: 9, FlipFlops: 64, Seed: 1}
+	c := MustGenerate(spec)
+	if len(c.Inputs) != spec.Inputs {
+		t.Errorf("inputs = %d, want %d", len(c.Inputs), spec.Inputs)
+	}
+	if len(c.Outputs) != spec.Outputs {
+		t.Errorf("outputs = %d, want %d", len(c.Outputs), spec.Outputs)
+	}
+	if len(c.FlipFlops) != spec.FlipFlops {
+		t.Errorf("flip-flops = %d, want %d", len(c.FlipFlops), spec.FlipFlops)
+	}
+	// Internal gate count may exceed the spec slightly (merge gates for
+	// dangling logic) but never by more than a few percent.
+	s := c.ComputeStats()
+	if s.Gates < spec.Gates || s.Gates > spec.Gates+spec.Gates/10+8 {
+		t.Errorf("internal gates = %d, want about %d", s.Gates, spec.Gates)
+	}
+	if d, err := c.Depth(); err != nil || d < 3 {
+		t.Errorf("depth = %d (%v), want realistic logic depth", d, err)
+	}
+	// No dead logic: every non-output gate drives something.
+	for _, g := range c.Gates {
+		if g.Type != Output && len(g.Fanout) == 0 {
+			t.Errorf("gate %q (%v) drives nothing", g.Name, g.Type)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []GenSpec{
+		{Inputs: 0, Gates: 10, Outputs: 1},
+		{Inputs: 1, Gates: 10, Outputs: 0},
+		{Inputs: 1, Gates: 10, Outputs: 1, FlipFlops: 11},
+		{Inputs: 1, Gates: 5, Outputs: 1, FlipFlops: 5},
+		{Inputs: 1, Gates: 10, Outputs: 1, MaxFanin: 1},
+	}
+	for i, spec := range bad {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %d should fail: %+v", i, spec)
+		}
+	}
+}
+
+// TestGenerateAlwaysValid is a property test: any sane spec yields a circuit
+// that passes Validate.
+func TestGenerateAlwaysValid(t *testing.T) {
+	f := func(seed int64, in, gates, outs, ffs uint16) bool {
+		spec := GenSpec{
+			Name:      "q",
+			Inputs:    1 + int(in%40),
+			Gates:     20 + int(gates%600),
+			Outputs:   1 + int(outs%20),
+			FlipFlops: int(ffs) % 20,
+			Seed:      seed,
+		}
+		c, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		return c.Validate() == nil
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRippleCarryAdderStructure(t *testing.T) {
+	c, err := RippleCarryAdder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 9 { // 4+4 bits + cin
+		t.Errorf("inputs = %d, want 9", len(c.Inputs))
+	}
+	if len(c.Outputs) != 5 { // s0..s3 + cout
+		t.Errorf("outputs = %d, want 5", len(c.Outputs))
+	}
+	if _, err := RippleCarryAdder(0); err == nil {
+		t.Error("0-bit adder accepted")
+	}
+}
+
+func TestLFSRStructure(t *testing.T) {
+	c, err := LFSR(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.FlipFlops) != 8 {
+		t.Errorf("flip-flops = %d, want 8", len(c.FlipFlops))
+	}
+	if len(c.Outputs) != 8 {
+		t.Errorf("outputs = %d, want 8", len(c.Outputs))
+	}
+	if _, err := LFSR(1); err == nil {
+		t.Error("1-bit LFSR accepted")
+	}
+}
+
+func TestPaperBenchmarksTable1(t *testing.T) {
+	// Full-scale generation of all three circuits must match Table 1.
+	want := map[string][3]int{
+		"s5378":  {35, 2779, 49},
+		"s9234":  {36, 5597, 39},
+		"s15850": {77, 10383, 150},
+	}
+	for _, spec := range PaperBenchmarks {
+		c, err := NewBenchmark(spec.Name, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[spec.Name]
+		if len(c.Inputs) != w[0] {
+			t.Errorf("%s inputs = %d, want %d", spec.Name, len(c.Inputs), w[0])
+		}
+		s := c.ComputeStats()
+		if s.Gates < w[1] || s.Gates > w[1]+w[1]/10 {
+			t.Errorf("%s gates = %d, want about %d", spec.Name, s.Gates, w[1])
+		}
+		if len(c.Outputs) != w[2] {
+			t.Errorf("%s outputs = %d, want %d", spec.Name, len(c.Outputs), w[2])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestBenchmarkScaling(t *testing.T) {
+	c, err := NewBenchmark("s9234", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.ComputeStats()
+	if s.Gates < 400 || s.Gates > 700 {
+		t.Errorf("scaled s9234 gates = %d, want ~560", s.Gates)
+	}
+	if _, err := NewBenchmark("s9234", 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := NewBenchmark("s9234", 1.5); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	if _, err := NewBenchmark("nope", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarkDeterministicAcrossScales(t *testing.T) {
+	for _, name := range []string{"s5378", "s9234"} {
+		a := MustBenchmark(name, 0.05)
+		b := MustBenchmark(name, 0.05)
+		sa, _ := a.BenchString()
+		sb, _ := b.BenchString()
+		if sa != sb {
+			t.Errorf("%s@0.05 not deterministic", name)
+		}
+	}
+}
+
+func ExampleGenerate() {
+	c := MustGenerate(GenSpec{Name: "demo", Inputs: 2, Gates: 3, Outputs: 1, Seed: 1})
+	fmt.Println(len(c.Inputs), len(c.Outputs) > 0)
+	// Output: 2 true
+}

@@ -1,0 +1,78 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBenchmarkRoundTrip: the scaled benchmark circuits serialize to .bench
+// and parse back to structurally identical circuits — the full-circle check
+// for the generator + parser + writer stack.
+func TestBenchmarkRoundTrip(t *testing.T) {
+	for _, name := range []string{"s5378", "s9234", "s15850"} {
+		c := MustBenchmark(name, 0.05)
+		text, err := c.BenchString()
+		if err != nil {
+			t.Fatalf("%s: serialize: %v", name, err)
+		}
+		back, err := ParseBenchString(name+"-rt", text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if back.NumGates() != c.NumGates() || back.NumEdges() != c.NumEdges() {
+			t.Errorf("%s: round trip %d/%d gates, %d/%d edges",
+				name, back.NumGates(), c.NumGates(), back.NumEdges(), c.NumEdges())
+		}
+		if len(back.Inputs) != len(c.Inputs) || len(back.Outputs) != len(c.Outputs) || len(back.FlipFlops) != len(c.FlipFlops) {
+			t.Errorf("%s: port counts changed", name)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: reparsed circuit invalid: %v", name, err)
+		}
+		// Levelization (the structural skeleton) must survive exactly.
+		d1, err1 := c.Depth()
+		d2, err2 := back.Depth()
+		if err1 != nil || err2 != nil || d1 != d2 {
+			t.Errorf("%s: depth %d/%v vs %d/%v", name, d1, err1, d2, err2)
+		}
+	}
+}
+
+// TestSourcesCoverInputsAndFFs: Sources returns exactly inputs + flip-flops.
+func TestSourcesCoverInputsAndFFs(t *testing.T) {
+	c := MustBenchmark("s5378", 0.05)
+	src := c.Sources()
+	if len(src) != len(c.Inputs)+len(c.FlipFlops) {
+		t.Fatalf("sources %d, want %d", len(src), len(c.Inputs)+len(c.FlipFlops))
+	}
+	seen := map[int]bool{}
+	for _, id := range src {
+		seen[id] = true
+		tpe := c.Gates[id].Type
+		if tpe != Input && tpe != DFF {
+			t.Errorf("source %d has type %v", id, tpe)
+		}
+	}
+	if len(seen) != len(src) {
+		t.Error("duplicate sources")
+	}
+}
+
+// TestBenchWriterStable: serialization is deterministic.
+func TestBenchWriterStable(t *testing.T) {
+	c := MustBenchmark("s9234", 0.03)
+	a, err := c.BenchString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.BenchString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("serialization unstable")
+	}
+	if !strings.HasPrefix(a, "# ") {
+		t.Error("missing header comment")
+	}
+}

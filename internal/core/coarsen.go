@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CoarsenScheme selects how vertices are combined into globules.
+type CoarsenScheme int
+
+const (
+	// FanoutCoarsen is the paper's scheme: depth-first from the primary
+	// inputs, a chosen vertex absorbs the unmatched vertices on its fanout
+	// signal.
+	FanoutCoarsen CoarsenScheme = iota
+	// HeavyEdgeCoarsen is METIS-style heavy-edge matching: each vertex pairs
+	// with the unmatched neighbor connected by the heaviest edge.
+	HeavyEdgeCoarsen
+	// ActivityCoarsen is the paper's future-work scheme: heavy-edge matching
+	// with edge weights scaled by the communication activity of the
+	// endpoints, so frequently communicating gates coalesce first.
+	ActivityCoarsen
+)
+
+// String names the scheme for reports.
+func (s CoarsenScheme) String() string {
+	switch s {
+	case FanoutCoarsen:
+		return "fanout"
+	case HeavyEdgeCoarsen:
+		return "heavy-edge"
+	case ActivityCoarsen:
+		return "activity"
+	default:
+		return fmt.Sprintf("CoarsenScheme(%d)", int(s))
+	}
+}
+
+// coarsenOnce performs one coarsening level and returns the contracted
+// graph, or nil if the scheme could not shrink the graph (all globules hold
+// inputs, or no merges were possible). maxW caps globule weight so one hub
+// vertex cannot swallow a load-balance-breaking share of the circuit.
+func coarsenOnce(g *graph, scheme CoarsenScheme, maxW int, rng *rand.Rand) *graph {
+	match := make([]int, g.n)
+	for i := range match {
+		match[i] = -1
+	}
+	var nCoarse, merges int
+	switch scheme {
+	case HeavyEdgeCoarsen, ActivityCoarsen:
+		nCoarse, merges = heavyEdgeMatch(g, match, maxW, scheme == ActivityCoarsen, rng)
+	default:
+		nCoarse, merges = fanoutMatch(g, match, maxW)
+	}
+	if merges == 0 {
+		return nil
+	}
+	return contract(g, match, nCoarse)
+}
+
+// fanoutMatch implements the paper's fanout coarsening. The traversal starts
+// from the seed vertices (primary inputs at level 0; vertices just added to
+// a globule afterwards) and proceeds depth-first. When a vertex is chosen it
+// is combined with all unmatched vertices on its fanout signal, except that
+// two vertices that both contain a primary input are never combined. Every
+// vertex is coarsened at most once per level.
+func fanoutMatch(g *graph, match []int, maxW int) (nCoarse, merges int) {
+	next := 0
+	assign := func(v int) int {
+		if match[v] < 0 {
+			match[v] = next
+			next++
+		}
+		return match[v]
+	}
+
+	var stack []int
+	visited := make([]bool, g.n)
+	push := func(v int) {
+		if !visited[v] {
+			visited[v] = true
+			stack = append(stack, v)
+		}
+	}
+
+	for v := 0; v < g.n; v++ {
+		if g.seed[v] {
+			push(v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if match[v] < 0 {
+			// v is chosen for coarsening: open a globule and combine it
+			// with the unmatched vertices on its fanout signal. At most one
+			// input-containing vertex may live in a globule, and a vertex
+			// already claimed this level is never re-coarsened.
+			cv := assign(v)
+			globHasIn := g.hasIn[v]
+			globW := g.vwgt[v]
+			for _, u := range g.fanout[v] {
+				if match[u] >= 0 || (g.hasIn[u] && globHasIn) {
+					continue
+				}
+				if maxW > 0 && globW+g.vwgt[u] > maxW {
+					continue
+				}
+				match[u] = cv
+				globW += g.vwgt[u]
+				if g.hasIn[u] {
+					globHasIn = true
+				}
+				merges++
+			}
+		}
+		// The traversal continues depth-first through the fanout regardless
+		// of whether v absorbed anything.
+		for i := len(g.fanout[v]) - 1; i >= 0; i-- {
+			push(g.fanout[v][i])
+		}
+	}
+	// Vertices unreachable from the seeds become singleton globules.
+	for v := 0; v < g.n; v++ {
+		if match[v] < 0 {
+			assign(v)
+		}
+	}
+	return next, merges
+}
+
+// heavyEdgeMatch pairs each vertex (visited in random order) with its
+// unmatched neighbor across the heaviest edge, never pairing two
+// input-containing vertices. When useActivity is set the edge weight is
+// scaled by the endpoints' communication activity.
+func heavyEdgeMatch(g *graph, match []int, maxW int, useActivity bool, rng *rand.Rand) (nCoarse, merges int) {
+	order := rng.Perm(g.n)
+	next := 0
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := -1, -1.0
+		for i, u := range g.adj[v] {
+			if match[u] >= 0 {
+				continue
+			}
+			if g.hasIn[v] && g.hasIn[u] {
+				continue
+			}
+			if maxW > 0 && g.vwgt[v]+g.vwgt[u] > maxW {
+				continue
+			}
+			w := float64(g.wgt[v][i])
+			if useActivity && g.act != nil {
+				w *= 1 + g.act[v] + g.act[u]
+			}
+			if w > bestW {
+				bestW, best = w, u
+			}
+		}
+		match[v] = next
+		if best >= 0 {
+			match[best] = next
+			merges++
+		}
+		next++
+	}
+	return next, merges
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's primary contribution: the multilevel
+// circuit partitioning algorithm for parallel logic simulation.
+//
+// The algorithm runs in three phases. Coarsening collapses the circuit graph
+// into a hierarchy of progressively smaller graphs using fanout coarsening
+// from the primary inputs (a globule never absorbs a second primary input,
+// preserving concurrency). Initial partitioning spreads the coarsest level's
+// input globules equally over the k partitions and places the remaining
+// globules randomly under a load-balance constraint. Refinement projects the
+// partition back level by level, running greedy k-way refinement (the
+// paper's choice; Kernighan-Lin and Fiduccia-Mattheyses are available for
+// ablation) to reduce the cut-set at every level.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// graph is one level of the multilevel hierarchy: an undirected weighted
+// graph for cut accounting plus the directed fanout view used by the fanout
+// coarsening traversal.
+type graph struct {
+	n      int
+	vwgt   []int   // vertex weight = number of original gates in the globule
+	adj    [][]int // undirected neighbor lists (deduplicated)
+	wgt    [][]int // edge weights parallel to adj
+	fanout [][]int // directed coarse fanout (deduplicated)
+	hasIn  []bool  // globule contains a primary input gate
+	seed   []bool  // coarsening traversal starts from these vertices
+	// act is the per-vertex activity estimate used by the activity-weighted
+	// coarsening scheme; nil when no activity data was supplied.
+	act []float64
+	// fineMap maps each vertex of the next finer level to its globule in
+	// this graph. nil for level 0.
+	fineMap []int
+}
+
+func (g *graph) totalWeight() int {
+	t := 0
+	for _, w := range g.vwgt {
+		t += w
+	}
+	return t
+}
+
+// edgeCut returns the weighted cut of part on g.
+func (g *graph) edgeCut(part []int) int {
+	cut := 0
+	for v := 0; v < g.n; v++ {
+		for i, u := range g.adj[v] {
+			if v < u && part[v] != part[u] {
+				cut += g.wgt[v][i]
+			}
+		}
+	}
+	return cut
+}
+
+// fromCircuit builds the level-0 graph: one vertex per gate, unit weights,
+// undirected edges deduplicated from the signal graph, and the directed
+// fanout lists that drive the coarsening traversal. Primary inputs seed the
+// first coarsening pass.
+func fromCircuit(c *circuit.Circuit, activity []float64) *graph {
+	n := c.NumGates()
+	g := &graph{
+		n:      n,
+		vwgt:   make([]int, n),
+		adj:    make([][]int, n),
+		wgt:    make([][]int, n),
+		fanout: make([][]int, n),
+		hasIn:  make([]bool, n),
+		seed:   make([]bool, n),
+	}
+	if len(activity) == n {
+		g.act = append([]float64(nil), activity...)
+	}
+	for i := range g.vwgt {
+		g.vwgt[i] = 1
+	}
+	for _, id := range c.Inputs {
+		g.hasIn[id] = true
+		g.seed[id] = true
+	}
+	// Flip-flops are event sources too: seeding them as traversal roots lets
+	// coarsening reach logic that is only driven by state, while the
+	// input-exclusion constraint still applies only to primary inputs as in
+	// the paper.
+	for _, id := range c.FlipFlops {
+		g.seed[id] = true
+	}
+
+	// Directed fanout, deduplicated per vertex with sort + run-length scan.
+	scratch := make([]int, 0, 32)
+	for _, gate := range c.Gates {
+		scratch = scratch[:0]
+		for _, d := range gate.Fanout {
+			if d != gate.ID {
+				scratch = append(scratch, d)
+			}
+		}
+		sort.Ints(scratch)
+		for i, d := range scratch {
+			if i == 0 || scratch[i-1] != d {
+				g.fanout[gate.ID] = append(g.fanout[gate.ID], d)
+			}
+		}
+	}
+	// Undirected weighted adjacency: for each vertex, merge fanin and
+	// fanout neighbors (with multiplicity = number of directed edges
+	// between the pair, summed over both directions).
+	for _, gate := range c.Gates {
+		v := gate.ID
+		scratch = scratch[:0]
+		for _, d := range gate.Fanout {
+			if d != v {
+				scratch = append(scratch, d)
+			}
+		}
+		for _, src := range gate.Fanin {
+			if src != v {
+				scratch = append(scratch, src)
+			}
+		}
+		sort.Ints(scratch)
+		for i := 0; i < len(scratch); {
+			j := i
+			for j < len(scratch) && scratch[j] == scratch[i] {
+				j++
+			}
+			g.adj[v] = append(g.adj[v], scratch[i])
+			g.wgt[v] = append(g.wgt[v], j-i)
+			i = j
+		}
+	}
+	return g
+}
+
+// contract builds the next coarser graph given the globule assignment
+// match[v] = coarse vertex of v, with nCoarse globules. newlyMerged marks
+// coarse vertices whose globule absorbed more than one fine vertex; they
+// seed the next coarsening pass per the paper.
+func contract(g *graph, match []int, nCoarse int) *graph {
+	cg := &graph{
+		n:       nCoarse,
+		vwgt:    make([]int, nCoarse),
+		adj:     make([][]int, nCoarse),
+		wgt:     make([][]int, nCoarse),
+		fanout:  make([][]int, nCoarse),
+		hasIn:   make([]bool, nCoarse),
+		seed:    make([]bool, nCoarse),
+		fineMap: match,
+	}
+	if g.act != nil {
+		cg.act = make([]float64, nCoarse)
+	}
+	sizes := make([]int, nCoarse)
+	for v := 0; v < g.n; v++ {
+		cv := match[v]
+		cg.vwgt[cv] += g.vwgt[v]
+		sizes[cv]++
+		if g.hasIn[v] {
+			cg.hasIn[cv] = true
+		}
+		if cg.act != nil {
+			cg.act[cv] += g.act[v]
+		}
+	}
+	for cv, s := range sizes {
+		if s > 1 {
+			cg.seed[cv] = true
+		}
+	}
+	// If no globule merged (degenerate level) fall back to input globules as
+	// seeds so the traversal still has roots.
+	anySeed := false
+	for _, s := range cg.seed {
+		if s {
+			anySeed = true
+			break
+		}
+	}
+	if !anySeed {
+		copy(cg.seed, cg.hasIn)
+	}
+
+	// Invert the match (counting sort) so each globule's members are
+	// contiguous; then aggregate edges per globule with stamped scratch
+	// arrays — O(V+E), no maps.
+	offs := make([]int, nCoarse+1)
+	for v := 0; v < g.n; v++ {
+		offs[match[v]+1]++
+	}
+	for i := 1; i <= nCoarse; i++ {
+		offs[i] += offs[i-1]
+	}
+	members := make([]int, g.n)
+	fill := append([]int(nil), offs[:nCoarse]...)
+	for v := 0; v < g.n; v++ {
+		members[fill[match[v]]] = v
+		fill[match[v]]++
+	}
+
+	conn := make([]int, nCoarse)
+	stamp := make([]int, nCoarse)
+	fstamp := make([]int, nCoarse)
+	var touched []int
+	for cv := 0; cv < nCoarse; cv++ {
+		cur := cv + 1
+		touched = touched[:0]
+		for _, v := range members[offs[cv]:offs[cv+1]] {
+			for i, u := range g.adj[v] {
+				cu := match[u]
+				if cu == cv {
+					continue
+				}
+				if stamp[cu] != cur {
+					stamp[cu] = cur
+					conn[cu] = 0
+					touched = append(touched, cu)
+				}
+				conn[cu] += g.wgt[v][i]
+			}
+			for _, u := range g.fanout[v] {
+				cu := match[u]
+				if cu != cv && fstamp[cu] != cur {
+					fstamp[cu] = cur
+					cg.fanout[cv] = append(cg.fanout[cv], cu)
+				}
+			}
+		}
+		sort.Ints(touched) // deterministic neighbor order
+		for _, cu := range touched {
+			cg.adj[cv] = append(cg.adj[cv], cu)
+			cg.wgt[cv] = append(cg.wgt[cv], conn[cu])
+		}
+	}
+	return cg
+}

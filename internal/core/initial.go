@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// initialPartition produces the k-way partition of the coarsest graph. Input
+// globules are split equally across the partitions first (heaviest first, to
+// the lightest partition), then the remaining globules are placed in random
+// order, always onto the lightest partition, so the load stays balanced while
+// concurrency (one slice of the primary inputs per partition) is preserved.
+func initialPartition(g *graph, k int, rng *rand.Rand) []int {
+	part := make([]int, g.n)
+	for i := range part {
+		part[i] = -1
+	}
+	load := make([]int, k)
+	lightest := func() int {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		return best
+	}
+
+	var inputs, rest []int
+	for v := 0; v < g.n; v++ {
+		if g.hasIn[v] {
+			inputs = append(inputs, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	sort.SliceStable(inputs, func(a, b int) bool { return g.vwgt[inputs[a]] > g.vwgt[inputs[b]] })
+	for _, v := range inputs {
+		p := lightest()
+		part[v] = p
+		load[p] += g.vwgt[v]
+	}
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	for _, v := range rest {
+		p := lightest()
+		part[v] = p
+		load[p] += g.vwgt[v]
+	}
+	return part
+}
+
+// project maps a partition of the coarse graph back onto its finer graph
+// using the fineMap recorded at contraction: every fine vertex inherits the
+// partition of its globule.
+func project(coarse *graph, part []int) []int {
+	fine := make([]int, len(coarse.fineMap))
+	for v, cv := range coarse.fineMap {
+		fine[v] = part[cv]
+	}
+	return fine
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/partition"
+)
+
+// Options parameterize the multilevel algorithm. The zero value reproduces
+// the paper's configuration: fanout coarsening, greedy refinement, 10%
+// balance tolerance.
+type Options struct {
+	// Seed drives the random choices (initial placement order, refinement
+	// visit order). Runs are deterministic for a fixed seed.
+	Seed int64
+	// Scheme selects the coarsening scheme (default FanoutCoarsen).
+	Scheme CoarsenScheme
+	// Refiner selects the per-level refinement algorithm (default
+	// GreedyRefine, the paper's choice).
+	Refiner Refiner
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// globules (before the per-k floor). Default 64.
+	CoarsenTo int
+	// MaxLevels bounds the depth of the hierarchy. Default 24.
+	MaxLevels int
+	// BalanceTolerance is the allowed relative overload of a partition
+	// during refinement (0.1 = 10%). Default 0.1.
+	BalanceTolerance float64
+	// MaxPasses bounds refinement passes per level. Default 4; the greedy
+	// refiner converges in a few iterations as observed in the paper.
+	MaxPasses int
+	// Activity optionally supplies per-gate communication activity (events
+	// per gate from a profiling run) for the ActivityCoarsen scheme.
+	Activity []float64
+}
+
+func (o *Options) setDefaults() {
+	if o.CoarsenTo == 0 {
+		o.CoarsenTo = 64
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 24
+	}
+	if o.BalanceTolerance == 0 {
+		o.BalanceTolerance = 0.10
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 4
+	}
+}
+
+// Multilevel is the paper's three-phase multilevel partitioner. It
+// implements partition.Partitioner.
+type Multilevel struct {
+	Opts Options
+}
+
+// Name implements partition.Partitioner.
+func (m *Multilevel) Name() string { return "Multilevel" }
+
+// Stats reports what the last Partition call did, for studies of the
+// hierarchy itself.
+type Stats struct {
+	Levels        int   // number of coarsening levels built (G1..Gm)
+	CoarsestSize  int   // vertices in Gm
+	InitialCut    int   // weighted cut after initial partitioning, at Gm
+	FinalCut      int   // edge cut on G0 after refinement
+	RefinePasses  int   // total refinement passes across levels
+	VerticesTotal []int // size of each level's graph, G0 first
+}
+
+// Partition implements partition.Partitioner.
+func (m *Multilevel) Partition(c *circuit.Circuit, k int) (partition.Assignment, error) {
+	a, _, err := m.PartitionStats(c, k)
+	return a, err
+}
+
+// PartitionStats is Partition plus the hierarchy statistics.
+func (m *Multilevel) PartitionStats(c *circuit.Circuit, k int) (partition.Assignment, Stats, error) {
+	var st Stats
+	if c == nil || c.NumGates() == 0 {
+		return partition.Assignment{}, st, fmt.Errorf("core: empty circuit")
+	}
+	if k < 1 {
+		return partition.Assignment{}, st, fmt.Errorf("core: need at least one partition, got %d", k)
+	}
+	opts := m.Opts
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Phase 1: coarsening. Build the hierarchy G0, G1, ..., Gm.
+	levels := []*graph{fromCircuit(c, opts.Activity)}
+	st.VerticesTotal = append(st.VerticesTotal, levels[0].n)
+	target := opts.CoarsenTo
+	if floor := 4 * k; target < floor {
+		target = floor
+	}
+	for len(levels) <= opts.MaxLevels {
+		cur := levels[len(levels)-1]
+		if cur.n <= target {
+			break
+		}
+		// Globules never exceed twice the average target-partition share,
+		// so the initial partitioning can always balance.
+		maxW := levels[0].n / (2 * k)
+		if floor := levels[0].n / target; maxW < floor {
+			maxW = floor
+		}
+		if maxW < 1 {
+			maxW = 1
+		}
+		next := coarsenOnce(cur, opts.Scheme, maxW, rng)
+		if next == nil || next.n >= cur.n {
+			break // no further combination possible (e.g. all input globules)
+		}
+		levels = append(levels, next)
+		st.VerticesTotal = append(st.VerticesTotal, next.n)
+	}
+	st.Levels = len(levels) - 1
+	coarsest := levels[len(levels)-1]
+	st.CoarsestSize = coarsest.n
+
+	// Phase 2: initial partitioning at the coarsest level.
+	part := initialPartition(coarsest, k, rng)
+	st.InitialCut = coarsest.edgeCut(part)
+
+	// Phase 3: refinement while projecting back to G0.
+	refine := func(g *graph, part []int) int {
+		switch opts.Refiner {
+		case GreedyRefine:
+			return greedyRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+		case KLRefine:
+			return klRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+		case FMRefine:
+			return fmRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+		case NoRefine:
+			return 0
+		default:
+			return greedyRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+		}
+	}
+	for li := len(levels) - 1; ; li-- {
+		rebalance(levels[li], part, k, opts.BalanceTolerance, rng)
+		st.RefinePasses += refine(levels[li], part)
+		if li == 0 {
+			break
+		}
+		part = project(levels[li], part)
+	}
+	st.FinalCut = levels[0].edgeCut(part)
+
+	a := partition.Assignment{Parts: part, K: k}
+	if err := a.Validate(c); err != nil {
+		return partition.Assignment{}, st, fmt.Errorf("core: internal error: %w", err)
+	}
+	return a, st, nil
+}
+
+// New returns a Multilevel partitioner with the paper's default options and
+// the given seed.
+func New(seed int64) *Multilevel {
+	return &Multilevel{Opts: Options{Seed: seed}}
+}
+
+var _ partition.Partitioner = (*Multilevel)(nil)

@@ -1,0 +1,6 @@
+package core
+
+import "math/rand"
+
+// newRand is a test helper for deterministic RNGs.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

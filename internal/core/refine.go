@@ -1,0 +1,422 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Refiner selects the local refinement algorithm run at each level.
+type Refiner int
+
+const (
+	// GreedyRefine is the paper's refiner: visit vertices in random order,
+	// move each to its maximum-gain partition when that reduces the cut and
+	// keeps the load balanced, lock it for the rest of the pass. Converges
+	// in a few passes.
+	GreedyRefine Refiner = iota
+	// KLRefine runs pairwise Kernighan-Lin swap passes between partitions
+	// that share cut edges (ablation comparator).
+	KLRefine
+	// FMRefine runs a k-way Fiduccia-Mattheyses pass with a gain heap and
+	// best-prefix rollback (ablation comparator).
+	FMRefine
+	// NoRefine skips refinement entirely (ablation: coarsening + initial
+	// partitioning only).
+	NoRefine
+)
+
+// String names the refiner for reports.
+func (r Refiner) String() string {
+	switch r {
+	case GreedyRefine:
+		return "greedy"
+	case KLRefine:
+		return "kl"
+	case FMRefine:
+		return "fm"
+	case NoRefine:
+		return "none"
+	default:
+		return fmt.Sprintf("Refiner(%d)", int(r))
+	}
+}
+
+// balance captures the load-balance constraint of a refinement level.
+type balance struct {
+	load []int
+	max  int // a partition may not exceed this weight
+}
+
+func newBalance(g *graph, part []int, k int, tol float64) *balance {
+	b := &balance{load: make([]int, k)}
+	total := 0
+	for v := 0; v < g.n; v++ {
+		b.load[part[v]] += g.vwgt[v]
+		total += g.vwgt[v]
+	}
+	ideal := float64(total) / float64(k)
+	b.max = int(ideal*(1+tol)) + 1
+	// Never allow the constraint to be tighter than the heaviest vertex, or
+	// no move could ever be feasible on very coarse graphs.
+	for v := 0; v < g.n; v++ {
+		if g.vwgt[v] > b.max {
+			b.max = g.vwgt[v]
+		}
+	}
+	return b
+}
+
+func (b *balance) canMove(w, from, to int) bool {
+	return b.load[to]+w <= b.max
+}
+
+func (b *balance) move(w, from, to int) {
+	b.load[from] -= w
+	b.load[to] += w
+}
+
+// connScratch computes, for one vertex at a time, the total edge weight
+// connecting it to each partition, reusing O(k) storage with a version
+// counter so each query is O(degree).
+type connScratch struct {
+	conn    []int
+	version []int
+	cur     int
+	touched []int
+}
+
+func newConnScratch(k int) *connScratch {
+	return &connScratch{conn: make([]int, k), version: make([]int, k)}
+}
+
+// gather fills the connectivity of v and returns the list of partitions v
+// touches. The returned slice is valid until the next call.
+func (s *connScratch) gather(g *graph, part []int, v int) []int {
+	s.cur++
+	s.touched = s.touched[:0]
+	for i, u := range g.adj[v] {
+		p := part[u]
+		if s.version[p] != s.cur {
+			s.version[p] = s.cur
+			s.conn[p] = 0
+			s.touched = append(s.touched, p)
+		}
+		s.conn[p] += g.wgt[v][i]
+	}
+	return s.touched
+}
+
+func (s *connScratch) of(p int) int {
+	if s.version[p] != s.cur {
+		return 0
+	}
+	return s.conn[p]
+}
+
+// rebalance moves vertices out of partitions that exceed the balance
+// tolerance, preferring moves that lose the least connectivity. Refinement
+// proper never rebalances (it only applies cut-improving moves), so this
+// runs once per level before it.
+func rebalance(g *graph, part []int, k int, tol float64, rng *rand.Rand) {
+	if k < 2 {
+		return
+	}
+	b := newBalance(g, part, k, tol)
+	scratch := newConnScratch(k)
+	for pass := 0; pass < 8; pass++ {
+		overloaded := false
+		for _, l := range b.load {
+			if l > b.max {
+				overloaded = true
+				break
+			}
+		}
+		if !overloaded {
+			return
+		}
+		changed := false
+		for _, v := range rng.Perm(g.n) {
+			from := part[v]
+			if b.load[from] <= b.max {
+				continue
+			}
+			scratch.gather(g, part, v)
+			bestTo, bestScore := -1, -1<<62
+			for p := 0; p < k; p++ {
+				if p == from || b.load[p]+g.vwgt[v] > b.max {
+					continue
+				}
+				// Prefer the destination keeping the most edges internal,
+				// breaking ties toward the lightest partition.
+				score := scratch.of(p)*1024 - b.load[p]
+				if score > bestScore {
+					bestScore, bestTo = score, p
+				}
+			}
+			if bestTo >= 0 {
+				part[v] = bestTo
+				b.move(g.vwgt[v], from, bestTo)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// greedyRefine runs the paper's greedy k-way refinement until a pass yields
+// no gain or maxPasses is reached. It returns the number of passes run.
+func greedyRefine(g *graph, part []int, k int, tol float64, maxPasses int, rng *rand.Rand) int {
+	if k < 2 {
+		return 0
+	}
+	b := newBalance(g, part, k, tol)
+	scratch := newConnScratch(k)
+	order := rng.Perm(g.n)
+	passes := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		passes++
+		improved := false
+		// Locking is implicit: each vertex is visited exactly once per pass
+		// and a moved vertex is not revisited until the next pass.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, v := range order {
+			from := part[v]
+			touched := scratch.gather(g, part, v)
+			internal := scratch.of(from)
+			bestGain, bestTo := 0, -1
+			for _, p := range touched {
+				if p == from {
+					continue
+				}
+				gain := scratch.of(p) - internal
+				if gain > bestGain && b.canMove(g.vwgt[v], from, p) {
+					bestGain, bestTo = gain, p
+				}
+			}
+			if bestTo >= 0 {
+				part[v] = bestTo
+				b.move(g.vwgt[v], from, bestTo)
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return passes
+}
+
+// klRefine runs bounded pairwise Kernighan-Lin passes between every pair of
+// partitions that share cut edges. Within a pair it repeatedly selects the
+// best vertex swap (or single move when it keeps balance) with positive
+// combined gain.
+func klRefine(g *graph, part []int, k int, tol float64, maxPasses int, rng *rand.Rand) int {
+	if k < 2 {
+		return 0
+	}
+	b := newBalance(g, part, k, tol)
+	scratch := newConnScratch(k)
+	passes := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		passes++
+		improved := false
+		for a := 0; a < k; a++ {
+			for c := a + 1; c < k; c++ {
+				if klPair(g, part, a, c, b, scratch) {
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return passes
+}
+
+// klPair improves the cut between partitions a and c with greedy pairwise
+// swaps of boundary vertices. Returns whether any swap was applied.
+func klPair(g *graph, part []int, a, c int, b *balance, scratch *connScratch) bool {
+	// Collect boundary vertices of the pair.
+	gainOf := func(v, to int) int {
+		scratch.gather(g, part, v)
+		return scratch.of(to) - scratch.of(part[v])
+	}
+	var aSide, cSide []int
+	for v := 0; v < g.n; v++ {
+		switch part[v] {
+		case a:
+			aSide = append(aSide, v)
+		case c:
+			cSide = append(cSide, v)
+		}
+	}
+	if len(aSide) == 0 || len(cSide) == 0 {
+		return false
+	}
+	improvedAny := false
+	// A bounded number of swap rounds; each round picks the best single
+	// swap. This is the classic KL inner loop without tentative negative
+	// moves (sufficient as an ablation comparator and far cheaper).
+	rounds := len(aSide) + len(cSide)
+	if rounds > 64 {
+		rounds = 64
+	}
+	locked := make(map[int]bool)
+	for r := 0; r < rounds; r++ {
+		bestGain := 0
+		bestV, bestU := -1, -1
+		for _, v := range aSide {
+			if locked[v] || part[v] != a {
+				continue
+			}
+			gv := gainOf(v, c)
+			if gv <= -4 {
+				continue // hopeless; pruning keeps the pass near-linear
+			}
+			for _, u := range cSide {
+				if locked[u] || part[u] != c {
+					continue
+				}
+				gu := gainOf(u, a)
+				// Swapping adjacent vertices double-counts their edge.
+				wvu := edgeWeight(g, v, u)
+				gain := gv + gu - 2*wvu
+				if gain > bestGain {
+					bestGain, bestV, bestU = gain, v, u
+				}
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		part[bestV], part[bestU] = c, a
+		b.move(g.vwgt[bestV], a, c)
+		b.move(g.vwgt[bestU], c, a)
+		locked[bestV], locked[bestU] = true, true
+		improvedAny = true
+	}
+	return improvedAny
+}
+
+func edgeWeight(g *graph, v, u int) int {
+	for i, w := range g.adj[v] {
+		if w == u {
+			return g.wgt[v][i]
+		}
+	}
+	return 0
+}
+
+// fmMove is a candidate move in the FM gain heap.
+type fmMove struct {
+	v, to, gain int
+	stamp       int // invalidation stamp: stale entries are skipped on pop
+}
+
+type fmHeap []fmMove
+
+func (h fmHeap) Len() int            { return len(h) }
+func (h fmHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h fmHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fmHeap) Push(x interface{}) { *h = append(*h, x.(fmMove)) }
+func (h *fmHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// fmRefine runs k-way Fiduccia-Mattheyses passes: a gain heap over (vertex,
+// target partition) moves, each vertex moved at most once per pass, negative
+// gain moves allowed, and the pass rolled back to its best prefix.
+func fmRefine(g *graph, part []int, k int, tol float64, maxPasses int, rng *rand.Rand) int {
+	if k < 2 {
+		return 0
+	}
+	passes := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		passes++
+		if !fmPass(g, part, k, tol, rng) {
+			break
+		}
+	}
+	return passes
+}
+
+func fmPass(g *graph, part []int, k int, tol float64, rng *rand.Rand) bool {
+	b := newBalance(g, part, k, tol)
+	scratch := newConnScratch(k)
+	stamp := make([]int, g.n)
+	moved := make([]bool, g.n)
+	h := &fmHeap{}
+
+	pushMoves := func(v int) {
+		from := part[v]
+		touched := scratch.gather(g, part, v)
+		internal := scratch.of(from)
+		for _, p := range touched {
+			if p == from {
+				continue
+			}
+			heap.Push(h, fmMove{v: v, to: p, gain: scratch.of(p) - internal, stamp: stamp[v]})
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		pushMoves(v)
+	}
+
+	type applied struct{ v, from int }
+	var history []applied
+	bestCut, curCut := 0, 0
+	bestIdx := 0
+
+	for h.Len() > 0 {
+		m := heap.Pop(h).(fmMove)
+		if moved[m.v] || m.stamp != stamp[m.v] || part[m.v] == m.to {
+			continue
+		}
+		// Recompute the gain; neighbors may have moved since the push.
+		touched := scratch.gather(g, part, m.v)
+		_ = touched
+		gain := scratch.of(m.to) - scratch.of(part[m.v])
+		if gain != m.gain {
+			stamp[m.v]++
+			heap.Push(h, fmMove{v: m.v, to: m.to, gain: gain, stamp: stamp[m.v]})
+			continue
+		}
+		if !b.canMove(g.vwgt[m.v], part[m.v], m.to) {
+			continue
+		}
+		from := part[m.v]
+		part[m.v] = m.to
+		b.move(g.vwgt[m.v], from, m.to)
+		moved[m.v] = true
+		history = append(history, applied{m.v, from})
+		curCut -= gain
+		if curCut < bestCut {
+			bestCut = curCut
+			bestIdx = len(history)
+		}
+		// Refresh the neighbors' candidate moves.
+		for _, u := range g.adj[m.v] {
+			if !moved[u] {
+				stamp[u]++
+				pushMoves(u)
+			}
+		}
+		// Bound the pass: once far past the best prefix, stop exploring.
+		if len(history) > bestIdx+g.n/4+16 {
+			break
+		}
+	}
+	// Roll back to the best prefix.
+	for i := len(history) - 1; i >= bestIdx; i-- {
+		part[history[i].v] = history[i].from
+	}
+	return bestCut < 0
+}

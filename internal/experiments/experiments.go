@@ -1,0 +1,207 @@
+// Package experiments regenerates the paper's evaluation artifacts: Table 1
+// (benchmark characteristics), Table 2 (simulation times for six
+// partitioning algorithms on three circuits), Figure 4 (s9234 execution time
+// vs node count), Figure 5 (application messages), Figure 6 (rollbacks),
+// plus the supporting studies: partition quality, linear-time scaling of the
+// multilevel heuristic, and the refiner/coarsener ablations.
+//
+// Absolute times differ from the paper (1999 dual-Pentium workstations on
+// fast ethernet vs in-process goroutine clusters); the experiments reproduce
+// the paper's relative shape: which partitioner wins, by what rough factor,
+// and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logicsim"
+	"repro/internal/partition"
+	"repro/internal/seqsim"
+)
+
+// Options scale the experiment suite. The defaults run in seconds on a
+// laptop; Scale=1 with more cycles approaches the paper's full workload.
+type Options struct {
+	// Scale shrinks the benchmark circuits (1.0 = paper-size).
+	Scale float64
+	// Cycles is the number of stimulus/clock cycles simulated.
+	Cycles int
+	// Grain models heavyweight VHDL processes: busy-loop iterations per
+	// gate evaluation.
+	Grain int
+	// NetSendBusy/NetRecvBusy model per-message LAN overhead in busy-loop
+	// iterations.
+	NetSendBusy int
+	NetRecvBusy int
+	// NetLatency models one-way LAN delivery latency (wall clock).
+	NetLatency time.Duration
+	// Repeats averages each measurement over this many runs (the paper
+	// averaged five).
+	Repeats int
+	// Seed drives partitioner randomness and stimulus.
+	Seed int64
+	// GVTPeriodEvents passes through to the kernel.
+	GVTPeriodEvents int
+	// OptimismCycles bounds optimism to GVT + this many clock periods.
+	OptimismCycles float64
+	// MaxNodes bounds the node-count sweeps (paper: 8 workstations).
+	MaxNodes int
+}
+
+// DefaultOptions returns the fast configuration used by tests and benches.
+func DefaultOptions() Options {
+	return Options{
+		Scale:           0.12,
+		Cycles:          8,
+		Grain:           1500,
+		NetSendBusy:     2000,
+		NetRecvBusy:     2000,
+		NetLatency:      120 * time.Microsecond,
+		OptimismCycles:  0.12,
+		GVTPeriodEvents: 1024,
+		Repeats:         1,
+		Seed:            1,
+		MaxNodes:        8,
+	}
+}
+
+// PaperOptions returns the full-scale configuration (minutes per table).
+func PaperOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 1.0
+	o.Cycles = 20
+	o.Repeats = 5
+	return o
+}
+
+func (o *Options) setDefaults() {
+	d := DefaultOptions()
+	if o.Scale == 0 {
+		o.Scale = d.Scale
+	}
+	if o.Cycles == 0 {
+		o.Cycles = d.Cycles
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 1
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 8
+	}
+}
+
+// Algorithms returns the six partitioning strategies of the study in the
+// paper's column order. Each call builds fresh partitioners so seeded
+// algorithms stay independent across experiments.
+func Algorithms(seed int64) []partition.Partitioner {
+	return []partition.Partitioner{
+		partition.Random{Seed: seed},
+		partition.DepthFirst{},
+		partition.Cluster{},
+		partition.Topological{},
+		core.New(seed),
+		partition.Cone{},
+	}
+}
+
+// AlgorithmNames lists the algorithm names in study order.
+func AlgorithmNames() []string {
+	names := make([]string, 0, 6)
+	for _, p := range Algorithms(0) {
+		names = append(names, p.Name())
+	}
+	return names
+}
+
+// simConfig translates Options into a parallel-simulator config.
+func (o Options) simConfig() logicsim.Config {
+	return logicsim.Config{
+		Cycles:          o.Cycles,
+		StimulusSeed:    o.Seed,
+		Grain:           o.Grain,
+		NetSendBusy:     o.NetSendBusy,
+		NetRecvBusy:     o.NetRecvBusy,
+		NetLatency:      o.NetLatency,
+		OptimismCycles:  o.OptimismCycles,
+		GVTPeriodEvents: o.GVTPeriodEvents,
+	}
+}
+
+// Measurement is one averaged parallel run.
+type Measurement struct {
+	Algorithm string
+	Nodes     int
+	Seconds   float64
+	// RemoteMessages is the paper's "Number of Application Messages".
+	RemoteMessages float64
+	Rollbacks      float64
+	Committed      uint64
+}
+
+// measure runs circuit c under partitioner p on k nodes, averaging Repeats
+// runs (the paper averaged five).
+func (o Options) measure(c *circuit.Circuit, p partition.Partitioner, k int) (Measurement, error) {
+	m := Measurement{Algorithm: p.Name(), Nodes: k}
+	a, err := p.Partition(c, k)
+	if err != nil {
+		return m, fmt.Errorf("experiments: %s: %w", p.Name(), err)
+	}
+	for r := 0; r < o.Repeats; r++ {
+		start := time.Now()
+		res, err := logicsim.Run(c, a, o.simConfig())
+		if err != nil {
+			return m, fmt.Errorf("experiments: %s k=%d: %w", p.Name(), k, err)
+		}
+		m.Seconds += time.Since(start).Seconds()
+		m.RemoteMessages += float64(res.Stats.RemoteMessages)
+		m.Rollbacks += float64(res.Stats.Rollbacks)
+		m.Committed = res.CommittedEvents
+	}
+	n := float64(o.Repeats)
+	m.Seconds /= n
+	m.RemoteMessages /= n
+	m.Rollbacks /= n
+	return m, nil
+}
+
+// measureSequential runs the sequential baseline with the same event grain.
+func (o Options) measureSequential(c *circuit.Circuit) (float64, seqsim.Result, error) {
+	var total float64
+	var res seqsim.Result
+	for r := 0; r < o.Repeats; r++ {
+		s, err := seqsim.New(c, seqsim.Config{Cycles: o.Cycles, StimulusSeed: o.Seed})
+		if err != nil {
+			return 0, res, err
+		}
+		s.SetGrain(o.Grain)
+		start := time.Now()
+		res, err = s.Run()
+		if err != nil {
+			return 0, res, err
+		}
+		total += time.Since(start).Seconds()
+	}
+	return total / float64(o.Repeats), res, nil
+}
+
+// benchmarkCircuit loads one of the paper's circuits at the configured
+// scale.
+func (o Options) benchmarkCircuit(name string) (*circuit.Circuit, error) {
+	return circuit.NewBenchmark(name, o.Scale)
+}
+
+// runTimed executes one parallel run, accumulating time and counters into m.
+func runTimed(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config, m *Measurement) (logicsim.Result, error) {
+	start := time.Now()
+	res, err := logicsim.Run(c, a, cfg)
+	if err != nil {
+		return res, err
+	}
+	m.Seconds += time.Since(start).Seconds()
+	m.RemoteMessages += float64(res.Stats.RemoteMessages)
+	m.Rollbacks += float64(res.Stats.Rollbacks)
+	return res, nil
+}

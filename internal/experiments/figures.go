@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Sweep holds the s9234 node-count sweep behind Figures 4, 5 and 6: for each
+// algorithm, execution time, application messages, and rollbacks at every
+// node count from 1 to MaxNodes, plus the sequential baseline time.
+type Sweep struct {
+	Circuit  string
+	SeqTime  float64
+	Nodes    []int
+	Series   map[string][]Measurement // algorithm -> one entry per node count
+	AlgOrder []string
+}
+
+// RunSweep regenerates the measurements behind Figures 4-6 for the given
+// circuit (the paper plots s9234).
+func RunSweep(o Options, circuitName string, progress io.Writer) (*Sweep, error) {
+	o.setDefaults()
+	c, err := o.benchmarkCircuit(circuitName)
+	if err != nil {
+		return nil, err
+	}
+	seq, _, err := o.measureSequential(c)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{
+		Circuit:  circuitName,
+		SeqTime:  seq,
+		Series:   make(map[string][]Measurement),
+		AlgOrder: AlgorithmNames(),
+	}
+	for nodes := 1; nodes <= o.MaxNodes; nodes++ {
+		sw.Nodes = append(sw.Nodes, nodes)
+		for _, p := range Algorithms(o.Seed) {
+			m, err := o.measure(c, p, nodes)
+			if err != nil {
+				return nil, err
+			}
+			sw.Series[p.Name()] = append(sw.Series[p.Name()], m)
+			if progress != nil {
+				fmt.Fprintf(progress, "sweep %s nodes=%d %s: %.3fs msgs=%.0f rollbacks=%.0f\n",
+					circuitName, nodes, p.Name(), m.Seconds, m.RemoteMessages, m.Rollbacks)
+			}
+		}
+	}
+	return sw, nil
+}
+
+// metric extracts one figure's series.
+func (s *Sweep) metric(f func(Measurement) float64) map[string][]float64 {
+	out := make(map[string][]float64, len(s.Series))
+	for name, ms := range s.Series {
+		vals := make([]float64, len(ms))
+		for i, m := range ms {
+			vals[i] = f(m)
+		}
+		out[name] = vals
+	}
+	return out
+}
+
+// Fig4ExecutionTimes returns the Figure 4 series (seconds per node count).
+func (s *Sweep) Fig4ExecutionTimes() map[string][]float64 {
+	return s.metric(func(m Measurement) float64 { return m.Seconds })
+}
+
+// Fig5Messages returns the Figure 5 series (application messages).
+func (s *Sweep) Fig5Messages() map[string][]float64 {
+	return s.metric(func(m Measurement) float64 { return m.RemoteMessages })
+}
+
+// Fig6Rollbacks returns the Figure 6 series (total rollbacks).
+func (s *Sweep) Fig6Rollbacks() map[string][]float64 {
+	return s.metric(func(m Measurement) float64 { return m.Rollbacks })
+}
+
+// writeSeries renders one figure's data as CSV: nodes, then one column per
+// algorithm (paper order), with the sequential baseline as a comment.
+func (s *Sweep) writeSeries(w io.Writer, title string, data map[string][]float64, includeSeq bool) error {
+	if includeSeq {
+		if _, err := fmt.Fprintf(w, "# %s for %s; sequential baseline %.4fs\n", title, s.Circuit, s.SeqTime); err != nil {
+			return err
+		}
+	} else if _, err := fmt.Fprintf(w, "# %s for %s\n", title, s.Circuit); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "nodes,%s\n", strings.Join(s.AlgOrder, ","))
+	for i, n := range s.Nodes {
+		row := make([]string, 0, len(s.AlgOrder))
+		for _, a := range s.AlgOrder {
+			row = append(row, fmt.Sprintf("%.4f", data[a][i]))
+		}
+		fmt.Fprintf(w, "%d,%s\n", n, strings.Join(row, ","))
+	}
+	return nil
+}
+
+// WriteFig4CSV emits the Figure 4 data (execution times).
+func (s *Sweep) WriteFig4CSV(w io.Writer) error {
+	return s.writeSeries(w, "Figure 4: execution time (s)", s.Fig4ExecutionTimes(), true)
+}
+
+// WriteFig5CSV emits the Figure 5 data (application messages).
+func (s *Sweep) WriteFig5CSV(w io.Writer) error {
+	return s.writeSeries(w, "Figure 5: application messages", s.Fig5Messages(), false)
+}
+
+// WriteFig6CSV emits the Figure 6 data (rollbacks).
+func (s *Sweep) WriteFig6CSV(w io.Writer) error {
+	return s.writeSeries(w, "Figure 6: rollbacks", s.Fig6Rollbacks(), false)
+}

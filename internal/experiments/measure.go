@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/partition"
+)
+
+// MeasureForTest runs one averaged measurement of circuit c under
+// partitioner p on k nodes; benchmarks and calibration tools use it to
+// reproduce individual table/figure cells.
+func MeasureForTest(o Options, c *circuit.Circuit, p partition.Partitioner, k int) (Measurement, error) {
+	o.setDefaults()
+	return o.measure(c, p, k)
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// QualityStudy supports the paper's §3/§5 claims about partition quality:
+// edge cut, balance, concurrency and partitioning time per algorithm.
+type QualityStudy struct {
+	Circuit string
+	K       int
+	Rows    []QualityRow
+}
+
+// QualityRow is one algorithm's quality plus its partitioning time.
+type QualityRow struct {
+	partition.Quality
+	PartitionTime time.Duration
+}
+
+// RunQuality measures partition quality for every algorithm on one
+// benchmark.
+func RunQuality(o Options, circuitName string, k int) (*QualityStudy, error) {
+	o.setDefaults()
+	c, err := o.benchmarkCircuit(circuitName)
+	if err != nil {
+		return nil, err
+	}
+	st := &QualityStudy{Circuit: circuitName, K: k}
+	for _, p := range Algorithms(o.Seed) {
+		start := time.Now()
+		a, err := p.Partition(c, k)
+		took := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		q, err := partition.Measure(p.Name(), c, a)
+		if err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, QualityRow{Quality: q, PartitionTime: took})
+	}
+	return st, nil
+}
+
+// WriteMarkdown renders the quality table.
+func (s *QualityStudy) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "Partition quality, %s, k=%d\n\n", s.Circuit, s.K)
+	fmt.Fprintln(w, "| Algorithm | EdgeCut | Cut% | Imbalance | Concurrency | SourceSpread | Time |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "| %s | %d | %.1f%% | %.3f | %.3f | %.2f | %s |\n",
+			r.Algorithm, r.EdgeCut, 100*r.CutFraction, r.Imbalance, r.Concurrency, r.SourceSpread, r.PartitionTime.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// LinearityStudy supports the paper's claim that the multilevel heuristic is
+// a linear-time O(N_E) algorithm: partitioning time across a circuit-size
+// sweep.
+type LinearityStudy struct {
+	K      int
+	Points []LinearityPoint
+}
+
+// LinearityPoint is one circuit size's timing.
+type LinearityPoint struct {
+	Gates   int
+	Edges   int
+	Seconds float64
+}
+
+// RunLinearity times the multilevel partitioner across a size sweep.
+func RunLinearity(o Options, k int, sizes []int) (*LinearityStudy, error) {
+	o.setDefaults()
+	st := &LinearityStudy{K: k}
+	for _, n := range sizes {
+		c, err := circuit.Generate(circuit.GenSpec{
+			Name:      fmt.Sprintf("lin%d", n),
+			Inputs:    8 + n/100,
+			Gates:     n,
+			Outputs:   8,
+			FlipFlops: n / 20,
+			Seed:      int64(n),
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := core.New(o.Seed)
+		// Time several runs for small circuits to dodge timer noise.
+		reps := 1 + 20000/(n+1)
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := m.Partition(c, k); err != nil {
+				return nil, err
+			}
+		}
+		per := time.Since(start).Seconds() / float64(reps)
+		st.Points = append(st.Points, LinearityPoint{Gates: c.NumGates(), Edges: c.NumEdges(), Seconds: per})
+	}
+	return st, nil
+}
+
+// WriteCSV emits the linearity data.
+func (s *LinearityStudy) WriteCSV(w io.Writer) error {
+	fmt.Fprintln(w, "gates,edges,seconds,seconds_per_edge")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%d,%d,%.6f,%.3e\n", p.Gates, p.Edges, p.Seconds, p.Seconds/float64(p.Edges))
+	}
+	return nil
+}
+
+// TimePerEdgeSpread returns max/min of seconds-per-edge across the sweep; a
+// value near 1 indicates linear scaling in the edge count.
+func (s *LinearityStudy) TimePerEdgeSpread() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	min, max := 1e300, 0.0
+	for _, p := range s.Points {
+		per := p.Seconds / float64(p.Edges)
+		if per < min {
+			min = per
+		}
+		if per > max {
+			max = per
+		}
+	}
+	return max / min
+}

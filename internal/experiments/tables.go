@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Table1 reproduces the paper's Table 1: the characteristics of the three
+// ISCAS'89 benchmark circuits (at Scale, so full-size when Scale=1).
+type Table1 struct {
+	Rows []circuit.Stats
+}
+
+// RunTable1 builds the benchmark circuits and tabulates their
+// characteristics.
+func RunTable1(o Options) (*Table1, error) {
+	o.setDefaults()
+	t := &Table1{}
+	for _, spec := range circuit.PaperBenchmarks {
+		c, err := o.benchmarkCircuit(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, c.ComputeStats())
+	}
+	return t, nil
+}
+
+// WriteMarkdown renders the table in the paper's layout plus the extra
+// structural columns.
+func (t *Table1) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "| Circuit | Inputs | Gates | Outputs | FlipFlops | Edges | Depth |"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %d |\n",
+			r.Name, r.Inputs, r.Gates, r.Outputs, r.FlipFlops, r.Edges, r.Depth)
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table1) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "circuit,inputs,gates,outputs,flipflops,edges,depth"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d\n",
+			r.Name, r.Inputs, r.Gates, r.Outputs, r.FlipFlops, r.Edges, r.Depth)
+	}
+	return nil
+}
+
+// Table2 reproduces the paper's Table 2: simulation time (seconds) for the
+// sequential baseline and the six partitioning algorithms on each benchmark
+// at 2, 4, 6 and 8 nodes.
+type Table2 struct {
+	Circuits []Table2Circuit
+}
+
+// Table2Circuit is one benchmark's block of rows.
+type Table2Circuit struct {
+	Name    string
+	SeqTime float64
+	Rows    []Table2Row
+}
+
+// Table2Row is one node count's measurements across the six algorithms, in
+// Algorithms() order.
+type Table2Row struct {
+	Nodes int
+	Cells []Measurement
+}
+
+// RunTable2 regenerates Table 2.
+func RunTable2(o Options, progress io.Writer) (*Table2, error) {
+	o.setDefaults()
+	out := &Table2{}
+	for _, spec := range circuit.PaperBenchmarks {
+		c, err := o.benchmarkCircuit(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		seq, _, err := o.measureSequential(c)
+		if err != nil {
+			return nil, err
+		}
+		block := Table2Circuit{Name: spec.Name, SeqTime: seq}
+		for nodes := 2; nodes <= o.MaxNodes; nodes += 2 {
+			row := Table2Row{Nodes: nodes}
+			for _, p := range Algorithms(o.Seed) {
+				m, err := o.measure(c, p, nodes)
+				if err != nil {
+					return nil, err
+				}
+				row.Cells = append(row.Cells, m)
+				if progress != nil {
+					fmt.Fprintf(progress, "table2 %s nodes=%d %s: %.3fs (msgs=%.0f rb=%.0f)\n",
+						spec.Name, nodes, m.Algorithm, m.Seconds, m.RemoteMessages, m.Rollbacks)
+				}
+			}
+			block.Rows = append(block.Rows, row)
+		}
+		out.Circuits = append(out.Circuits, block)
+	}
+	return out, nil
+}
+
+// WriteMarkdown renders Table 2 in the paper's layout.
+func (t *Table2) WriteMarkdown(w io.Writer) error {
+	fmt.Fprintf(w, "| Circuit | Seq Time | Nodes | %s |\n", strings.Join(AlgorithmNames(), " | "))
+	fmt.Fprintf(w, "|---|---|---|%s\n", strings.Repeat("---|", len(AlgorithmNames())))
+	for _, c := range t.Circuits {
+		for i, row := range c.Rows {
+			name, seq := "", ""
+			if i == 0 {
+				name = c.Name
+				seq = fmt.Sprintf("%.2f", c.SeqTime)
+			}
+			cells := make([]string, 0, len(row.Cells))
+			for _, m := range row.Cells {
+				cells = append(cells, fmt.Sprintf("%.2f", m.Seconds))
+			}
+			fmt.Fprintf(w, "| %s | %s | %d | %s |\n", name, seq, row.Nodes, strings.Join(cells, " | "))
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders Table 2 as CSV (seconds).
+func (t *Table2) WriteCSV(w io.Writer) error {
+	fmt.Fprintf(w, "circuit,seq_time,nodes,%s\n", strings.Join(AlgorithmNames(), ","))
+	for _, c := range t.Circuits {
+		for _, row := range c.Rows {
+			cells := make([]string, 0, len(row.Cells))
+			for _, m := range row.Cells {
+				cells = append(cells, fmt.Sprintf("%.4f", m.Seconds))
+			}
+			fmt.Fprintf(w, "%s,%.4f,%d,%s\n", c.Name, c.SeqTime, row.Nodes, strings.Join(cells, ","))
+		}
+	}
+	return nil
+}
+
+// BestAlgorithmAt returns the name of the fastest algorithm for a circuit at
+// a node count (used by shape checks).
+func (t *Table2) BestAlgorithmAt(circuitName string, nodes int) (string, bool) {
+	for _, c := range t.Circuits {
+		if c.Name != circuitName {
+			continue
+		}
+		for _, row := range c.Rows {
+			if row.Nodes != nodes {
+				continue
+			}
+			best, bestT := "", -1.0
+			for _, m := range row.Cells {
+				if bestT < 0 || m.Seconds < bestT {
+					best, bestT = m.Algorithm, m.Seconds
+				}
+			}
+			return best, best != ""
+		}
+	}
+	return "", false
+}

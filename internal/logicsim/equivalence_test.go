@@ -1,0 +1,126 @@
+package logicsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/seqsim"
+)
+
+// testCircuits returns small, varied circuits for equivalence checks.
+func testCircuits(t *testing.T) []*circuit.Circuit {
+	t.Helper()
+	adder, err := circuit.RippleCarryAdder(8)
+	if err != nil {
+		t.Fatalf("adder: %v", err)
+	}
+	lfsr, err := circuit.LFSR(16)
+	if err != nil {
+		t.Fatalf("lfsr: %v", err)
+	}
+	gen, err := circuit.Generate(circuit.GenSpec{
+		Name: "gen300", Inputs: 8, Gates: 300, Outputs: 6, FlipFlops: 24, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return []*circuit.Circuit{adder, lfsr, gen}
+}
+
+func partitioners() []partition.Partitioner {
+	return []partition.Partitioner{
+		partition.Random{Seed: 11},
+		partition.Topological{},
+		partition.DepthFirst{},
+		partition.Cluster{},
+		partition.Cone{},
+		core.New(13),
+	}
+}
+
+// TestParallelMatchesSequential is the core integration test: for every test
+// circuit, every partitioner, and several node counts, the Time Warp run
+// must commit exactly the events of the sequential oracle and reproduce its
+// output history and final state.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	for _, c := range testCircuits(t) {
+		cfg := seqsim.Config{Cycles: 12, StimulusSeed: 99}
+		want, err := seqsim.Run(c, cfg)
+		if err != nil {
+			t.Fatalf("%s: seqsim: %v", c.Name, err)
+		}
+		if want.Events == 0 {
+			t.Fatalf("%s: sequential run processed no events", c.Name)
+		}
+		for _, p := range partitioners() {
+			for _, k := range []int{1, 2, 3, 5} {
+				t.Run(fmt.Sprintf("%s/%s/k=%d", c.Name, p.Name(), k), func(t *testing.T) {
+					a, err := p.Partition(c, k)
+					if err != nil {
+						t.Fatalf("partition: %v", err)
+					}
+					got, err := Run(c, a, Config{
+						Cycles:       cfg.Cycles,
+						StimulusSeed: cfg.StimulusSeed,
+					})
+					if err != nil {
+						t.Fatalf("logicsim: %v", err)
+					}
+					if got.CommittedEvents != want.Events {
+						t.Errorf("committed events = %d, sequential = %d", got.CommittedEvents, want.Events)
+					}
+					if got.OutputHistory != want.OutputHistory {
+						t.Errorf("output history = %#x, sequential = %#x", got.OutputHistory, want.OutputHistory)
+					}
+					for i := range want.OutputValues {
+						if got.OutputValues[i] != want.OutputValues[i] {
+							t.Errorf("output %d = %v, sequential = %v", i, got.OutputValues[i], want.OutputValues[i])
+						}
+					}
+					for id := range want.FinalValues {
+						if got.FinalValues[id] != want.FinalValues[id] {
+							t.Errorf("gate %d final = %v, sequential = %v", id, got.FinalValues[id], want.FinalValues[id])
+							break
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLazyCancellationMatches runs the same equivalence under lazy
+// cancellation.
+func TestLazyCancellationMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "lazy200", Inputs: 6, Gates: 200, Outputs: 5, FlipFlops: 16, Seed: 21,
+	})
+	cfg := seqsim.Config{Cycles: 10, StimulusSeed: 5}
+	want, err := seqsim.Run(c, cfg)
+	if err != nil {
+		t.Fatalf("seqsim: %v", err)
+	}
+	a, err := core.New(3).Partition(c, 4)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	got, err := Run(c, a, Config{Cycles: cfg.Cycles, StimulusSeed: cfg.StimulusSeed, LazyCancellation: true})
+	if err != nil {
+		t.Fatalf("logicsim: %v", err)
+	}
+	if got.CommittedEvents != want.Events {
+		t.Errorf("committed events = %d, sequential = %d", got.CommittedEvents, want.Events)
+	}
+	if got.OutputHistory != want.OutputHistory {
+		t.Errorf("output history = %#x, sequential = %#x", got.OutputHistory, want.OutputHistory)
+	}
+}

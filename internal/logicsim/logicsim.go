@@ -1,0 +1,330 @@
+// Package logicsim simulates gate-level circuits on the Time Warp kernel:
+// every gate is a logical process, signal changes are timestamped events,
+// and a partition assignment maps gates to simulation nodes. Semantics are
+// identical to internal/seqsim (timestep evaluation, sender delay, hash
+// stimulus), so a parallel run commits exactly the events a sequential run
+// processes and produces the same output history — the cross-check used by
+// the integration tests.
+package logicsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/partition"
+	"repro/internal/seqsim"
+	"repro/internal/timewarp"
+)
+
+// Event kinds on the wire.
+const (
+	kindSignal int32 = iota
+	kindStimulus
+	kindClock
+)
+
+// Config parameterizes a parallel simulation run. Cycles, ClockPeriod,
+// StimulusSeed and StimulusEvery have the same meaning as in seqsim.Config;
+// identical values make runs comparable.
+type Config struct {
+	Cycles        int
+	ClockPeriod   int64
+	StimulusSeed  int64
+	StimulusEvery int
+
+	// Grain burns this many iterations of CPU per gate evaluation, modeling
+	// the heavyweight VHDL processes of the paper's TYVIS kernel. Zero
+	// disables it.
+	Grain int
+
+	// OptimismCycles bounds optimistic execution to GVT plus this many
+	// clock periods of virtual time (0 = unbounded).
+	OptimismCycles float64
+
+	// GVTPeriodEvents, LazyCancellation, NetSendBusy, NetRecvBusy,
+	// NetLatency and InboxSize pass through to the Time Warp kernel.
+	GVTPeriodEvents  int
+	LazyCancellation bool
+	NetSendBusy      int
+	NetRecvBusy      int
+	NetLatency       time.Duration
+	InboxSize        int
+}
+
+func (cfg *Config) setDefaults(c *circuit.Circuit) error {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 1
+	}
+	if cfg.StimulusEvery <= 0 {
+		cfg.StimulusEvery = 1
+	}
+	if cfg.ClockPeriod == 0 {
+		p, err := seqsim.MinClockPeriod(c)
+		if err != nil {
+			return err
+		}
+		cfg.ClockPeriod = p
+	}
+	if cfg.ClockPeriod < 2 {
+		return fmt.Errorf("logicsim: clock period %d too small", cfg.ClockPeriod)
+	}
+	return nil
+}
+
+// Result reports a parallel run in seqsim-comparable terms plus the Time
+// Warp statistics.
+type Result struct {
+	// CommittedEvents is the number of application events committed; it
+	// must equal the Events count of a sequential run with the same Config.
+	CommittedEvents uint64
+	// OutputValues and OutputHistory mirror seqsim.Result.
+	OutputValues  []circuit.Value
+	OutputHistory uint64
+	// FinalValues is the final output value of every gate.
+	FinalValues []circuit.Value
+	// Stats carries the kernel counters (rollbacks, messages, GVT rounds).
+	Stats timewarp.RunStats
+}
+
+// shared holds the immutable tables every gate LP reads.
+type shared struct {
+	c      *circuit.Circuit
+	cfg    Config
+	outIdx map[int]int // gate ID -> primary output index
+}
+
+// gateState is the mutable, snapshot-able state of one gate LP.
+type gateState struct {
+	inputs []circuit.Value
+	out    circuit.Value
+	ff     circuit.Value
+	hist   uint64 // cumulative output-history contribution of this LP
+}
+
+func (s *gateState) clone() gateState {
+	return gateState{
+		inputs: append([]circuit.Value(nil), s.inputs...),
+		out:    s.out,
+		ff:     s.ff,
+		hist:   s.hist,
+	}
+}
+
+// gateLP is the timewarp.Handler for one gate.
+type gateLP struct {
+	sim      *shared
+	id       int
+	typ      circuit.GateType
+	inputIdx int           // index in c.Inputs for Input gates, else -1
+	pins     map[int][]int // driver gate ID -> input pin indices
+	fanout   []int         // deduplicated fanout gate IDs
+	delay    int64
+	st       gateState
+}
+
+func newGateLP(sim *shared, g *circuit.Gate, inputIdx int) *gateLP {
+	lp := &gateLP{
+		sim:      sim,
+		id:       g.ID,
+		typ:      g.Type,
+		inputIdx: inputIdx,
+		pins:     make(map[int][]int, len(g.Fanin)),
+		delay:    seqsim.GateDelay(g),
+	}
+	for pin, src := range g.Fanin {
+		lp.pins[src] = append(lp.pins[src], pin)
+	}
+	seen := make(map[int]struct{}, len(g.Fanout))
+	for _, d := range g.Fanout {
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		lp.fanout = append(lp.fanout, d)
+	}
+	lp.st.inputs = make([]circuit.Value, len(g.Fanin))
+	for i := range lp.st.inputs {
+		lp.st.inputs[i] = circuit.X
+	}
+	lp.st.out = circuit.X
+	lp.st.ff = circuit.X
+	return lp
+}
+
+// Init schedules the LP's first self-event: the cycle-0 stimulus for primary
+// inputs, the cycle-0 clock edge for flip-flops. Subsequent cycles chain
+// from Execute so the pending queues stay small.
+func (lp *gateLP) Init(ctx *timewarp.Context) {
+	switch lp.typ {
+	case circuit.Input:
+		ctx.Send(ctx.Self(), 0, kindStimulus, 0)
+	case circuit.DFF:
+		ctx.Send(ctx.Self(), lp.sim.cfg.ClockPeriod/2, kindClock, 0)
+	}
+}
+
+// Execute implements the shared timestep semantics: apply every arrival,
+// then evaluate once with final inputs.
+func (lp *gateLP) Execute(ctx *timewarp.Context, now timewarp.Time, events []timewarp.Event) {
+	cfg := &lp.sim.cfg
+	stimulus := false
+	clocked := false
+	for _, ev := range events {
+		switch ev.Kind {
+		case kindSignal:
+			for _, pin := range lp.pins[int(ev.Sender)] {
+				lp.st.inputs[pin] = circuit.Value(ev.Value)
+			}
+		case kindStimulus:
+			stimulus = true
+		case kindClock:
+			clocked = true
+		}
+	}
+
+	switch {
+	case stimulus:
+		cycle := int(now / cfg.ClockPeriod)
+		seqsim.Burn(cfg.Grain)
+		v := seqsim.StimulusBit(cfg.StimulusSeed, lp.inputIdx, cycle)
+		if v != lp.st.out {
+			lp.st.out = v
+			lp.emit(ctx, now)
+		}
+		next := cycle + cfg.StimulusEvery
+		if next < cfg.Cycles {
+			ctx.Send(ctx.Self(), int64(next)*cfg.ClockPeriod, kindStimulus, 0)
+		}
+	case lp.typ == circuit.DFF:
+		if clocked {
+			seqsim.Burn(cfg.Grain)
+			d := lp.st.inputs[0]
+			if d != lp.st.ff {
+				lp.st.ff = d
+				lp.st.out = d
+				lp.note(now)
+				lp.emit(ctx, now)
+			}
+			cycle := int((now - cfg.ClockPeriod/2) / cfg.ClockPeriod)
+			if next := cycle + 1; next < cfg.Cycles {
+				ctx.Send(ctx.Self(), int64(next)*cfg.ClockPeriod+cfg.ClockPeriod/2, kindClock, 0)
+			}
+		}
+		// Plain D-pin arrivals latch nothing until the next clock edge.
+	default:
+		seqsim.Burn(cfg.Grain)
+		out := circuit.Eval(lp.typ, lp.st.inputs)
+		if out != lp.st.out {
+			lp.st.out = out
+			lp.note(now)
+			lp.emit(ctx, now)
+		}
+	}
+}
+
+// emit sends the LP's (already updated) output to its fanout with sender
+// delay.
+func (lp *gateLP) emit(ctx *timewarp.Context, now timewarp.Time) {
+	if lp.typ == circuit.Output {
+		return
+	}
+	for _, d := range lp.fanout {
+		ctx.Send(timewarp.LPID(d), now+lp.delay, kindSignal, int32(lp.st.out))
+	}
+}
+
+// note records a primary-output change in the LP's rollback-safe signature.
+func (lp *gateLP) note(t timewarp.Time) {
+	idx, ok := lp.sim.outIdx[lp.id]
+	if !ok {
+		return
+	}
+	lp.st.hist += seqsim.OutputHash(t, idx, lp.st.out)
+}
+
+// SaveState implements timewarp.Handler.
+func (lp *gateLP) SaveState() interface{} {
+	s := lp.st.clone()
+	return &s
+}
+
+// RestoreState implements timewarp.Handler.
+func (lp *gateLP) RestoreState(snap interface{}) {
+	s := snap.(*gateState)
+	// The snapshot stays immutable: copy out of it.
+	copy(lp.st.inputs, s.inputs)
+	lp.st.out = s.out
+	lp.st.ff = s.ff
+	lp.st.hist = s.hist
+}
+
+// Run simulates circuit c with partition assignment a on a.K simulation
+// nodes and returns the committed results plus kernel statistics.
+func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error) {
+	if err := a.Validate(c); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.setDefaults(c); err != nil {
+		return Result{}, err
+	}
+	sim := &shared{c: c, cfg: cfg, outIdx: make(map[int]int, len(c.Outputs))}
+	for i, id := range c.Outputs {
+		sim.outIdx[id] = i
+	}
+	inputIdx := make(map[int]int, len(c.Inputs))
+	for i, id := range c.Inputs {
+		inputIdx[id] = i
+	}
+	handlers := make([]timewarp.Handler, c.NumGates())
+	lps := make([]*gateLP, c.NumGates())
+	for id, g := range c.Gates {
+		idx := -1
+		if g.Type == circuit.Input {
+			idx = inputIdx[id]
+		}
+		lp := newGateLP(sim, g, idx)
+		lps[id] = lp
+		handlers[id] = lp
+	}
+	var window timewarp.Time
+	if cfg.OptimismCycles > 0 {
+		window = timewarp.Time(cfg.OptimismCycles * float64(cfg.ClockPeriod))
+		if window < 1 {
+			window = 1
+		}
+	}
+	kernel, err := timewarp.New(timewarp.Config{
+		NumClusters:      a.K,
+		ClusterOf:        a.Parts,
+		OptimismWindow:   window,
+		GVTPeriodEvents:  cfg.GVTPeriodEvents,
+		LazyCancellation: cfg.LazyCancellation,
+		NetSendBusy:      cfg.NetSendBusy,
+		NetRecvBusy:      cfg.NetRecvBusy,
+		NetLatency:       cfg.NetLatency,
+		InboxSize:        cfg.InboxSize,
+	}, handlers)
+	if err != nil {
+		return Result{}, err
+	}
+	stats, err := kernel.Run()
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		CommittedEvents: stats.EventsCommitted,
+		OutputValues:    make([]circuit.Value, len(c.Outputs)),
+		FinalValues:     make([]circuit.Value, c.NumGates()),
+		Stats:           stats,
+	}
+	for id, lp := range lps {
+		res.FinalValues[id] = lp.st.out
+		res.OutputHistory += lp.st.hist
+	}
+	for i, id := range c.Outputs {
+		res.OutputValues[i] = lps[id].st.out
+	}
+	return res, nil
+}

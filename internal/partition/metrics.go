@@ -1,0 +1,160 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// Quality summarizes how good a partition is along the three axes the paper
+// optimizes: communication (edge cut), load balance, and concurrency.
+type Quality struct {
+	Algorithm string
+	K         int
+	// EdgeCut is the number of directed signal edges whose endpoints lie in
+	// different partitions (the paper's cut-set).
+	EdgeCut int
+	// CutFraction is EdgeCut divided by the total edge count.
+	CutFraction float64
+	// MaxLoad and MinLoad are the largest and smallest partition sizes.
+	MaxLoad int
+	MinLoad int
+	// Imbalance is MaxLoad/(N/K) - 1; 0 means perfectly balanced.
+	Imbalance float64
+	// Concurrency estimates exploitable parallelism: the mean over
+	// topological levels of (number of partitions holding gates of that
+	// level) / K, weighted by level population. 1.0 means every level's work
+	// is spread over all partitions.
+	Concurrency float64
+	// SourceSpread is the fraction of partitions holding at least one event
+	// source (primary input or flip-flop); partitions without sources idle
+	// until remote events arrive.
+	SourceSpread float64
+}
+
+// Measure computes the quality metrics of assignment a on circuit c.
+func Measure(name string, c *circuit.Circuit, a Assignment) (Quality, error) {
+	if err := a.Validate(c); err != nil {
+		return Quality{}, err
+	}
+	q := Quality{Algorithm: name, K: a.K}
+	total := 0
+	for _, g := range c.Gates {
+		for _, d := range g.Fanout {
+			total++
+			if a.Parts[g.ID] != a.Parts[d] {
+				q.EdgeCut++
+			}
+		}
+	}
+	if total > 0 {
+		q.CutFraction = float64(q.EdgeCut) / float64(total)
+	}
+
+	sizes := a.Sizes()
+	q.MaxLoad, q.MinLoad = sizes[0], sizes[0]
+	for _, s := range sizes[1:] {
+		if s > q.MaxLoad {
+			q.MaxLoad = s
+		}
+		if s < q.MinLoad {
+			q.MinLoad = s
+		}
+	}
+	ideal := float64(c.NumGates()) / float64(a.K)
+	if ideal > 0 {
+		q.Imbalance = float64(q.MaxLoad)/ideal - 1
+	}
+
+	if conc, err := concurrency(c, a); err == nil {
+		q.Concurrency = conc
+	}
+
+	srcParts := make(map[int]bool)
+	for _, s := range c.Sources() {
+		srcParts[a.Parts[s]] = true
+	}
+	q.SourceSpread = float64(len(srcParts)) / float64(a.K)
+	return q, nil
+}
+
+// concurrency estimates, per topological level, how many partitions can work
+// simultaneously when that level's gates are active.
+func concurrency(c *circuit.Circuit, a Assignment) (float64, error) {
+	levels, err := c.Levelize()
+	if err != nil {
+		return 0, err
+	}
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	counts := make([]map[int]bool, maxLevel+1)
+	pop := make([]int, maxLevel+1)
+	for id, l := range levels {
+		if counts[l] == nil {
+			counts[l] = make(map[int]bool)
+		}
+		counts[l][a.Parts[id]] = true
+		pop[l]++
+	}
+	var weighted, totalPop float64
+	for l := 0; l <= maxLevel; l++ {
+		if pop[l] == 0 {
+			continue
+		}
+		// A level's parallelism cannot exceed its population.
+		avail := float64(len(counts[l]))
+		cap := float64(pop[l])
+		if cap > float64(a.K) {
+			cap = float64(a.K)
+		}
+		weighted += float64(pop[l]) * (avail / cap)
+		totalPop += float64(pop[l])
+	}
+	if totalPop == 0 {
+		return 0, nil
+	}
+	return weighted / totalPop, nil
+}
+
+// String renders the quality record as a single report line.
+func (q Quality) String() string {
+	return fmt.Sprintf("%-14s k=%-2d cut=%-7d (%.1f%%) load=[%d,%d] imb=%.3f conc=%.3f srcs=%.2f",
+		q.Algorithm, q.K, q.EdgeCut, 100*q.CutFraction, q.MinLoad, q.MaxLoad, q.Imbalance, q.Concurrency, q.SourceSpread)
+}
+
+// EdgeCut counts the directed edges of c crossing partitions under a.
+func EdgeCut(c *circuit.Circuit, a Assignment) int {
+	cut := 0
+	for _, g := range c.Gates {
+		for _, d := range g.Fanout {
+			if a.Parts[g.ID] != a.Parts[d] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// CompareAll partitions c with every given partitioner at the same k and
+// returns the qualities sorted by edge cut (best first).
+func CompareAll(c *circuit.Circuit, k int, ps []Partitioner) ([]Quality, error) {
+	out := make([]Quality, 0, len(ps))
+	for _, p := range ps {
+		a, err := p.Partition(c, k)
+		if err != nil {
+			return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
+		}
+		q, err := Measure(p.Name(), c, a)
+		if err != nil {
+			return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
+		}
+		out = append(out, q)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].EdgeCut < out[j].EdgeCut })
+	return out, nil
+}

@@ -1,0 +1,330 @@
+// Package partition defines the circuit partitioning interface, partition
+// quality metrics, and the five baseline partitioning algorithms studied in
+// the paper: Random, Topological (level), Depth-First, Cluster
+// (Breadth-First), and Fanout-cone. The paper's multilevel algorithm lives in
+// internal/core and implements the same Partitioner interface.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Assignment maps every gate ID of a circuit to a partition in [0,K).
+type Assignment struct {
+	Parts []int
+	K     int
+}
+
+// NewAssignment returns an assignment of n gates to partition 0.
+func NewAssignment(n, k int) Assignment {
+	return Assignment{Parts: make([]int, n), K: k}
+}
+
+// Of returns the partition of gate id.
+func (a Assignment) Of(id int) int { return a.Parts[id] }
+
+// Sizes returns the number of gates in each partition.
+func (a Assignment) Sizes() []int {
+	sizes := make([]int, a.K)
+	for _, p := range a.Parts {
+		sizes[p]++
+	}
+	return sizes
+}
+
+// Validate checks that the assignment covers the circuit and that every gate
+// is mapped to a partition in range.
+func (a Assignment) Validate(c *circuit.Circuit) error {
+	if len(a.Parts) != c.NumGates() {
+		return fmt.Errorf("partition: assignment covers %d gates, circuit has %d", len(a.Parts), c.NumGates())
+	}
+	if a.K < 1 {
+		return fmt.Errorf("partition: non-positive partition count %d", a.K)
+	}
+	for id, p := range a.Parts {
+		if p < 0 || p >= a.K {
+			return fmt.Errorf("partition: gate %d assigned to partition %d, want [0,%d)", id, p, a.K)
+		}
+	}
+	return nil
+}
+
+// Partitioner divides a circuit across k partitions (simulation nodes).
+type Partitioner interface {
+	// Name identifies the algorithm in reports (e.g. "Multilevel").
+	Name() string
+	// Partition assigns every gate of c to one of k partitions.
+	Partition(c *circuit.Circuit, k int) (Assignment, error)
+}
+
+// Func adapts a function to the Partitioner interface.
+type Func struct {
+	Algorithm string
+	F         func(c *circuit.Circuit, k int) (Assignment, error)
+}
+
+// Name implements Partitioner.
+func (f Func) Name() string { return f.Algorithm }
+
+// Partition implements Partitioner.
+func (f Func) Partition(c *circuit.Circuit, k int) (Assignment, error) { return f.F(c, k) }
+
+func checkArgs(c *circuit.Circuit, k int) error {
+	if c == nil || c.NumGates() == 0 {
+		return fmt.Errorf("partition: empty circuit")
+	}
+	if k < 1 {
+		return fmt.Errorf("partition: need at least one partition, got %d", k)
+	}
+	return nil
+}
+
+// assignOrderContiguous deals gates to partitions in traversal order as k
+// contiguous, load-balanced blocks: the first ceil(n/k) gates to partition 0,
+// and so on. This is the placement rule shared by the DFS and BFS (Cluster)
+// partitioners: it keeps traversal-adjacent gates together.
+func assignOrderContiguous(order []int, n, k int) Assignment {
+	a := NewAssignment(n, k)
+	block := (len(order) + k - 1) / k
+	if block == 0 {
+		block = 1
+	}
+	for i, id := range order {
+		p := i / block
+		if p >= k {
+			p = k - 1
+		}
+		a.Parts[id] = p
+	}
+	return a
+}
+
+// Random assigns gates to partitions uniformly at random under a strict
+// load-balance constraint (round-robin over a shuffled gate order), per
+// Kravitz & Ackland. Communication is its known bottleneck.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Partitioner.
+func (Random) Name() string { return "Random" }
+
+// Partition implements Partitioner.
+func (r Random) Partition(c *circuit.Circuit, k int) (Assignment, error) {
+	if err := checkArgs(c, k); err != nil {
+		return Assignment{}, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	order := rng.Perm(c.NumGates())
+	a := NewAssignment(c.NumGates(), k)
+	for i, id := range order {
+		a.Parts[id] = i % k
+	}
+	return a, nil
+}
+
+// Topological is the level partitioner of Cloutier and Smith: the circuit is
+// levelized and the gates of each topological level are dealt round-robin
+// across the partitions. This maximizes intra-level concurrency at the cost
+// of cutting most level-crossing signals.
+type Topological struct{}
+
+// Name implements Partitioner.
+func (Topological) Name() string { return "Topological" }
+
+// Partition implements Partitioner.
+func (Topological) Partition(c *circuit.Circuit, k int) (Assignment, error) {
+	if err := checkArgs(c, k); err != nil {
+		return Assignment{}, err
+	}
+	levels, err := c.Levelize()
+	if err != nil {
+		return Assignment{}, err
+	}
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	byLevel := make([][]int, maxLevel+1)
+	for id, l := range levels {
+		byLevel[l] = append(byLevel[l], id)
+	}
+	// The round-robin counter runs across levels: restarting at partition 0
+	// for every level would pile each level's remainder onto partition 0.
+	a := NewAssignment(c.NumGates(), k)
+	ctr := 0
+	for _, ids := range byLevel {
+		for _, id := range ids {
+			a.Parts[id] = ctr % k
+			ctr++
+		}
+	}
+	return a, nil
+}
+
+// DepthFirst assigns gates in depth-first traversal order from the primary
+// inputs into contiguous blocks, keeping long signal chains in one partition.
+type DepthFirst struct{}
+
+// Name implements Partitioner.
+func (DepthFirst) Name() string { return "DFS" }
+
+// Partition implements Partitioner.
+func (DepthFirst) Partition(c *circuit.Circuit, k int) (Assignment, error) {
+	if err := checkArgs(c, k); err != nil {
+		return Assignment{}, err
+	}
+	n := c.NumGates()
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	var stack []int
+	push := func(id int) {
+		if !visited[id] {
+			visited[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, root := range c.Sources() {
+		push(root)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, id)
+			fo := c.Gates[id].Fanout
+			// Push in reverse so the first fanout is explored first.
+			for i := len(fo) - 1; i >= 0; i-- {
+				push(fo[i])
+			}
+		}
+	}
+	// Gates unreachable from any source (e.g. constant subtrees) follow in
+	// ID order so the assignment is total.
+	for id := 0; id < n; id++ {
+		if !visited[id] {
+			order = append(order, id)
+		}
+	}
+	return assignOrderContiguous(order, n, k), nil
+}
+
+// Cluster is the breadth-first clustering partitioner: gates are assigned in
+// BFS order from the primary inputs into contiguous blocks, grouping each
+// wavefront's neighborhoods.
+type Cluster struct{}
+
+// Name implements Partitioner.
+func (Cluster) Name() string { return "Cluster" }
+
+// Partition implements Partitioner.
+func (Cluster) Partition(c *circuit.Circuit, k int) (Assignment, error) {
+	if err := checkArgs(c, k); err != nil {
+		return Assignment{}, err
+	}
+	n := c.NumGates()
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for _, root := range c.Sources() {
+		if !visited[root] {
+			visited[root] = true
+			queue = append(queue, root)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, d := range c.Gates[id].Fanout {
+			if !visited[d] {
+				visited[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	for id := 0; id < n; id++ {
+		if !visited[id] {
+			order = append(order, id)
+		}
+	}
+	return assignOrderContiguous(order, n, k), nil
+}
+
+// Cone is the fanout-cone clustering partitioner of Smith et al.: the fanout
+// cone of each primary input is computed and cones are packed onto the least
+// loaded partition, so gates that share input dependence stay together.
+// Gates claimed by an earlier cone are not reassigned, and a cone stops
+// growing at ceil(N/k) gates so a single wide cone cannot swallow the whole
+// circuit.
+type Cone struct{}
+
+// Name implements Partitioner.
+func (Cone) Name() string { return "ConePartition" }
+
+// Partition implements Partitioner.
+func (Cone) Partition(c *circuit.Circuit, k int) (Assignment, error) {
+	if err := checkArgs(c, k); err != nil {
+		return Assignment{}, err
+	}
+	n := c.NumGates()
+	a := NewAssignment(n, k)
+	assigned := make([]bool, n)
+	load := make([]int, k)
+
+	leastLoaded := func() int {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		return best
+	}
+
+	// Expand each source's unclaimed fanout cone with a DFS (capped) and
+	// place the whole cone on the least loaded partition.
+	cap := (n + k - 1) / k
+	var cone []int
+	var stack []int
+	grow := func(root int) {
+		cone = cone[:0]
+		stack = append(stack[:0], root)
+		for len(stack) > 0 && len(cone) < cap {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if assigned[id] {
+				continue
+			}
+			assigned[id] = true
+			cone = append(cone, id)
+			for _, d := range c.Gates[id].Fanout {
+				if !assigned[d] {
+					stack = append(stack, d)
+				}
+			}
+		}
+	}
+	for _, root := range c.Sources() {
+		if assigned[root] {
+			continue
+		}
+		grow(root)
+		p := leastLoaded()
+		for _, id := range cone {
+			a.Parts[id] = p
+		}
+		load[p] += len(cone)
+	}
+	for id := 0; id < n; id++ {
+		if !assigned[id] {
+			p := leastLoaded()
+			a.Parts[id] = p
+			load[p]++
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,289 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func testCircuit(t testing.TB) *circuit.Circuit {
+	t.Helper()
+	return circuit.MustGenerate(circuit.GenSpec{
+		Name: "p400", Inputs: 10, Gates: 400, Outputs: 8, FlipFlops: 30, Seed: 17,
+	})
+}
+
+func all() []Partitioner {
+	return []Partitioner{
+		Random{Seed: 1},
+		Topological{},
+		DepthFirst{},
+		Cluster{},
+		Cone{},
+	}
+}
+
+// TestAllPartitionersTotalAndInRange: every algorithm must produce a valid
+// total assignment for a range of k.
+func TestAllPartitionersTotalAndInRange(t *testing.T) {
+	c := testCircuit(t)
+	for _, p := range all() {
+		for _, k := range []int{1, 2, 3, 7, 16} {
+			a, err := p.Partition(c, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", p.Name(), k, err)
+			}
+			if err := a.Validate(c); err != nil {
+				t.Errorf("%s k=%d: %v", p.Name(), k, err)
+			}
+		}
+	}
+}
+
+// TestLoadBalance: all studied algorithms balance within a reasonable factor
+// of ideal (Random and Topological must be near-perfect).
+func TestLoadBalance(t *testing.T) {
+	c := testCircuit(t)
+	for _, tc := range []struct {
+		p      Partitioner
+		maxImb float64
+	}{
+		{Random{Seed: 1}, 0.03},
+		{Topological{}, 0.03},
+		{DepthFirst{}, 0.05},
+		{Cluster{}, 0.05},
+		{Cone{}, 0.80}, // cones are coarse units; looser bound
+	} {
+		for _, k := range []int{2, 4, 8} {
+			a, err := tc.p.Partition(c, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := Measure(tc.p.Name(), c, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q.Imbalance > tc.maxImb {
+				t.Errorf("%s k=%d imbalance %.3f > %.3f", tc.p.Name(), k, q.Imbalance, tc.maxImb)
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	c := testCircuit(t)
+	for _, p := range all() {
+		if _, err := p.Partition(c, 0); err == nil {
+			t.Errorf("%s accepted k=0", p.Name())
+		}
+		if _, err := p.Partition(circuit.New("empty"), 2); err == nil {
+			t.Errorf("%s accepted empty circuit", p.Name())
+		}
+	}
+}
+
+func TestSinglePartitionIsTrivial(t *testing.T) {
+	c := testCircuit(t)
+	for _, p := range all() {
+		a, err := p.Partition(c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut := EdgeCut(c, a); cut != 0 {
+			t.Errorf("%s k=1 cut = %d, want 0", p.Name(), cut)
+		}
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	c := testCircuit(t)
+	a1, _ := Random{Seed: 5}.Partition(c, 4)
+	a2, _ := Random{Seed: 5}.Partition(c, 4)
+	a3, _ := Random{Seed: 6}.Partition(c, 4)
+	same := func(x, y Assignment) bool {
+		for i := range x.Parts {
+			if x.Parts[i] != y.Parts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a1, a2) {
+		t.Error("same seed differs")
+	}
+	if same(a1, a3) {
+		t.Error("different seeds identical")
+	}
+}
+
+// TestTopologicalSpreadsLevels: within any topological level, gates go
+// round-robin across partitions, so each level touches min(k, |level|)
+// partitions.
+func TestTopologicalSpreadsLevels(t *testing.T) {
+	c := testCircuit(t)
+	k := 4
+	a, err := Topological{}.Partition(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, _ := c.Levelize()
+	byLevel := map[int]map[int]bool{}
+	pop := map[int]int{}
+	for id, l := range levels {
+		if byLevel[l] == nil {
+			byLevel[l] = map[int]bool{}
+		}
+		byLevel[l][a.Parts[id]] = true
+		pop[l]++
+	}
+	for l, parts := range byLevel {
+		want := pop[l]
+		if want > k {
+			want = k
+		}
+		if len(parts) != want {
+			t.Errorf("level %d: spread over %d partitions, want %d", l, len(parts), want)
+		}
+	}
+}
+
+// TestDFSKeepsChainsTogether: a pure chain circuit must be split into k
+// contiguous runs (cut exactly k-1) by the DFS partitioner.
+func TestDFSKeepsChainsTogether(t *testing.T) {
+	c := circuit.New("chain")
+	prev := c.MustAddGate("in", circuit.Input).ID
+	for i := 0; i < 99; i++ {
+		g := c.MustAddGate(fmt.Sprintf("b%d", i), circuit.Buf)
+		c.MustConnect(prev, g.ID)
+		prev = g.ID
+	}
+	out := c.MustAddGate("o$out", circuit.Output)
+	c.MustConnect(prev, out.ID)
+	for _, k := range []int{2, 4, 5} {
+		a, err := DepthFirst{}.Partition(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut := EdgeCut(c, a); cut != k-1 {
+			t.Errorf("k=%d: chain cut = %d, want %d", k, cut, k-1)
+		}
+	}
+}
+
+// TestConeKeepsConesTogether: disjoint cones land in single partitions.
+func TestConeKeepsConesTogether(t *testing.T) {
+	c := circuit.New("cones")
+	for i := 0; i < 4; i++ {
+		in := c.MustAddGate(fmt.Sprintf("in%d", i), circuit.Input)
+		prev := in.ID
+		for j := 0; j < 10; j++ {
+			g := c.MustAddGate(fmt.Sprintf("g%d_%d", i, j), circuit.Buf)
+			c.MustConnect(prev, g.ID)
+			prev = g.ID
+		}
+		out := c.MustAddGate(fmt.Sprintf("o%d$out", i), circuit.Output)
+		c.MustConnect(prev, out.ID)
+	}
+	a, err := Cone{}.Partition(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := EdgeCut(c, a); cut != 0 {
+		t.Errorf("disjoint cones cut = %d, want 0", cut)
+	}
+	q, _ := Measure("cone", c, a)
+	if q.MaxLoad != q.MinLoad {
+		t.Errorf("equal cones imbalanced: %+v", q)
+	}
+}
+
+// TestEdgeCutMatchesMeasure: the standalone EdgeCut helper agrees with
+// Measure.
+func TestEdgeCutMatchesMeasure(t *testing.T) {
+	c := testCircuit(t)
+	for _, p := range all() {
+		a, _ := p.Partition(c, 4)
+		q, err := Measure(p.Name(), c, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.EdgeCut != EdgeCut(c, a) {
+			t.Errorf("%s: Measure cut %d != EdgeCut %d", p.Name(), q.EdgeCut, EdgeCut(c, a))
+		}
+	}
+}
+
+// TestQuickAssignmentSizesSum is a property test: partition sizes always sum
+// to the gate count.
+func TestQuickAssignmentSizesSum(t *testing.T) {
+	c := testCircuit(t)
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw%12)
+		a, err := Random{Seed: seed}.Partition(c, k)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range a.Sizes() {
+			total += s
+		}
+		return total == c.NumGates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAllSorted(t *testing.T) {
+	c := testCircuit(t)
+	qs, err := CompareAll(c, 4, all())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != len(all()) {
+		t.Fatalf("got %d results", len(qs))
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i-1].EdgeCut > qs[i].EdgeCut {
+			t.Error("CompareAll not sorted by cut")
+		}
+	}
+}
+
+func TestQualityStringAndFunc(t *testing.T) {
+	c := testCircuit(t)
+	p := Func{Algorithm: "wrapped", F: Random{Seed: 2}.Partition}
+	if p.Name() != "wrapped" {
+		t.Error("Func.Name")
+	}
+	a, err := p.Partition(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := Measure(p.Name(), c, a)
+	if s := q.String(); len(s) == 0 {
+		t.Error("empty quality string")
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	c := testCircuit(t)
+	a := NewAssignment(c.NumGates(), 2)
+	if err := a.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	a.Parts[0] = 7
+	if err := a.Validate(c); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+	short := Assignment{Parts: make([]int, 3), K: 2}
+	if err := short.Validate(c); err == nil {
+		t.Error("short assignment accepted")
+	}
+	bad := NewAssignment(c.NumGates(), 0)
+	if err := bad.Validate(c); err == nil {
+		t.Error("k=0 assignment accepted")
+	}
+}

@@ -1,0 +1,403 @@
+// Package seqsim is the sequential event-driven gate-level logic simulator.
+// It is the paper's sequential baseline (the "Seq Time" column of Table 2)
+// and doubles as the correctness oracle for the Time Warp simulator: both
+// implement identical circuit semantics, so a parallel run must commit the
+// same signal values, the same output-change history, and the same number of
+// application events.
+//
+// Semantics (shared with internal/logicsim):
+//   - four-valued logic, every signal initialized to X;
+//   - timestep evaluation: a gate evaluates once per virtual time at which
+//     any of its input pins changes, using the final input values of that
+//     time, so zero-width glitches cannot introduce ordering nondeterminism;
+//   - sender delay: a changed output reaches every fanout reader one driver
+//     delay later;
+//   - DFFs latch D on each rising clock edge and publish Q one delay later;
+//   - primary inputs receive deterministic pseudo-random vectors generated
+//     by a per-(input,cycle) hash, so any simulator can regenerate the
+//     stimulus locally without coordination.
+package seqsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// StimulusBit returns the deterministic stimulus value of primary input
+// index `input` at clock cycle `cycle` for a given seed. Both simulators
+// share this function.
+func StimulusBit(seed int64, input, cycle int) circuit.Value {
+	x := uint64(seed) ^ uint64(input)*0x9E3779B97F4A7C15 ^ uint64(cycle)*0xBF58476D1CE4E5B9
+	// splitmix64 finalizer
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x&1 == 1 {
+		return circuit.One
+	}
+	return circuit.Zero
+}
+
+// OutputHash mixes one primary-output change record (time, output index,
+// value) into an order-insensitive signature term. Both simulators share it.
+func OutputHash(t int64, outIdx int, v circuit.Value) uint64 {
+	h := uint64(t)*0x9E3779B97F4A7C15 ^ uint64(outIdx)*0xBF58476D1CE4E5B9 ^ uint64(v)*0x94D049BB133111EB
+	h ^= h >> 31
+	return h * 0x2545F4914F6CDD1D
+}
+
+// GateDelay returns the normalized propagation delay of g (at least 1).
+func GateDelay(g *circuit.Gate) int64 {
+	if g.Delay < 1 {
+		return 1
+	}
+	return g.Delay
+}
+
+// MinClockPeriod returns the smallest clock period that guarantees all
+// combinational activity of a cycle settles strictly between clock edges,
+// which removes every same-timestamp tie between the clock and signal
+// events.
+func MinClockPeriod(c *circuit.Circuit) (int64, error) {
+	depth, err := c.Depth()
+	if err != nil {
+		return 0, err
+	}
+	maxDelay := int64(1)
+	for _, g := range c.Gates {
+		if d := GateDelay(g); d > maxDelay {
+			maxDelay = d
+		}
+	}
+	p := (int64(depth) + 2) * maxDelay * 2
+	if p < 4 {
+		p = 4
+	}
+	return p, nil
+}
+
+// Config parameterizes a simulation run. The same Config drives the parallel
+// simulator so runs are comparable.
+type Config struct {
+	// Cycles is the number of clock cycles to simulate.
+	Cycles int
+	// ClockPeriod is the virtual time between rising clock edges. Zero
+	// selects MinClockPeriod(circuit).
+	ClockPeriod int64
+	// StimulusSeed drives the deterministic random input vectors.
+	StimulusSeed int64
+	// StimulusEvery applies a fresh vector to the primary inputs every N
+	// cycles (default 1).
+	StimulusEvery int
+}
+
+func (cfg *Config) setDefaults(c *circuit.Circuit) error {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 1
+	}
+	if cfg.StimulusEvery <= 0 {
+		cfg.StimulusEvery = 1
+	}
+	if cfg.ClockPeriod == 0 {
+		p, err := MinClockPeriod(c)
+		if err != nil {
+			return err
+		}
+		cfg.ClockPeriod = p
+	}
+	if cfg.ClockPeriod < 2 {
+		return fmt.Errorf("seqsim: clock period %d too small", cfg.ClockPeriod)
+	}
+	return nil
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Events is the number of application events processed: every signal
+	// arrival at a gate, every stimulus application, and every DFF clock
+	// edge, counted identically by both simulators.
+	Events uint64
+	// Evaluations counts gate evaluations (one per gate per active
+	// timestep).
+	Evaluations uint64
+	// EndTime is the virtual time of the last processed event.
+	EndTime int64
+	// OutputValues holds the final value of each primary output, in
+	// circuit.Outputs order.
+	OutputValues []circuit.Value
+	// OutputHistory is an order-insensitive signature over every
+	// primary-output change (time, output index, value).
+	OutputHistory uint64
+	// FinalValues is the final output value of every gate, indexed by ID.
+	FinalValues []circuit.Value
+	// Activity counts evaluations per gate (indexed by ID): the
+	// communication-activity profile the paper's future-work coarsening
+	// scheme consumes.
+	Activity []uint64
+}
+
+// event is one scheduled signal arrival.
+type event struct {
+	t      int64
+	gate   int
+	driver int // -1 stimulus, -2 DFF self-latch
+	val    circuit.Value
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	if q[i].gate != q[j].gate {
+		return q[i].gate < q[j].gate
+	}
+	return q[i].driver < q[j].driver
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Simulator is a sequential event-driven simulator instance.
+type Simulator struct {
+	c        *circuit.Circuit
+	cfg      Config
+	values   []circuit.Value // current output value per gate
+	inputs   [][]circuit.Value
+	ffState  []circuit.Value
+	queue    eventQueue
+	res      Result
+	outIdx   map[int]int     // gate ID -> index in c.Outputs
+	pinsOf   []map[int][]int // gate ID -> driver -> pins
+	grain    int
+	scratch  map[int]struct{} // gates affected in the current timestep
+	activity []uint64
+}
+
+// New prepares a simulator for circuit c.
+func New(c *circuit.Circuit, cfg Config) (*Simulator, error) {
+	if err := cfg.setDefaults(c); err != nil {
+		return nil, err
+	}
+	n := c.NumGates()
+	s := &Simulator{
+		c:        c,
+		cfg:      cfg,
+		values:   make([]circuit.Value, n),
+		inputs:   make([][]circuit.Value, n),
+		ffState:  make([]circuit.Value, n),
+		outIdx:   make(map[int]int, len(c.Outputs)),
+		pinsOf:   make([]map[int][]int, n),
+		scratch:  make(map[int]struct{}),
+		activity: make([]uint64, n),
+	}
+	for i := range s.values {
+		s.values[i] = circuit.X
+		s.ffState[i] = circuit.X
+	}
+	for id, g := range c.Gates {
+		s.inputs[id] = make([]circuit.Value, len(g.Fanin))
+		for i := range s.inputs[id] {
+			s.inputs[id][i] = circuit.X
+		}
+		pins := make(map[int][]int, len(g.Fanin))
+		for pin, src := range g.Fanin {
+			pins[src] = append(pins[src], pin)
+		}
+		s.pinsOf[id] = pins
+	}
+	for i, id := range c.Outputs {
+		s.outIdx[id] = i
+	}
+	s.res.OutputValues = make([]circuit.Value, len(c.Outputs))
+	for i := range s.res.OutputValues {
+		s.res.OutputValues[i] = circuit.X
+	}
+	return s, nil
+}
+
+// SetGrain sets a per-evaluation busy-work loop count that models
+// heavyweight VHDL-process execution. Zero (the default) disables it.
+func (s *Simulator) SetGrain(iters int) { s.grain = iters }
+
+func (s *Simulator) schedule(t int64, gate, driver int, v circuit.Value) {
+	heap.Push(&s.queue, event{t: t, gate: gate, driver: driver, val: v})
+}
+
+// Run executes the configured number of clock cycles and returns the result.
+func (s *Simulator) Run() (Result, error) {
+	for cycle := 0; cycle < s.cfg.Cycles; cycle++ {
+		base := int64(cycle) * s.cfg.ClockPeriod
+		if cycle%s.cfg.StimulusEvery == 0 {
+			for idx, in := range s.c.Inputs {
+				s.schedule(base, in, -1, StimulusBit(s.cfg.StimulusSeed, idx, cycle))
+			}
+		}
+		// The rising edge arrives mid-cycle, after the stimulus wave has
+		// settled; DFFs latch via self-events.
+		edge := base + s.cfg.ClockPeriod/2
+		for _, ff := range s.c.FlipFlops {
+			s.schedule(edge, ff, -2, circuit.X)
+		}
+	}
+
+	for s.queue.Len() > 0 {
+		t := s.queue[0].t
+		s.step(t)
+	}
+	s.res.FinalValues = append([]circuit.Value(nil), s.values...)
+	s.res.Activity = append([]uint64(nil), s.activity...)
+	return s.res, nil
+}
+
+// step processes every event with timestamp t: apply all pin updates, then
+// evaluate each affected gate once with its final inputs.
+func (s *Simulator) step(t int64) {
+	s.res.EndTime = t
+	for g := range s.scratch {
+		delete(s.scratch, g)
+	}
+	clocked := make(map[int]struct{})
+	for s.queue.Len() > 0 && s.queue[0].t == t {
+		ev := heap.Pop(&s.queue).(event)
+		s.res.Events++
+		switch ev.driver {
+		case -1: // stimulus at a primary input
+			s.burn()
+			s.res.Evaluations++
+			s.activity[ev.gate]++
+			if s.values[ev.gate] != ev.val {
+				s.values[ev.gate] = ev.val
+				s.emit(t, ev.gate)
+			}
+		case -2: // clock edge at a DFF
+			clocked[ev.gate] = struct{}{}
+		default: // signal arrival: update every pin fed by this driver
+			for _, pin := range s.pinsOf[ev.gate][ev.driver] {
+				s.inputs[ev.gate][pin] = ev.val
+			}
+			s.scratch[ev.gate] = struct{}{}
+		}
+	}
+
+	// Evaluate affected gates in ID order (determinism; the order is
+	// immaterial to the results because inputs are already final).
+	affected := make([]int, 0, len(s.scratch))
+	for g := range s.scratch {
+		affected = append(affected, g)
+	}
+	sort.Ints(affected)
+	for _, id := range affected {
+		g := s.c.Gates[id]
+		if g.Type == circuit.DFF {
+			continue // DFFs change only on clock edges
+		}
+		s.burn()
+		s.res.Evaluations++
+		s.activity[id]++
+		out := circuit.Eval(g.Type, s.inputs[id])
+		if out == s.values[id] {
+			continue
+		}
+		s.values[id] = out
+		s.noteOutput(t, id, out)
+		s.emit(t, id)
+	}
+	// Clock edges latch after signal updates of the same instant (no ties
+	// occur under MinClockPeriod; the rule exists for user-chosen periods).
+	clockedList := make([]int, 0, len(clocked))
+	for ff := range clocked {
+		clockedList = append(clockedList, ff)
+	}
+	sort.Ints(clockedList)
+	for _, ff := range clockedList {
+		s.burn()
+		s.res.Evaluations++
+		s.activity[ff]++
+		d := s.inputs[ff][0]
+		if s.ffState[ff] == d {
+			continue
+		}
+		s.ffState[ff] = d
+		// Publish Q through the normal output path one delay later: model
+		// as the DFF's output changing now, delivered with sender delay.
+		if s.values[ff] != d {
+			s.values[ff] = d
+			s.noteOutput(t, ff, d)
+			s.emit(t, ff)
+		}
+	}
+}
+
+// emit schedules the (already updated) output value of gate src at time t to
+// its deduplicated fanout, one sender delay later.
+func (s *Simulator) emit(t int64, src int) {
+	g := s.c.Gates[src]
+	if g.Type == circuit.Output {
+		return
+	}
+	delay := GateDelay(g)
+	v := s.values[src]
+	// Fanout lists may contain duplicates (multi-pin readers); the reader
+	// updates every pin from one event, so deduplicate.
+	seen := make(map[int]struct{}, len(g.Fanout))
+	for _, d := range g.Fanout {
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		s.schedule(t+delay, d, src, v)
+	}
+}
+
+func (s *Simulator) burn() {
+	if s.grain <= 0 {
+		return
+	}
+	Burn(s.grain)
+}
+
+// Burn spins the CPU for iters iterations of an integer recurrence; it
+// models the per-evaluation cost of a heavyweight logical process. The
+// final comparison keeps the loop observable without any shared state
+// (goroutine-safe, race-free).
+func Burn(iters int) {
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < iters; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	if x == 1 {
+		panic("seqsim: unreachable burn sentinel")
+	}
+}
+
+func (s *Simulator) noteOutput(t int64, gate int, v circuit.Value) {
+	idx, ok := s.outIdx[gate]
+	if !ok {
+		return
+	}
+	s.res.OutputValues[idx] = v
+	s.res.OutputHistory += OutputHash(t, idx, v)
+}
+
+// Run is a convenience wrapper: build a simulator and run it.
+func Run(c *circuit.Circuit, cfg Config) (Result, error) {
+	s, err := New(c, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,37 @@
+package timewarp
+
+import "sync"
+
+// reusableBarrier is a classic generation-counting barrier: wait blocks
+// until n goroutines have arrived, then releases them all and resets for
+// the next use.
+type reusableBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newReusableBarrier(n int) *reusableBarrier {
+	b := &reusableBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *reusableBarrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

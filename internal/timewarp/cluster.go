@@ -1,0 +1,369 @@
+package timewarp
+
+import (
+	"container/heap"
+	"sync/atomic"
+	"time"
+)
+
+// ClusterStats counts what one cluster (simulation node) did during a run.
+type ClusterStats struct {
+	// EventsProcessed counts every event executed, including executions
+	// later undone by rollback.
+	EventsProcessed uint64
+	// EventsCommitted counts events made permanent by fossil collection.
+	EventsCommitted uint64
+	// EventsRolledBack counts event executions undone by rollbacks.
+	EventsRolledBack uint64
+	// Rollbacks counts rollback episodes.
+	Rollbacks uint64
+	// RemoteMessages counts positive application messages sent to other
+	// clusters (the paper's "Number of Application Messages").
+	RemoteMessages uint64
+	// LocalMessages counts positive messages delivered inside the cluster.
+	LocalMessages uint64
+	// AntiMessages counts anti-messages sent (to any destination).
+	AntiMessages uint64
+}
+
+func (s *ClusterStats) add(o ClusterStats) {
+	s.EventsProcessed += o.EventsProcessed
+	s.EventsCommitted += o.EventsCommitted
+	s.EventsRolledBack += o.EventsRolledBack
+	s.Rollbacks += o.Rollbacks
+	s.RemoteMessages += o.RemoteMessages
+	s.LocalMessages += o.LocalMessages
+	s.AntiMessages += o.AntiMessages
+}
+
+// schedEntry is a lazily maintained LTSF scheduler entry: the LP claimed to
+// have work at time t when the entry was pushed.
+type schedEntry struct {
+	t  Time
+	lp *lpRuntime
+}
+
+type schedHeap []schedEntry
+
+func (h schedHeap) Len() int            { return len(h) }
+func (h schedHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h schedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *schedHeap) Push(x interface{}) { *h = append(*h, x.(schedEntry)) }
+func (h *schedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// cluster is one simulation node: a goroutine owning a set of LPs, an inbox
+// for inter-cluster messages, and a lowest-timestamp-first scheduler.
+type cluster struct {
+	kernel *Kernel
+	id     int
+	lps    []*lpRuntime // LPs owned by this cluster
+	inbox  chan Event
+	// localQ queues intra-cluster deliveries. Local messages are never
+	// delivered synchronously from inside LP operations: a rollback that
+	// sent an anti-message to a same-cluster LP (or to the LP itself) would
+	// otherwise re-enter rollback while queues are mid-mutation.
+	localQ []Event
+	// outPending buffers messages whose destination inbox was full; the
+	// main loop retries, so a send never blocks (no send-send deadlocks).
+	outPending []Event
+	// delayed holds received events still "on the wire" under the modeled
+	// network latency; they stay in-flight for GVT accounting until
+	// delivered.
+	delayed delayHeap
+	sched   schedHeap
+	stats   ClusterStats
+
+	eventsSinceGVT int
+	idleLoops      int
+}
+
+// route delivers an event to its destination LP, locally or via the
+// destination cluster's inbox. positive distinguishes application messages
+// from anti-messages for accounting.
+func (c *cluster) route(ev Event, positive bool) {
+	dst := c.kernel.clusterOf[ev.Receiver]
+	if positive {
+		if dst == c.id {
+			c.stats.LocalMessages++
+		} else {
+			c.stats.RemoteMessages++
+		}
+	}
+	atomic.AddInt64(&c.kernel.inFlight, 1)
+	if dst == c.id {
+		c.localQ = append(c.localQ, ev)
+		return
+	}
+	c.kernel.busy(c.kernel.cfg.NetSendBusy)
+	if lat := c.kernel.cfg.NetLatency; lat > 0 {
+		ev.dueNano = time.Now().UnixNano() + int64(lat)
+	}
+	target := c.kernel.clusters[dst]
+	select {
+	case target.inbox <- ev:
+	default:
+		c.outPending = append(c.outPending, ev)
+	}
+}
+
+// delayHeap orders on-the-wire events by wall-clock due time.
+type delayHeap []Event
+
+func (h delayHeap) Len() int            { return len(h) }
+func (h delayHeap) Less(i, j int) bool  { return h[i].dueNano < h[j].dueNano }
+func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *delayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// deliverDue moves every delayed event whose wire time has elapsed into its
+// LP. force delivers everything regardless (GVT quiescence). Returns the
+// number delivered.
+func (c *cluster) deliverDue(force bool) int {
+	n := 0
+	now := int64(0)
+	if !force && len(c.delayed) > 0 {
+		now = time.Now().UnixNano()
+	}
+	for len(c.delayed) > 0 {
+		if !force && c.delayed[0].dueNano > now {
+			break
+		}
+		ev := heap.Pop(&c.delayed).(Event)
+		c.kernel.busy(c.kernel.cfg.NetRecvBusy)
+		atomic.AddInt64(&c.kernel.inFlight, -1)
+		c.deliver(ev)
+		n++
+	}
+	return n
+}
+
+// receive accepts one event popped from the inbox channel, honoring the
+// modeled wire latency.
+func (c *cluster) receive(ev Event) int {
+	if ev.dueNano > 0 && time.Now().UnixNano() < ev.dueNano {
+		heap.Push(&c.delayed, ev)
+		return 0
+	}
+	c.kernel.busy(c.kernel.cfg.NetRecvBusy)
+	atomic.AddInt64(&c.kernel.inFlight, -1)
+	c.deliver(ev)
+	return 1
+}
+
+// drainLocal delivers every queued intra-cluster message, including those
+// appended while draining (rollbacks can emit further local anti-messages).
+// Returns the number delivered.
+func (c *cluster) drainLocal() int {
+	n := 0
+	for len(c.localQ) > 0 {
+		ev := c.localQ[0]
+		c.localQ = c.localQ[1:]
+		atomic.AddInt64(&c.kernel.inFlight, -1)
+		c.deliver(ev)
+		n++
+	}
+	return n
+}
+
+// sendAnti emits the anti-message for a previously sent positive event.
+func (c *cluster) sendAnti(pos Event) {
+	anti := pos
+	anti.Anti = true
+	c.stats.AntiMessages++
+	c.route(anti, false)
+}
+
+// deliver hands a received event to its LP and refreshes the scheduler.
+func (c *cluster) deliver(ev Event) {
+	lp := c.kernel.lps[ev.Receiver]
+	if ev.Anti {
+		lp.annihilate(ev)
+	} else {
+		lp.enqueue(ev)
+	}
+	if t := lp.nextTime(); t != TimeInfinity {
+		heap.Push(&c.sched, schedEntry{t: t, lp: lp})
+	}
+}
+
+// flushOut retries buffered sends; returns true if everything flushed.
+func (c *cluster) flushOut() bool {
+	if len(c.outPending) == 0 {
+		return true
+	}
+	keep := c.outPending[:0]
+	for _, ev := range c.outPending {
+		target := c.kernel.clusters[c.kernel.clusterOf[ev.Receiver]]
+		select {
+		case target.inbox <- ev:
+		default:
+			keep = append(keep, ev)
+		}
+	}
+	c.outPending = keep
+	return len(c.outPending) == 0
+}
+
+// drainInbox moves every currently queued inbound event into its LP (or the
+// delayed heap while its modeled wire latency has not elapsed). Returns the
+// number of events delivered.
+func (c *cluster) drainInbox() int {
+	n := c.deliverDue(false)
+	for {
+		select {
+		case ev := <-c.inbox:
+			n += c.receive(ev)
+		default:
+			return n
+		}
+	}
+}
+
+// drainAll empties the inbox and the modeled wire unconditionally; used by
+// GVT quiescence and initialization.
+func (c *cluster) drainAll() int {
+	n := c.deliverDue(true)
+	for {
+		select {
+		case ev := <-c.inbox:
+			if ev.dueNano > 0 {
+				heap.Push(&c.delayed, ev)
+				n += c.deliverDue(true)
+			} else {
+				c.kernel.busy(c.kernel.cfg.NetRecvBusy)
+				atomic.AddInt64(&c.kernel.inFlight, -1)
+				c.deliver(ev)
+				n++
+			}
+		default:
+			return n
+		}
+	}
+}
+
+// executeOne runs the next bundle of the lowest-timestamp LP. Returns the
+// number of events executed (0 when idle or when all work lies beyond the
+// optimism window).
+func (c *cluster) executeOne() (n int, windowStalled bool) {
+	horizon := TimeInfinity
+	// A single cluster cannot receive stragglers, so the window would only
+	// add stalls there.
+	if w := c.kernel.cfg.OptimismWindow; w > 0 && len(c.kernel.clusters) > 1 {
+		floor := c.kernel.progressFloor()
+		if floor < 0 {
+			floor = 0
+		}
+		if floor < TimeInfinity-w {
+			horizon = floor + w
+		}
+	}
+	for len(c.sched) > 0 {
+		e := heap.Pop(&c.sched).(schedEntry)
+		t := e.lp.nextTime()
+		if t == TimeInfinity {
+			continue
+		}
+		if t > horizon {
+			// Beyond the window: put the entry back and wait for GVT to
+			// advance. The heap minimum is beyond the horizon, so every
+			// other entry is too.
+			heap.Push(&c.sched, schedEntry{t: t, lp: e.lp})
+			return 0, true
+		}
+		if t != e.t {
+			heap.Push(&c.sched, schedEntry{t: t, lp: e.lp})
+			continue
+		}
+		nx := e.lp.executeNext()
+		if nt := e.lp.nextTime(); nt != TimeInfinity {
+			heap.Push(&c.sched, schedEntry{t: nt, lp: e.lp})
+		}
+		if nx > 0 {
+			return nx, false
+		}
+	}
+	return 0, false
+}
+
+// run is the cluster's main loop.
+func (c *cluster) run() {
+	k := c.kernel
+	for atomic.LoadInt32(&k.done) == 0 {
+		if atomic.LoadInt32(&k.gvtFlag) == 1 {
+			k.gvtRound(c)
+			continue
+		}
+		moved := c.drainLocal() + c.drainInbox()
+		c.flushOut()
+		n, windowStalled := c.executeOne()
+		c.drainLocal()
+		c.eventsSinceGVT += n
+		if c.eventsSinceGVT >= k.cfg.GVTPeriodEvents {
+			c.eventsSinceGVT = 0
+			k.requestGVT()
+		}
+		if n == 0 && moved == 0 && !windowStalled {
+			c.idleLoops++
+			if c.idleLoops >= 16 {
+				// Idle clusters push the run toward a GVT round so
+				// termination (GVT = infinity) is detected promptly.
+				k.requestGVTIfStale()
+				c.idleLoops = 0
+			}
+			// Wait briefly for remote events without missing GVT entry.
+			select {
+			case ev := <-c.inbox:
+				if c.receive(ev) > 0 {
+					c.idleLoops = 0
+				}
+			case <-time.After(50 * time.Microsecond):
+			}
+		} else {
+			c.idleLoops = 0
+		}
+		// Publish progress for the optimism throttle: this cluster's next
+		// work time (the scheduler top is accurate after executeOne).
+		if k.cfg.OptimismWindow > 0 {
+			next := TimeInfinity
+			if len(c.sched) > 0 {
+				next = c.sched[0].t
+			}
+			k.publishProgress(c.id, next)
+		}
+	}
+}
+
+// localMin returns the earliest pending work of this cluster's LPs: the
+// earliest live pending event and, under lazy cancellation, the earliest
+// rolled-back send that may still turn into an anti-message.
+func (c *cluster) localMin() Time {
+	min := TimeInfinity
+	for _, lp := range c.lps {
+		if t := lp.nextTime(); t < min {
+			min = t
+		}
+		if t := lp.minPendingCancel(); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// fossilCollect commits history below gvt across the cluster's LPs.
+func (c *cluster) fossilCollect(gvt Time) {
+	for _, lp := range c.lps {
+		c.stats.EventsCommitted += lp.fossilCollect(gvt)
+	}
+}

@@ -1,0 +1,77 @@
+// Package timewarp is an optimistic parallel discrete event simulation
+// kernel implementing the Time Warp mechanism (Jefferson's virtual time). It
+// is the in-process equivalent of the WARPED kernel used by the paper:
+// logical processes (LPs) are grouped into clusters, one goroutine per
+// cluster models one workstation-level simulation process, and clusters
+// exchange timestamped event messages over channels. Each LP keeps input,
+// output and state queues; stragglers trigger rollback with aggressive (or
+// optionally lazy) cancellation via anti-messages; a stop-the-world GVT
+// computation bounds rollback, drives fossil collection, and detects
+// termination.
+//
+// LPs process events in timestamp bundles: all events for one LP that share
+// a receive time are executed together, and a late arrival for an
+// already-executed timestamp rolls the LP back to just before that
+// timestamp. This matches the deterministic timestep semantics of the
+// sequential oracle in internal/seqsim.
+package timewarp
+
+import "math"
+
+// Time is virtual (simulation) time.
+type Time = int64
+
+// TimeInfinity is the virtual time after every event.
+const TimeInfinity Time = math.MaxInt64
+
+// LPID identifies a logical process within a simulation.
+type LPID int32
+
+// NoLP is the nil LP id; it appears as the sender of kernel-internal events.
+const NoLP LPID = -1
+
+// Event is a timestamped message between LPs. Events are value types: the
+// kernel copies them freely between queues and clusters.
+type Event struct {
+	// ID is unique among all events of a run; an anti-message carries the
+	// ID of the positive message it annihilates.
+	ID       uint64
+	Sender   LPID
+	Receiver LPID
+	SendTime Time
+	RecvTime Time
+	// Anti marks an anti-message (annihilator).
+	Anti bool
+	// Kind and Value are application payload; the kernel does not
+	// interpret them.
+	Kind  int32
+	Value int32
+	// dueNano is the wall-clock instant (UnixNano) at which the modeled
+	// network delivers the event to a remote cluster; zero for local
+	// messages or when no latency is configured.
+	dueNano int64
+}
+
+// eventHeap is a min-heap of events ordered by receive time, then sender,
+// then ID, so bundle assembly is deterministic.
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].RecvTime != h[j].RecvTime {
+		return h[i].RecvTime < h[j].RecvTime
+	}
+	if h[i].Sender != h[j].Sender {
+		return h[i].Sender < h[j].Sender
+	}
+	return h[i].ID < h[j].ID
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

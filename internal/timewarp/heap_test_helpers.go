@@ -1,0 +1,9 @@
+package timewarp
+
+import "container/heap"
+
+// pushEvent and popEvent wrap container/heap for tests and internal callers
+// that operate on bare eventHeaps.
+func pushEvent(h *eventHeap, ev Event) { heap.Push(h, ev) }
+
+func popEvent(h *eventHeap) Event { return heap.Pop(h).(Event) }

@@ -1,0 +1,357 @@
+package timewarp
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Time Warp run.
+type Config struct {
+	// NumClusters is the number of simulation nodes (goroutines). Each
+	// models one workstation-level parallel process of the paper's setup.
+	NumClusters int
+	// ClusterOf maps every LP (by index) to its cluster; this is the
+	// partition assignment under study.
+	ClusterOf []int
+	// GVTPeriodEvents triggers a GVT round after a cluster has executed
+	// this many events since the last round. Default 4096.
+	GVTPeriodEvents int
+	// LazyCancellation enables lazy cancellation: rolled-back sends are
+	// annihilated only if re-execution fails to regenerate them. The
+	// default is aggressive cancellation, as in WARPED's default.
+	LazyCancellation bool
+	// NetSendBusy / NetRecvBusy burn this many iterations of CPU work per
+	// inter-cluster message at the sender / receiver, modeling the per-
+	// message protocol overhead of the paper's fast-ethernet LAN. Zero
+	// disables the model.
+	NetSendBusy int
+	NetRecvBusy int
+	// NetLatency is the modeled one-way wall-clock delivery delay of an
+	// inter-cluster message. Events become visible to the receiving
+	// cluster only after this delay, reproducing the straggler dynamics of
+	// a LAN-connected Time Warp (stop-the-world GVT rounds flush the
+	// modeled network, so latency never delays termination detection).
+	// Zero disables the model.
+	NetLatency time.Duration
+	// InboxSize is the per-cluster channel capacity. Default 8192.
+	InboxSize int
+	// OptimismWindow bounds optimistic execution: a cluster does not
+	// execute bundles beyond GVT + OptimismWindow virtual time units,
+	// which caps how far lightly-communicating nodes drift ahead (and so
+	// how deep stragglers cut). Zero leaves optimism unbounded, Time
+	// Warp's default.
+	OptimismWindow Time
+}
+
+func (cfg *Config) setDefaults(numLPs int) error {
+	if cfg.NumClusters < 1 {
+		return fmt.Errorf("timewarp: need at least one cluster, got %d", cfg.NumClusters)
+	}
+	if len(cfg.ClusterOf) != numLPs {
+		return fmt.Errorf("timewarp: ClusterOf covers %d LPs, have %d", len(cfg.ClusterOf), numLPs)
+	}
+	for lp, c := range cfg.ClusterOf {
+		if c < 0 || c >= cfg.NumClusters {
+			return fmt.Errorf("timewarp: LP %d assigned to cluster %d, want [0,%d)", lp, c, cfg.NumClusters)
+		}
+	}
+	if cfg.GVTPeriodEvents <= 0 {
+		cfg.GVTPeriodEvents = 4096
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 8192
+	}
+	return nil
+}
+
+// RunStats aggregates the statistics of a completed run.
+type RunStats struct {
+	ClusterStats
+	PerCluster []ClusterStats
+	GVTRounds  int
+	FinalGVT   Time
+	WallTime   time.Duration
+}
+
+// Kernel is one Time Warp simulation instance. Build it with New, run it
+// once with Run.
+type Kernel struct {
+	cfg       Config
+	lps       []*lpRuntime
+	clusters  []*cluster
+	clusterOf []int
+
+	eventID     uint64
+	inFlight    int64
+	gvtFlag     int32
+	done        int32
+	gvt         int64
+	quietVotes  int32
+	lastGVTNano int64
+
+	bar         *reusableBarrier
+	localMins   []Time
+	gvtRounds   int
+	prevGVT     Time
+	stuckRounds int
+
+	// published holds each cluster's continuously self-reported next work
+	// time. The optimism window throttles against min(published) instead
+	// of the (expensive, stop-the-world) GVT, so throttling never forces
+	// extra GVT rounds. Entries are padded to avoid false sharing.
+	published []paddedTime
+
+	ran bool
+}
+
+// New builds a kernel for the given handlers (LP i is handlers[i]).
+func New(cfg Config, handlers []Handler) (*Kernel, error) {
+	if err := cfg.setDefaults(len(handlers)); err != nil {
+		return nil, err
+	}
+	if len(handlers) == 0 {
+		return nil, fmt.Errorf("timewarp: no LPs")
+	}
+	k := &Kernel{
+		cfg:       cfg,
+		clusterOf: cfg.ClusterOf,
+		localMins: make([]Time, cfg.NumClusters),
+		bar:       newReusableBarrier(cfg.NumClusters),
+		gvt:       -1,
+		published: make([]paddedTime, cfg.NumClusters),
+	}
+	k.clusters = make([]*cluster, cfg.NumClusters)
+	for i := range k.clusters {
+		k.clusters[i] = &cluster{
+			kernel: k,
+			id:     i,
+			inbox:  make(chan Event, cfg.InboxSize),
+		}
+	}
+	k.lps = make([]*lpRuntime, len(handlers))
+	for i, h := range handlers {
+		if h == nil {
+			return nil, fmt.Errorf("timewarp: handler %d is nil", i)
+		}
+		c := k.clusters[cfg.ClusterOf[i]]
+		lp := newLPRuntime(LPID(i), h, c)
+		k.lps[i] = lp
+		c.lps = append(c.lps, lp)
+	}
+	return k, nil
+}
+
+func (k *Kernel) nextEventID() uint64 {
+	return atomic.AddUint64(&k.eventID, 1)
+}
+
+func (k *Kernel) requestGVT() {
+	atomic.CompareAndSwapInt32(&k.gvtFlag, 0, 1)
+}
+
+// requestGVTAfter requests a round only if none completed within the given
+// wall-clock interval; callers pick the fuse by urgency.
+func (k *Kernel) requestGVTAfter(d time.Duration) {
+	if time.Now().UnixNano()-atomic.LoadInt64(&k.lastGVTNano) > int64(d) {
+		k.requestGVT()
+	}
+}
+
+// requestGVTIfStale requests a round only if none completed recently; idle
+// clusters use it so termination is detected without stalling busy clusters
+// with back-to-back stop-the-world rounds.
+func (k *Kernel) requestGVTIfStale() {
+	k.requestGVTAfter(2 * time.Millisecond)
+}
+
+func (k *Kernel) busy(iters int) {
+	if iters <= 0 {
+		return
+	}
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < iters; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	if x == 1 {
+		panic("timewarp: unreachable busy sentinel")
+	}
+}
+
+// GVT returns the most recently computed global virtual time.
+func (k *Kernel) GVT() Time { return atomic.LoadInt64(&k.gvt) }
+
+// paddedTime is a cache-line padded atomic virtual time.
+type paddedTime struct {
+	t Time
+	_ [7]int64
+}
+
+// publishProgress records cluster id's next work time for the optimism
+// window.
+func (k *Kernel) publishProgress(id int, t Time) {
+	atomic.StoreInt64(&k.published[id].t, t)
+}
+
+// progressFloor returns the minimum self-reported next work time across
+// clusters: a cheap, approximate lower bound on global progress used only
+// for optimism throttling (never for fossil collection).
+func (k *Kernel) progressFloor() Time {
+	min := TimeInfinity
+	for i := range k.published {
+		if t := atomic.LoadInt64(&k.published[i].t); t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Run initializes every LP, runs the clusters to completion (GVT = infinity)
+// and returns the aggregated statistics. A kernel can run only once.
+func (k *Kernel) Run() (RunStats, error) {
+	if k.ran {
+		return RunStats{}, fmt.Errorf("timewarp: kernel already ran")
+	}
+	k.ran = true
+
+	// Initialization happens single-threaded: handlers may send initial
+	// events to any LP; they are routed directly into pending queues.
+	for _, lp := range k.lps {
+		ctx := &Context{lp: lp, cluster: lp.cluster, now: -1, inInit: true}
+		lp.handler.Init(ctx)
+	}
+	// Initial events must land in LP queues before the clusters start.
+	for atomic.LoadInt64(&k.inFlight) != 0 {
+		for _, c := range k.clusters {
+			c.flushOut()
+			c.drainLocal()
+			c.drainAll()
+		}
+	}
+	// Seed each cluster's scheduler.
+	for _, c := range k.clusters {
+		for _, lp := range c.lps {
+			if t := lp.nextTime(); t != TimeInfinity {
+				heap.Push(&c.sched, schedEntry{t: t, lp: lp})
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range k.clusters {
+		wg.Add(1)
+		go func(c *cluster) {
+			defer wg.Done()
+			c.run()
+		}(c)
+	}
+	wg.Wait()
+
+	stats := RunStats{
+		PerCluster: make([]ClusterStats, len(k.clusters)),
+		GVTRounds:  k.gvtRounds,
+		FinalGVT:   k.GVT(),
+		WallTime:   time.Since(start),
+	}
+	for i, c := range k.clusters {
+		stats.PerCluster[i] = c.stats
+		stats.ClusterStats.add(c.stats)
+	}
+	return stats, nil
+}
+
+// gvtRound is the stop-the-world GVT protocol. Every cluster calls it when
+// it observes the gvtFlag; the round computes min over all pending work
+// after the network has quiesced, fossil-collects, and detects termination.
+func (k *Kernel) gvtRound(c *cluster) {
+	k.bar.wait() // everyone stopped processing
+
+	// Collective quiescence: drain until no message is in flight anywhere.
+	// Draining can trigger rollbacks that send anti-messages, so the check
+	// repeats under a barrier until the network is provably empty.
+	for {
+		c.flushOut()
+		c.drainLocal()
+		c.drainAll()
+		c.drainLocal()
+		k.bar.wait()
+		quiet := atomic.LoadInt64(&k.inFlight) == 0 && len(c.outPending) == 0
+		// A cluster with unflushable output is not quiet; publish by
+		// voting through a shared counter.
+		if quiet {
+			atomic.AddInt32(&k.quietVotes, 1)
+		}
+		k.bar.wait()
+		allQuiet := atomic.LoadInt32(&k.quietVotes) == int32(len(k.clusters))
+		k.bar.wait()
+		if c.id == 0 {
+			atomic.StoreInt32(&k.quietVotes, 0)
+		}
+		if allQuiet {
+			break
+		}
+	}
+
+	k.localMins[c.id] = c.localMin()
+	k.bar.wait()
+	if c.id == 0 {
+		gvt := TimeInfinity
+		for _, m := range k.localMins {
+			if m < gvt {
+				gvt = m
+			}
+		}
+		if gvt != TimeInfinity && gvt == k.prevGVT {
+			k.stuckRounds++
+			if k.stuckRounds > 5000 {
+				k.dumpStuck(gvt)
+			}
+		} else {
+			k.stuckRounds = 0
+		}
+		k.prevGVT = gvt
+		atomic.StoreInt64(&k.gvt, gvt)
+		k.gvtRounds++
+		if gvt == TimeInfinity {
+			atomic.StoreInt32(&k.done, 1)
+		}
+	}
+	k.bar.wait()
+	c.fossilCollect(k.GVT())
+	c.eventsSinceGVT = 0
+	k.bar.wait()
+	if c.id == 0 {
+		atomic.StoreInt64(&k.lastGVTNano, time.Now().UnixNano())
+		atomic.StoreInt32(&k.gvtFlag, 0)
+	}
+	k.bar.wait()
+}
+
+// dumpStuck reports the kernel state when GVT has not advanced for thousands
+// of rounds: an unexecutable GVT floor indicates a kernel bug, so fail
+// loudly with enough context to locate the holder.
+func (k *Kernel) dumpStuck(gvt Time) {
+	var sb []byte
+	add := func(f string, a ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(f, a...))...) }
+	add("timewarp: GVT stuck at %d\n", gvt)
+	for _, c := range k.clusters {
+		add("cluster %d: sched=%d localQ=%d out=%d delayed=%d localMin=%d\n",
+			c.id, len(c.sched), len(c.localQ), len(c.outPending), len(c.delayed), c.localMin())
+	}
+	for _, lp := range k.lps {
+		nt := lp.nextTime()
+		if nt == TimeInfinity && len(lp.oldSends) == 0 {
+			continue
+		}
+		add("  lp %d (cluster %d): next=%d lvt=%d pending=%d cancelled=%d processed=%d oldSends=%d",
+			lp.id, k.clusterOf[lp.id], nt, lp.lvt, len(lp.pending), len(lp.cancelled), len(lp.processed), len(lp.oldSends))
+		for _, e := range lp.oldSends {
+			add(" [t=%d sends=%d]", e.time, len(e.sent))
+		}
+		add("\n")
+	}
+	panic(string(sb))
+}

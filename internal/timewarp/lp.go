@@ -1,0 +1,374 @@
+package timewarp
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Handler is the application side of a logical process.
+//
+// Execute receives every event sharing one receive time as a single bundle,
+// already sorted by (sender, ID). It may send events into the strict future
+// (recvTime > now) via the Context. The kernel snapshots state around every
+// bundle, so Execute must confine all mutable simulation state to what
+// SaveState captures.
+type Handler interface {
+	// Init runs once before the simulation starts; it may send initial
+	// events (including to the LP itself) with any recvTime >= 0.
+	Init(ctx *Context)
+	// Execute processes the bundle of events at virtual time now.
+	Execute(ctx *Context, now Time, events []Event)
+	// SaveState returns an immutable snapshot of the LP state.
+	SaveState() interface{}
+	// RestoreState reinstates a snapshot previously returned by SaveState.
+	RestoreState(s interface{})
+}
+
+// Context is the kernel interface handed to Handler methods.
+type Context struct {
+	lp      *lpRuntime
+	cluster *cluster
+	now     Time
+	inInit  bool
+}
+
+// Self returns the LP's id.
+func (ctx *Context) Self() LPID { return ctx.lp.id }
+
+// Now returns the receive time of the bundle being executed.
+func (ctx *Context) Now() Time { return ctx.now }
+
+// Send schedules an event for LP `to` at virtual time recvTime, which must
+// be strictly greater than Now (except during Init, where any time >= 0 is
+// legal).
+func (ctx *Context) Send(to LPID, recvTime Time, kind, value int32) {
+	if !ctx.inInit && recvTime <= ctx.now {
+		panic("timewarp: Send into the non-strict future")
+	}
+	ev := Event{
+		ID:       ctx.cluster.kernel.nextEventID(),
+		Sender:   ctx.lp.id,
+		Receiver: to,
+		SendTime: ctx.now,
+		RecvTime: recvTime,
+		Kind:     kind,
+		Value:    value,
+	}
+	if ctx.inInit {
+		ev.SendTime = -1
+		ctx.cluster.route(ev, true)
+		return
+	}
+	ctx.lp.stageSend(ctx.cluster, ev)
+}
+
+// lpRuntime is the kernel-side record of one LP.
+type lpRuntime struct {
+	id      LPID
+	handler Handler
+	cluster *cluster
+
+	pending eventHeap
+	// cancelled holds IDs of positive events annihilated before they were
+	// popped from pending (lazy annihilation).
+	cancelled map[uint64]struct{}
+
+	// processed bundles in chronological order.
+	processed []bundle
+
+	// lvt is the receive time of the last processed bundle, or -1.
+	lvt Time
+
+	// committedThrough is the latest fossil-collected bundle time; it only
+	// backs the rollback invariant check.
+	committedThrough Time
+
+	// oldSends holds, under lazy cancellation, the sends of rolled-back
+	// bundles keyed by bundle time, awaiting regeneration or cancellation.
+	oldSends []oldSendEntry
+
+	// stagedSends collects sends of the bundle currently executing.
+	stagedSends []Event
+}
+
+// bundle is one processed timestamp: the events consumed, the state before
+// executing them, and the events sent while executing them.
+type bundle struct {
+	time   Time
+	events []Event
+	state  interface{} // state before execution
+	sent   []Event
+}
+
+type oldSendEntry struct {
+	time Time
+	sent []Event
+}
+
+func newLPRuntime(id LPID, h Handler, c *cluster) *lpRuntime {
+	return &lpRuntime{
+		id:        id,
+		handler:   h,
+		cluster:   c,
+		cancelled: make(map[uint64]struct{}),
+		lvt:       -1,
+	}
+}
+
+// nextTime returns the receive time of the earliest live pending event, or
+// TimeInfinity. It lazily discards annihilated events from the heap top.
+func (lp *lpRuntime) nextTime() Time {
+	for len(lp.pending) > 0 {
+		top := lp.pending[0]
+		if _, dead := lp.cancelled[top.ID]; dead {
+			delete(lp.cancelled, top.ID)
+			heap.Pop(&lp.pending)
+			continue
+		}
+		return top.RecvTime
+	}
+	return TimeInfinity
+}
+
+// enqueue inserts a positive event, rolling back first if the event is a
+// straggler (at or before the LP's last processed time).
+func (lp *lpRuntime) enqueue(ev Event) {
+	if ev.RecvTime <= lp.lvt {
+		lp.rollback(ev.RecvTime)
+	}
+	heap.Push(&lp.pending, ev)
+}
+
+// annihilate handles an anti-message. The matching positive event always
+// precedes its anti-message on any delivery path, so it is either still
+// pending or already processed (straggler annihilation → rollback first).
+func (lp *lpRuntime) annihilate(anti Event) {
+	if anti.RecvTime <= lp.lvt {
+		lp.rollback(anti.RecvTime)
+	}
+	lp.cancelled[anti.ID] = struct{}{}
+	// If the LP went idle, sends staged for lazily-cancelled regeneration
+	// can never be regenerated; flush them now.
+	lp.flushOldSends(lp.nextTime())
+}
+
+// rollback undoes every processed bundle with time >= t: the LP state is
+// restored to just before the earliest such bundle, the bundles' input
+// events return to the pending queue, and their sends are cancelled
+// (immediately under aggressive cancellation, lazily otherwise).
+func (lp *lpRuntime) rollback(t Time) {
+	if t <= lp.committedThrough {
+		// GVT guarantees no message (positive or anti) arrives at or below
+		// the committed horizon; reaching this line means the kernel's GVT
+		// or cancellation protocol is broken, which would silently corrupt
+		// results, so fail loudly.
+		panic("timewarp: rollback below committed horizon")
+	}
+	idx := sort.Search(len(lp.processed), func(i int) bool { return lp.processed[i].time >= t })
+	if idx == len(lp.processed) {
+		return
+	}
+	lp.cluster.stats.Rollbacks++
+	lazy := lp.cluster.kernel.cfg.LazyCancellation
+	for i := len(lp.processed) - 1; i >= idx; i-- {
+		b := &lp.processed[i]
+		lp.cluster.stats.EventsRolledBack += uint64(len(b.events))
+		for _, ev := range b.events {
+			heap.Push(&lp.pending, ev)
+		}
+		if len(b.sent) > 0 {
+			if lazy {
+				lp.oldSends = append(lp.oldSends, oldSendEntry{time: b.time, sent: b.sent})
+			} else {
+				for _, s := range b.sent {
+					lp.cluster.sendAnti(s)
+				}
+			}
+		}
+	}
+	if lazy {
+		sort.SliceStable(lp.oldSends, func(i, j int) bool { return lp.oldSends[i].time < lp.oldSends[j].time })
+	}
+	lp.handler.RestoreState(lp.processed[idx].state)
+	lp.processed = lp.processed[:idx]
+	if idx > 0 {
+		lp.lvt = lp.processed[idx-1].time
+	} else {
+		lp.lvt = -1
+	}
+}
+
+// executeNext pops the earliest bundle and runs the handler. It returns the
+// number of events consumed (0 when the LP had no live work).
+func (lp *lpRuntime) executeNext() int {
+	t := lp.nextTime()
+	if t == TimeInfinity {
+		return 0
+	}
+	// Under lazy cancellation, rolled-back sends from bundle times that can
+	// no longer be re-executed must be cancelled before we advance past
+	// them.
+	lp.flushOldSends(t)
+
+	var events []Event
+	for len(lp.pending) > 0 && lp.pending[0].RecvTime == t {
+		ev := heap.Pop(&lp.pending).(Event)
+		if _, dead := lp.cancelled[ev.ID]; dead {
+			delete(lp.cancelled, ev.ID)
+			continue
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return 0
+	}
+
+	state := lp.handler.SaveState()
+	lp.stagedSends = lp.stagedSends[:0]
+	ctx := &Context{lp: lp, cluster: lp.cluster, now: t}
+	lp.handler.Execute(ctx, t, events)
+
+	sent := append([]Event(nil), lp.stagedSends...)
+	lp.dispatchSends(t, sent)
+
+	lp.processed = append(lp.processed, bundle{time: t, events: events, state: state, sent: sent})
+	lp.lvt = t
+	lp.cluster.stats.EventsProcessed += uint64(len(events))
+	return len(events)
+}
+
+// stageSend records an in-execution send; dispatch happens after the handler
+// returns so lazy cancellation can compare the complete regenerated set.
+func (lp *lpRuntime) stageSend(c *cluster, ev Event) {
+	lp.stagedSends = append(lp.stagedSends, ev)
+}
+
+// dispatchSends routes the bundle's sends. Under lazy cancellation, sends
+// identical to a rolled-back send from the same bundle time are suppressed
+// (the original event is still valid at the receiver) and unmatched old
+// sends are annihilated.
+func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
+	if !lp.cluster.kernel.cfg.LazyCancellation {
+		for i := range sent {
+			lp.cluster.route(sent[i], true)
+		}
+		return
+	}
+	old := lp.takeOldSends(t)
+	if old == nil {
+		for i := range sent {
+			lp.cluster.route(sent[i], true)
+		}
+		return
+	}
+	matched := make([]bool, len(old))
+	for i := range sent {
+		ev := &sent[i]
+		found := -1
+		for j := range old {
+			if matched[j] {
+				continue
+			}
+			o := &old[j]
+			if o.Receiver == ev.Receiver && o.RecvTime == ev.RecvTime && o.Kind == ev.Kind && o.Value == ev.Value {
+				found = j
+				break
+			}
+		}
+		if found >= 0 {
+			matched[found] = true
+			// Keep the original event's identity so the receiver's copy
+			// stays valid; record it as this bundle's send.
+			*ev = old[found]
+		} else {
+			lp.cluster.route(*ev, true)
+		}
+	}
+	for j := range old {
+		if !matched[j] {
+			lp.cluster.sendAnti(old[j])
+		}
+	}
+}
+
+// takeOldSends removes and returns the rolled-back sends recorded for
+// bundle time t, if any.
+func (lp *lpRuntime) takeOldSends(t Time) []Event {
+	for i := range lp.oldSends {
+		if lp.oldSends[i].time == t {
+			sent := lp.oldSends[i].sent
+			lp.oldSends = append(lp.oldSends[:i], lp.oldSends[i+1:]...)
+			return sent
+		}
+	}
+	return nil
+}
+
+// flushOldSends cancels every rolled-back send whose bundle time is before
+// `next`, because execution has provably advanced past any chance of
+// regenerating it.
+func (lp *lpRuntime) flushOldSends(next Time) {
+	if len(lp.oldSends) == 0 {
+		return
+	}
+	keep := lp.oldSends[:0]
+	for _, e := range lp.oldSends {
+		if e.time < next {
+			for _, s := range e.sent {
+				lp.cluster.sendAnti(s)
+			}
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	lp.oldSends = keep
+}
+
+// minPendingCancel returns the earliest receive time of a rolled-back send
+// that lazy cancellation may still annihilate. These unsent anti-messages
+// bound GVT exactly like in-flight messages do.
+func (lp *lpRuntime) minPendingCancel() Time {
+	min := TimeInfinity
+	for _, e := range lp.oldSends {
+		for _, s := range e.sent {
+			if s.RecvTime < min {
+				min = s.RecvTime
+			}
+		}
+	}
+	return min
+}
+
+// fossilCollect discards history strictly before gvt and returns the number
+// of input events committed. Lazy-cancellation entries whose bundle time
+// lies below gvt can never be regenerated (no execution happens below GVT),
+// so their sends are annihilated now — without this, an unregenerable entry
+// would hold the GVT floor at its send times forever and wedge the run.
+func (lp *lpRuntime) fossilCollect(gvt Time) uint64 {
+	if len(lp.oldSends) > 0 {
+		keep := lp.oldSends[:0]
+		for _, e := range lp.oldSends {
+			if e.time < gvt {
+				for _, s := range e.sent {
+					lp.cluster.sendAnti(s)
+				}
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		lp.oldSends = keep
+	}
+	idx := sort.Search(len(lp.processed), func(i int) bool { return lp.processed[i].time >= gvt })
+	if idx == 0 {
+		return 0
+	}
+	var committed uint64
+	for i := 0; i < idx; i++ {
+		committed += uint64(len(lp.processed[i].events))
+		if lp.processed[i].time > lp.committedThrough {
+			lp.committedThrough = lp.processed[i].time
+		}
+	}
+	lp.processed = append(lp.processed[:0:0], lp.processed[idx:]...)
+	return committed
+}
