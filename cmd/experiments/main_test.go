@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+// TestExperimentsSmoke regenerates Table 1 at a tiny scale into a scratch
+// directory.
+func TestExperimentsSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{"-table1", "-scale", "0.05", "-q", "-out", "results"},
+		"## Table 1",
+	)
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+// TestMlpartSmoke partitions a tiny built-in benchmark and checks the
+// quality report appears.
+func TestMlpartSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{"-bench", "s5378", "-scale", "0.05", "-k", "4"},
+		"circuit s5378",
+		"Multilevel",
+	)
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+// TestParsimSmoke runs a tiny verified parallel simulation end to end.
+func TestParsimSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{"-bench", "s5378", "-scale", "0.05", "-nodes", "2", "-cycles", "2", "-grain", "0"},
+		"parallel run:",
+		"verified against the sequential oracle",
+	)
+}

@@ -10,10 +10,16 @@
 //   - internal/core: the paper's multilevel partitioning algorithm
 //     (fanout coarsening, concurrency-preserving initial partitioning,
 //     greedy k-way refinement; KL/FM refiners and heavy-edge/activity
-//     coarsening for ablations);
+//     coarsening for ablations). Graph levels are CSR arrays and the
+//     refiners share one reusable scratch (dense lock sets, FM gain
+//     buckets), keeping the refinement inner loops allocation-free;
 //   - internal/timewarp: an optimistic parallel discrete event simulation
 //     kernel (Time Warp) with clusters, rollback, anti-messages, GVT,
-//     fossil collection, a configurable LAN model, and an optimism window;
+//     fossil collection, a configurable LAN model, and an optimism window.
+//     Event queues use non-boxing heaps and bundle/event slices are pooled
+//     across rollback and fossil collection;
+//   - internal/smoketest: the `go build && run` harness behind the cmd/
+//     and examples/ entry-point smoke tests;
 //   - internal/seqsim: the sequential event-driven simulator used as the
 //     baseline and correctness oracle;
 //   - internal/logicsim: gate-level logic simulation on the Time Warp
@@ -22,5 +28,7 @@
 //     of the paper's evaluation.
 //
 // The benchmarks in bench_test.go regenerate the paper's Tables 1-2 and
-// Figures 4-6 plus the supporting linearity, quality, and ablation studies.
+// Figures 4-6 plus the supporting linearity, quality, and ablation studies;
+// hotpaths_bench_test.go guards the allocation behavior of the refinement
+// and rollback inner loops.
 package repro

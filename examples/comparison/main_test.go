@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestComparisonSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{"-circuit", "s5378", "-scale", "0.05", "-k", "4"},
+		"algorithm",
+		"Multilevel",
+		"lower cut = less communication",
+	)
+}

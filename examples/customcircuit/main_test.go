@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestCustomcircuitSmoke(t *testing.T) {
+	smoketest.Run(t, nil,
+		"wrote adder16.bench",
+		"verify=OK",
+	)
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestParallelsimSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{"-circuit", "s5378", "-scale", "0.05", "-nodes", "2", "-cycles", "2", "-grain", "0"},
+		"verified: parallel run matches the sequential oracle exactly",
+	)
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/smoketest"
+)
+
+func TestQuickstartSmoke(t *testing.T) {
+	smoketest.Run(t, nil,
+		"parsed \"toy\":",
+		"multilevel hierarchy:",
+		"partition sizes:",
+	)
+}

@@ -1,0 +1,88 @@
+// BenchmarkHotPaths guards the allocation behavior of the two inner loops
+// that dominate every other benchmark in this file's siblings: the k-way
+// refinement loop of the multilevel partitioner (internal/core) and the
+// event/rollback machinery of the Time Warp kernel (internal/timewarp).
+// Every sub-benchmark reports allocations; regressions show up as allocs/op
+// jumps, not just ns/op noise.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logicsim"
+	"repro/internal/partition"
+)
+
+// hotPathCircuit is the shared mid-size circuit: big enough that the
+// refinement and rollback loops dominate, small enough for -bench '.' runs
+// to stay in seconds.
+func hotPathCircuit(b *testing.B) *circuit.Circuit {
+	b.Helper()
+	return circuit.MustGenerate(circuit.GenSpec{
+		Name:      "hotpaths",
+		Inputs:    48,
+		Gates:     6000,
+		Outputs:   16,
+		FlipFlops: 300,
+		Seed:      17,
+	})
+}
+
+// BenchmarkHotPaths/refine-* exercises the full multilevel pass (coarsen,
+// initial partition, per-level refinement) under each refiner; the greedy
+// and FM variants are the partitioner's hot paths.
+func BenchmarkHotPaths(b *testing.B) {
+	c := hotPathCircuit(b)
+
+	for _, r := range []core.Refiner{core.GreedyRefine, core.FMRefine} {
+		b.Run(fmt.Sprintf("refine-%s", r), func(b *testing.B) {
+			m := &core.Multilevel{Opts: core.Options{Seed: 1, Refiner: r}}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Partition(c, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// rollback-heavy: a random partition maximizes the cut, so nearly every
+	// signal change crosses clusters and stragglers (and therefore rollbacks
+	// and anti-messages) dominate the run. Both cancellation policies are
+	// covered because they stress different oldSends paths.
+	small, err := circuit.NewBenchmark("s9234", 0.08)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := partition.Random{Seed: 3}.Partition(small, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lazy := range []bool{false, true} {
+		name := "rollback-aggressive"
+		if lazy {
+			name = "rollback-lazy"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rollbacks uint64
+			for i := 0; i < b.N; i++ {
+				res, err := logicsim.Run(small, a, logicsim.Config{
+					Cycles:           6,
+					StimulusSeed:     1,
+					LazyCancellation: lazy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rollbacks = res.Stats.Rollbacks
+			}
+			b.ReportMetric(float64(rollbacks), "rollbacks")
+		})
+	}
+}

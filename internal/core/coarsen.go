@@ -41,7 +41,7 @@ func (s CoarsenScheme) String() string {
 // inputs, or no merges were possible). maxW caps globule weight so one hub
 // vertex cannot swallow a load-balance-breaking share of the circuit.
 func coarsenOnce(g *graph, scheme CoarsenScheme, maxW int, rng *rand.Rand) *graph {
-	match := make([]int, g.n)
+	match := make([]int32, g.n)
 	for i := range match {
 		match[i] = -1
 	}
@@ -64,9 +64,9 @@ func coarsenOnce(g *graph, scheme CoarsenScheme, maxW int, rng *rand.Rand) *grap
 // is combined with all unmatched vertices on its fanout signal, except that
 // two vertices that both contain a primary input are never combined. Every
 // vertex is coarsened at most once per level.
-func fanoutMatch(g *graph, match []int, maxW int) (nCoarse, merges int) {
-	next := 0
-	assign := func(v int) int {
+func fanoutMatch(g *graph, match []int32, maxW int) (nCoarse, merges int) {
+	next := int32(0)
+	assign := func(v int32) int32 {
 		if match[v] < 0 {
 			match[v] = next
 			next++
@@ -74,9 +74,9 @@ func fanoutMatch(g *graph, match []int, maxW int) (nCoarse, merges int) {
 		return match[v]
 	}
 
-	var stack []int
+	var stack []int32
 	visited := make([]bool, g.n)
-	push := func(v int) {
+	push := func(v int32) {
 		if !visited[v] {
 			visited[v] = true
 			stack = append(stack, v)
@@ -85,12 +85,13 @@ func fanoutMatch(g *graph, match []int, maxW int) (nCoarse, merges int) {
 
 	for v := 0; v < g.n; v++ {
 		if g.seed[v] {
-			push(v)
+			push(int32(v))
 		}
 	}
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		fanout := g.fanoutOf(int(v))
 		if match[v] < 0 {
 			// v is chosen for coarsening: open a globule and combine it
 			// with the unmatched vertices on its fanout signal. At most one
@@ -98,16 +99,16 @@ func fanoutMatch(g *graph, match []int, maxW int) (nCoarse, merges int) {
 			// already claimed this level is never re-coarsened.
 			cv := assign(v)
 			globHasIn := g.hasIn[v]
-			globW := g.vwgt[v]
-			for _, u := range g.fanout[v] {
+			globW := int(g.vwgt[v])
+			for _, u := range fanout {
 				if match[u] >= 0 || (g.hasIn[u] && globHasIn) {
 					continue
 				}
-				if maxW > 0 && globW+g.vwgt[u] > maxW {
+				if maxW > 0 && globW+int(g.vwgt[u]) > maxW {
 					continue
 				}
 				match[u] = cv
-				globW += g.vwgt[u]
+				globW += int(g.vwgt[u])
 				if g.hasIn[u] {
 					globHasIn = true
 				}
@@ -116,42 +117,43 @@ func fanoutMatch(g *graph, match []int, maxW int) (nCoarse, merges int) {
 		}
 		// The traversal continues depth-first through the fanout regardless
 		// of whether v absorbed anything.
-		for i := len(g.fanout[v]) - 1; i >= 0; i-- {
-			push(g.fanout[v][i])
+		for i := len(fanout) - 1; i >= 0; i-- {
+			push(fanout[i])
 		}
 	}
 	// Vertices unreachable from the seeds become singleton globules.
 	for v := 0; v < g.n; v++ {
 		if match[v] < 0 {
-			assign(v)
+			assign(int32(v))
 		}
 	}
-	return next, merges
+	return int(next), merges
 }
 
 // heavyEdgeMatch pairs each vertex (visited in random order) with its
 // unmatched neighbor across the heaviest edge, never pairing two
 // input-containing vertices. When useActivity is set the edge weight is
 // scaled by the endpoints' communication activity.
-func heavyEdgeMatch(g *graph, match []int, maxW int, useActivity bool, rng *rand.Rand) (nCoarse, merges int) {
+func heavyEdgeMatch(g *graph, match []int32, maxW int, useActivity bool, rng *rand.Rand) (nCoarse, merges int) {
 	order := rng.Perm(g.n)
-	next := 0
+	next := int32(0)
 	for _, v := range order {
 		if match[v] >= 0 {
 			continue
 		}
-		best, bestW := -1, -1.0
-		for i, u := range g.adj[v] {
+		adj, wgt := g.adjOf(v)
+		best, bestW := int32(-1), -1.0
+		for i, u := range adj {
 			if match[u] >= 0 {
 				continue
 			}
 			if g.hasIn[v] && g.hasIn[u] {
 				continue
 			}
-			if maxW > 0 && g.vwgt[v]+g.vwgt[u] > maxW {
+			if maxW > 0 && int(g.vwgt[v]+g.vwgt[u]) > maxW {
 				continue
 			}
-			w := float64(g.wgt[v][i])
+			w := float64(wgt[i])
 			if useActivity && g.act != nil {
 				w *= 1 + g.act[v] + g.act[u]
 			}
@@ -166,5 +168,5 @@ func heavyEdgeMatch(g *graph, match []int, maxW int, useActivity bool, rng *rand
 		}
 		next++
 	}
-	return next, merges
+	return int(next), merges
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/circuit"
@@ -20,27 +21,65 @@ import (
 
 // graph is one level of the multilevel hierarchy: an undirected weighted
 // graph for cut accounting plus the directed fanout view used by the fanout
-// coarsening traversal.
+// coarsening traversal. Both views are stored in CSR (compressed sparse row)
+// form — three flat arrays instead of per-vertex slices — so building a
+// level costs a constant number of allocations and traversal walks
+// contiguous memory.
 type graph struct {
-	n      int
-	vwgt   []int   // vertex weight = number of original gates in the globule
-	adj    [][]int // undirected neighbor lists (deduplicated)
-	wgt    [][]int // edge weights parallel to adj
-	fanout [][]int // directed coarse fanout (deduplicated)
-	hasIn  []bool  // globule contains a primary input gate
-	seed   []bool  // coarsening traversal starts from these vertices
+	n    int
+	vwgt []int32 // vertex weight = number of original gates in the globule
+
+	// Undirected weighted adjacency in CSR form: the neighbors of v are
+	// adjncy[xadj[v]:xadj[v+1]] with parallel edge weights in adjwgt.
+	// Neighbor lists are deduplicated and sorted.
+	xadj   []int32
+	adjncy []int32
+	adjwgt []int32
+
+	// Directed coarse fanout in CSR form (deduplicated).
+	fxadj   []int32
+	fadjncy []int32
+
+	hasIn []bool // globule contains a primary input gate
+	seed  []bool // coarsening traversal starts from these vertices
 	// act is the per-vertex activity estimate used by the activity-weighted
 	// coarsening scheme; nil when no activity data was supplied.
 	act []float64
 	// fineMap maps each vertex of the next finer level to its globule in
 	// this graph. nil for level 0.
-	fineMap []int
+	fineMap []int32
+}
+
+// adjOf returns the neighbor and weight slices of v.
+func (g *graph) adjOf(v int) ([]int32, []int32) {
+	lo, hi := g.xadj[v], g.xadj[v+1]
+	return g.adjncy[lo:hi], g.adjwgt[lo:hi]
+}
+
+// fanoutOf returns the directed fanout of v.
+func (g *graph) fanoutOf(v int) []int32 {
+	return g.fadjncy[g.fxadj[v]:g.fxadj[v+1]]
+}
+
+// degree returns the number of distinct undirected neighbors of v.
+func (g *graph) degree(v int) int {
+	return int(g.xadj[v+1] - g.xadj[v])
+}
+
+// adjWeightTotal returns the total undirected edge weight incident to v (the
+// gain bound of any single move of v).
+func (g *graph) adjWeightTotal(v int) int {
+	t := 0
+	for _, w := range g.adjwgt[g.xadj[v]:g.xadj[v+1]] {
+		t += int(w)
+	}
+	return t
 }
 
 func (g *graph) totalWeight() int {
 	t := 0
 	for _, w := range g.vwgt {
-		t += w
+		t += int(w)
 	}
 	return t
 }
@@ -49,13 +88,44 @@ func (g *graph) totalWeight() int {
 func (g *graph) edgeCut(part []int) int {
 	cut := 0
 	for v := 0; v < g.n; v++ {
-		for i, u := range g.adj[v] {
-			if v < u && part[v] != part[u] {
-				cut += g.wgt[v][i]
+		adj, wgt := g.adjOf(v)
+		for i, u := range adj {
+			if v < int(u) && part[v] != part[u] {
+				cut += int(wgt[i])
 			}
 		}
 	}
 	return cut
+}
+
+// csrBuilder accumulates one CSR view row by row. finish must be called
+// after the last row; rows must be appended in vertex order.
+type csrBuilder struct {
+	xadj   []int32
+	adjncy []int32
+	adjwgt []int32 // nil for unweighted views
+}
+
+func newCSRBuilder(n, edgeHint int, weighted bool) *csrBuilder {
+	b := &csrBuilder{
+		xadj:   make([]int32, 1, n+1),
+		adjncy: make([]int32, 0, edgeHint),
+	}
+	if weighted {
+		b.adjwgt = make([]int32, 0, edgeHint)
+	}
+	return b
+}
+
+func (b *csrBuilder) add(u, w int32) {
+	b.adjncy = append(b.adjncy, u)
+	if b.adjwgt != nil {
+		b.adjwgt = append(b.adjwgt, w)
+	}
+}
+
+func (b *csrBuilder) endRow() {
+	b.xadj = append(b.xadj, int32(len(b.adjncy)))
 }
 
 // fromCircuit builds the level-0 graph: one vertex per gate, unit weights,
@@ -65,13 +135,10 @@ func (g *graph) edgeCut(part []int) int {
 func fromCircuit(c *circuit.Circuit, activity []float64) *graph {
 	n := c.NumGates()
 	g := &graph{
-		n:      n,
-		vwgt:   make([]int, n),
-		adj:    make([][]int, n),
-		wgt:    make([][]int, n),
-		fanout: make([][]int, n),
-		hasIn:  make([]bool, n),
-		seed:   make([]bool, n),
+		n:     n,
+		vwgt:  make([]int32, n),
+		hasIn: make([]bool, n),
+		seed:  make([]bool, n),
 	}
 	if len(activity) == n {
 		g.act = append([]float64(nil), activity...)
@@ -91,25 +158,14 @@ func fromCircuit(c *circuit.Circuit, activity []float64) *graph {
 		g.seed[id] = true
 	}
 
-	// Directed fanout, deduplicated per vertex with sort + run-length scan.
+	edges := c.NumEdges()
+	fb := newCSRBuilder(n, edges, false)
+	ab := newCSRBuilder(n, 2*edges, true)
+	// Directed fanout, deduplicated per vertex with sort + run-length scan,
+	// then the undirected weighted adjacency: fanin and fanout neighbors
+	// merged with multiplicity = number of directed edges between the pair,
+	// summed over both directions.
 	scratch := make([]int, 0, 32)
-	for _, gate := range c.Gates {
-		scratch = scratch[:0]
-		for _, d := range gate.Fanout {
-			if d != gate.ID {
-				scratch = append(scratch, d)
-			}
-		}
-		sort.Ints(scratch)
-		for i, d := range scratch {
-			if i == 0 || scratch[i-1] != d {
-				g.fanout[gate.ID] = append(g.fanout[gate.ID], d)
-			}
-		}
-	}
-	// Undirected weighted adjacency: for each vertex, merge fanin and
-	// fanout neighbors (with multiplicity = number of directed edges
-	// between the pair, summed over both directions).
 	for _, gate := range c.Gates {
 		v := gate.ID
 		scratch = scratch[:0]
@@ -118,6 +174,14 @@ func fromCircuit(c *circuit.Circuit, activity []float64) *graph {
 				scratch = append(scratch, d)
 			}
 		}
+		sort.Ints(scratch)
+		for i, d := range scratch {
+			if i == 0 || scratch[i-1] != d {
+				fb.add(int32(d), 0)
+			}
+		}
+		fb.endRow()
+
 		for _, src := range gate.Fanin {
 			if src != v {
 				scratch = append(scratch, src)
@@ -129,25 +193,24 @@ func fromCircuit(c *circuit.Circuit, activity []float64) *graph {
 			for j < len(scratch) && scratch[j] == scratch[i] {
 				j++
 			}
-			g.adj[v] = append(g.adj[v], scratch[i])
-			g.wgt[v] = append(g.wgt[v], j-i)
+			ab.add(int32(scratch[i]), int32(j-i))
 			i = j
 		}
+		ab.endRow()
 	}
+	g.fxadj, g.fadjncy = fb.xadj, fb.adjncy
+	g.xadj, g.adjncy, g.adjwgt = ab.xadj, ab.adjncy, ab.adjwgt
 	return g
 }
 
 // contract builds the next coarser graph given the globule assignment
-// match[v] = coarse vertex of v, with nCoarse globules. newlyMerged marks
-// coarse vertices whose globule absorbed more than one fine vertex; they
-// seed the next coarsening pass per the paper.
-func contract(g *graph, match []int, nCoarse int) *graph {
+// match[v] = coarse vertex of v, with nCoarse globules. Coarse vertices
+// whose globule absorbed more than one fine vertex seed the next coarsening
+// pass per the paper.
+func contract(g *graph, match []int32, nCoarse int) *graph {
 	cg := &graph{
 		n:       nCoarse,
-		vwgt:    make([]int, nCoarse),
-		adj:     make([][]int, nCoarse),
-		wgt:     make([][]int, nCoarse),
-		fanout:  make([][]int, nCoarse),
+		vwgt:    make([]int32, nCoarse),
 		hasIn:   make([]bool, nCoarse),
 		seed:    make([]bool, nCoarse),
 		fineMap: match,
@@ -155,7 +218,7 @@ func contract(g *graph, match []int, nCoarse int) *graph {
 	if g.act != nil {
 		cg.act = make([]float64, nCoarse)
 	}
-	sizes := make([]int, nCoarse)
+	sizes := make([]int32, nCoarse)
 	for v := 0; v < g.n; v++ {
 		cv := match[v]
 		cg.vwgt[cv] += g.vwgt[v]
@@ -188,31 +251,34 @@ func contract(g *graph, match []int, nCoarse int) *graph {
 	// Invert the match (counting sort) so each globule's members are
 	// contiguous; then aggregate edges per globule with stamped scratch
 	// arrays — O(V+E), no maps.
-	offs := make([]int, nCoarse+1)
+	offs := make([]int32, nCoarse+1)
 	for v := 0; v < g.n; v++ {
 		offs[match[v]+1]++
 	}
 	for i := 1; i <= nCoarse; i++ {
 		offs[i] += offs[i-1]
 	}
-	members := make([]int, g.n)
-	fill := append([]int(nil), offs[:nCoarse]...)
+	members := make([]int32, g.n)
+	fill := append([]int32(nil), offs[:nCoarse]...)
 	for v := 0; v < g.n; v++ {
-		members[fill[match[v]]] = v
+		members[fill[match[v]]] = int32(v)
 		fill[match[v]]++
 	}
 
-	conn := make([]int, nCoarse)
-	stamp := make([]int, nCoarse)
-	fstamp := make([]int, nCoarse)
-	var touched []int
+	ab := newCSRBuilder(nCoarse, len(g.adjncy)/2, true)
+	fb := newCSRBuilder(nCoarse, len(g.fadjncy)/2, false)
+	conn := make([]int32, nCoarse)
+	stamp := make([]int32, nCoarse)
+	fstamp := make([]int32, nCoarse)
+	var touched []int32
 	for cv := 0; cv < nCoarse; cv++ {
-		cur := cv + 1
+		cur := int32(cv + 1)
 		touched = touched[:0]
 		for _, v := range members[offs[cv]:offs[cv+1]] {
-			for i, u := range g.adj[v] {
+			adj, wgt := g.adjOf(int(v))
+			for i, u := range adj {
 				cu := match[u]
-				if cu == cv {
+				if int(cu) == cv {
 					continue
 				}
 				if stamp[cu] != cur {
@@ -220,21 +286,24 @@ func contract(g *graph, match []int, nCoarse int) *graph {
 					conn[cu] = 0
 					touched = append(touched, cu)
 				}
-				conn[cu] += g.wgt[v][i]
+				conn[cu] += wgt[i]
 			}
-			for _, u := range g.fanout[v] {
+			for _, u := range g.fanoutOf(int(v)) {
 				cu := match[u]
-				if cu != cv && fstamp[cu] != cur {
+				if int(cu) != cv && fstamp[cu] != cur {
 					fstamp[cu] = cur
-					cg.fanout[cv] = append(cg.fanout[cv], cu)
+					fb.add(cu, 0)
 				}
 			}
 		}
-		sort.Ints(touched) // deterministic neighbor order
+		fb.endRow()
+		slices.Sort(touched) // deterministic neighbor order
 		for _, cu := range touched {
-			cg.adj[cv] = append(cg.adj[cv], cu)
-			cg.wgt[cv] = append(cg.wgt[cv], conn[cu])
+			ab.add(cu, conn[cu])
 		}
+		ab.endRow()
 	}
+	cg.xadj, cg.adjncy, cg.adjwgt = ab.xadj, ab.adjncy, ab.adjwgt
+	cg.fxadj, cg.fadjncy = fb.xadj, fb.adjncy
 	return cg
 }

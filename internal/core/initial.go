@@ -38,22 +38,28 @@ func initialPartition(g *graph, k int, rng *rand.Rand) []int {
 	for _, v := range inputs {
 		p := lightest()
 		part[v] = p
-		load[p] += g.vwgt[v]
+		load[p] += int(g.vwgt[v])
 	}
 	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 	for _, v := range rest {
 		p := lightest()
 		part[v] = p
-		load[p] += g.vwgt[v]
+		load[p] += int(g.vwgt[v])
 	}
 	return part
 }
 
 // project maps a partition of the coarse graph back onto its finer graph
 // using the fineMap recorded at contraction: every fine vertex inherits the
-// partition of its globule.
-func project(coarse *graph, part []int) []int {
-	fine := make([]int, len(coarse.fineMap))
+// partition of its globule. buf is reused when it has capacity.
+func project(coarse *graph, part []int, buf []int) []int {
+	n := len(coarse.fineMap)
+	var fine []int
+	if cap(buf) >= n {
+		fine = buf[:n]
+	} else {
+		fine = make([]int, n)
+	}
 	for v, cv := range coarse.fineMap {
 		fine[v] = part[cv]
 	}

@@ -126,28 +126,37 @@ func (m *Multilevel) PartitionStats(c *circuit.Circuit, k int) (partition.Assign
 	part := initialPartition(coarsest, k, rng)
 	st.InitialCut = coarsest.edgeCut(part)
 
-	// Phase 3: refinement while projecting back to G0.
+	// Phase 3: refinement while projecting back to G0. One scratch, sized
+	// for the finest level, serves every level and pass, so the refinement
+	// inner loops allocate nothing.
+	scratch := newRefineScratch(levels[0].n, k)
 	refine := func(g *graph, part []int) int {
 		switch opts.Refiner {
 		case GreedyRefine:
-			return greedyRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+			return greedyRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng, scratch)
 		case KLRefine:
-			return klRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+			return klRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng, scratch)
 		case FMRefine:
-			return fmRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+			return fmRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng, scratch)
 		case NoRefine:
 			return 0
 		default:
-			return greedyRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng)
+			return greedyRefine(g, part, k, opts.BalanceTolerance, opts.MaxPasses, rng, scratch)
 		}
 	}
+	// Two buffers sized for the finest level ping-pong through every
+	// projection, so no level allocates (the coarsest part is copied into
+	// the first buffer to join the rotation).
+	buf := make([]int, levels[0].n)
+	spare := make([]int, levels[0].n)
+	part = append(buf[:0], part...)
 	for li := len(levels) - 1; ; li-- {
-		rebalance(levels[li], part, k, opts.BalanceTolerance, rng)
+		rebalance(levels[li], part, k, opts.BalanceTolerance, rng, scratch)
 		st.RefinePasses += refine(levels[li], part)
 		if li == 0 {
 			break
 		}
-		part = project(levels[li], part)
+		part, spare = project(levels[li], part, spare), part
 	}
 	st.FinalCut = levels[0].edgeCut(part)
 

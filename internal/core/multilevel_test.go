@@ -80,7 +80,7 @@ func TestCoarseningShrinks(t *testing.T) {
 func TestInputGlobuleConstraint(t *testing.T) {
 	c := testCircuit(t)
 	g := fromCircuit(c, nil)
-	match := make([]int, g.n)
+	match := make([]int32, g.n)
 	for i := range match {
 		match[i] = -1
 	}
@@ -88,7 +88,7 @@ func TestInputGlobuleConstraint(t *testing.T) {
 	if merges == 0 {
 		t.Fatal("fanout coarsening merged nothing")
 	}
-	inputsPer := make(map[int]int, n)
+	inputsPer := make(map[int32]int, n)
 	for v := 0; v < g.n; v++ {
 		if g.hasIn[v] {
 			inputsPer[match[v]]++
@@ -105,21 +105,21 @@ func TestInputGlobuleConstraint(t *testing.T) {
 func TestCoarseningOncePerLevel(t *testing.T) {
 	c := testCircuit(t)
 	g := fromCircuit(c, nil)
-	match := make([]int, g.n)
+	match := make([]int32, g.n)
 	for i := range match {
 		match[i] = -1
 	}
 	n, _ := fanoutMatch(g, match, 0)
-	seenMax := -1
+	seenMax := int32(-1)
 	for v, cv := range match {
-		if cv < 0 || cv >= n {
+		if cv < 0 || cv >= int32(n) {
 			t.Fatalf("vertex %d unmatched or out of range: %d", v, cv)
 		}
 		if cv > seenMax {
 			seenMax = cv
 		}
 	}
-	if seenMax != n-1 {
+	if seenMax != int32(n)-1 {
 		t.Errorf("globule ids not dense: max %d, n %d", seenMax, n)
 	}
 }
@@ -150,7 +150,7 @@ func TestRefinementNeverWorsensCut(t *testing.T) {
 	rng := newRand(7)
 	part := initialPartition(g, 4, rng)
 	before := g.edgeCut(part)
-	greedyRefine(g, part, 4, 0.1, 8, rng)
+	greedyRefine(g, part, 4, 0.1, 8, rng, newRefineScratch(g.n, 4))
 	after := g.edgeCut(part)
 	if after > before {
 		t.Errorf("greedy refinement worsened cut: %d -> %d", before, after)

@@ -7,27 +7,33 @@ import (
 	"repro/internal/circuit"
 )
 
-// pathGraph builds a simple path 0-1-2-...-n-1 with unit weights.
+// pathGraph builds a simple path 0-1-2-...-n-1 with unit weights, directly
+// in the CSR representation.
 func pathGraph(n int) *graph {
 	g := &graph{
-		n:      n,
-		vwgt:   make([]int, n),
-		adj:    make([][]int, n),
-		wgt:    make([][]int, n),
-		fanout: make([][]int, n),
-		hasIn:  make([]bool, n),
-		seed:   make([]bool, n),
+		n:     n,
+		vwgt:  make([]int32, n),
+		hasIn: make([]bool, n),
+		seed:  make([]bool, n),
 	}
 	for i := range g.vwgt {
 		g.vwgt[i] = 1
 	}
-	for i := 0; i < n-1; i++ {
-		g.adj[i] = append(g.adj[i], i+1)
-		g.wgt[i] = append(g.wgt[i], 1)
-		g.adj[i+1] = append(g.adj[i+1], i)
-		g.wgt[i+1] = append(g.wgt[i+1], 1)
-		g.fanout[i] = append(g.fanout[i], i+1)
+	ab := newCSRBuilder(n, 2*(n-1), true)
+	fb := newCSRBuilder(n, n-1, false)
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			ab.add(int32(v-1), 1)
+		}
+		if v < n-1 {
+			ab.add(int32(v+1), 1)
+			fb.add(int32(v+1), 0)
+		}
+		ab.endRow()
+		fb.endRow()
 	}
+	g.xadj, g.adjncy, g.adjwgt = ab.xadj, ab.adjncy, ab.adjwgt
+	g.fxadj, g.fadjncy = fb.xadj, fb.adjncy
 	g.seed[0] = true
 	g.hasIn[0] = true
 	return g
@@ -60,7 +66,7 @@ func TestGreedyRefineFixesAlternating(t *testing.T) {
 		part[i] = i % 2
 	}
 	before := g.edgeCut(part)
-	greedyRefine(g, part, 2, 0.1, 16, newRand(3))
+	greedyRefine(g, part, 2, 0.1, 16, newRand(3), newRefineScratch(g.n, 2))
 	after := g.edgeCut(part)
 	if after >= before {
 		t.Fatalf("refinement did not improve alternating cut: %d -> %d", before, after)
@@ -83,7 +89,7 @@ func TestGreedyRefineFixesAlternating(t *testing.T) {
 func TestRebalanceRestoresTolerance(t *testing.T) {
 	g := pathGraph(60)
 	part := make([]int, 60) // everything on partition 0 of 4
-	rebalance(g, part, 4, 0.1, newRand(1))
+	rebalance(g, part, 4, 0.1, newRand(1), newRefineScratch(g.n, 4))
 	b := newBalance(g, part, 4, 0.1)
 	for p, load := range b.load {
 		if load > b.max {
@@ -117,17 +123,17 @@ func TestBalanceMoveAccounting(t *testing.T) {
 func TestConnScratch(t *testing.T) {
 	g := pathGraph(6)
 	part := []int{0, 0, 1, 1, 2, 2}
-	s := newConnScratch(3)
+	s := newRefineScratch(g.n, 3)
 	touched := s.gather(g, part, 2) // vertex 2: neighbors 1 (part 0), 3 (part 1)
 	if len(touched) != 2 {
 		t.Fatalf("touched %v", touched)
 	}
-	if s.of(0) != 1 || s.of(1) != 1 || s.of(2) != 0 {
-		t.Errorf("conn = %d,%d,%d", s.of(0), s.of(1), s.of(2))
+	if s.connOf(0) != 1 || s.connOf(1) != 1 || s.connOf(2) != 0 {
+		t.Errorf("conn = %d,%d,%d", s.connOf(0), s.connOf(1), s.connOf(2))
 	}
 	s.gather(g, part, 5) // vertex 5: neighbor 4 (part 2)
-	if s.of(2) != 1 || s.of(0) != 0 {
-		t.Errorf("scratch not reset: %d,%d", s.of(2), s.of(0))
+	if s.connOf(2) != 1 || s.connOf(0) != 0 {
+		t.Errorf("scratch not reset: %d,%d", s.connOf(2), s.connOf(0))
 	}
 }
 
@@ -140,7 +146,7 @@ func TestKLRefineImprovesOrKeeps(t *testing.T) {
 	rng := newRand(2)
 	part := initialPartition(g, 3, rng)
 	before := g.edgeCut(part)
-	klRefine(g, part, 3, 0.1, 4, rng)
+	klRefine(g, part, 3, 0.1, 4, rng, newRefineScratch(g.n, 3))
 	if after := g.edgeCut(part); after > before {
 		t.Errorf("KL worsened cut %d -> %d", before, after)
 	}
@@ -156,7 +162,7 @@ func TestFMRefineImprovesOrKeeps(t *testing.T) {
 	rng := newRand(4)
 	part := initialPartition(g, 4, rng)
 	before := g.edgeCut(part)
-	fmRefine(g, part, 4, 0.1, 4, rng)
+	fmRefine(g, part, 4, 0.1, 4, rng, newRefineScratch(g.n, 4))
 	if after := g.edgeCut(part); after > before {
 		t.Errorf("FM worsened cut %d -> %d", before, after)
 	}
@@ -173,13 +179,14 @@ func TestRefinersPreserveTotalAssignment(t *testing.T) {
 		k := 2 + int(kRaw%6)
 		rng := newRand(seed)
 		part := initialPartition(g, k, rng)
+		s := newRefineScratch(g.n, k)
 		switch which % 3 {
 		case 0:
-			greedyRefine(g, part, k, 0.1, 4, rng)
+			greedyRefine(g, part, k, 0.1, 4, rng, s)
 		case 1:
-			klRefine(g, part, k, 0.1, 2, rng)
+			klRefine(g, part, k, 0.1, 2, rng, s)
 		case 2:
-			fmRefine(g, part, k, 0.1, 2, rng)
+			fmRefine(g, part, k, 0.1, 2, rng, s)
 		}
 		for _, p := range part {
 			if p < 0 || p >= k {
@@ -235,7 +242,7 @@ func TestProjectPreservesPartition(t *testing.T) {
 		t.Fatal("coarsening failed")
 	}
 	part := initialPartition(coarse, 3, newRand(3))
-	finePart := project(coarse, part)
+	finePart := project(coarse, part, nil)
 	if len(finePart) != fine.n {
 		t.Fatalf("projection covers %d of %d", len(finePart), fine.n)
 	}

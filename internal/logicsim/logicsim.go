@@ -121,6 +121,9 @@ type gateLP struct {
 	fanout   []int         // deduplicated fanout gate IDs
 	delay    int64
 	st       gateState
+	// snapFree pools discarded state snapshots (refilled by the kernel via
+	// RecycleState); each LP runs on one cluster goroutine, so no locking.
+	snapFree []*gateState
 }
 
 func newGateLP(sim *shared, g *circuit.Gate, inputIdx int) *gateLP {
@@ -243,8 +246,20 @@ func (lp *gateLP) note(t timewarp.Time) {
 	lp.st.hist += seqsim.OutputHash(t, idx, lp.st.out)
 }
 
-// SaveState implements timewarp.Handler.
+// SaveState implements timewarp.Handler. Snapshots come from the free list
+// the kernel refills via RecycleState, so steady-state snapshotting does not
+// allocate.
 func (lp *gateLP) SaveState() interface{} {
+	if n := len(lp.snapFree); n > 0 {
+		s := lp.snapFree[n-1]
+		lp.snapFree[n-1] = nil
+		lp.snapFree = lp.snapFree[:n-1]
+		copy(s.inputs, lp.st.inputs)
+		s.out = lp.st.out
+		s.ff = lp.st.ff
+		s.hist = lp.st.hist
+		return s
+	}
 	s := lp.st.clone()
 	return &s
 }
@@ -257,6 +272,16 @@ func (lp *gateLP) RestoreState(snap interface{}) {
 	lp.st.out = s.out
 	lp.st.ff = s.ff
 	lp.st.hist = s.hist
+}
+
+// RecycleState implements timewarp.StateRecycler: discarded snapshots return
+// to the free list for the next SaveState.
+func (lp *gateLP) RecycleState(snap interface{}) {
+	s, ok := snap.(*gateState)
+	if !ok || len(lp.snapFree) >= 64 {
+		return
+	}
+	lp.snapFree = append(lp.snapFree, s)
 }
 
 // Run simulates circuit c with partition assignment a on a.K simulation

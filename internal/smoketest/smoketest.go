@@ -1,0 +1,52 @@
+// Package smoketest runs a main package end-to-end via `go run` and asserts
+// it exits cleanly with the expected output. The cmd/ binaries and
+// examples/ mains use it so every entry point stays runnable.
+package smoketest
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Run builds the current main package and executes it with args from a
+// scratch working directory (so programs that write files do not pollute
+// the repo), fails the test on a non-zero exit, and asserts every want
+// substring appears in the combined output. It returns the output for
+// further checks.
+func Run(t *testing.T, args []string, want ...string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("smoke test skipped in -short mode")
+	}
+	pkgDir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	scratch := t.TempDir()
+	bin := filepath.Join(scratch, "smoke.bin")
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, ".")
+	build.Dir = pkgDir // module context for the build
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\noutput:\n%s", err, out)
+	}
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.Dir = scratch
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\noutput:\n%s", bin, args, err, out)
+	}
+	text := string(out)
+	for _, w := range want {
+		if !strings.Contains(text, w) {
+			t.Errorf("output missing %q:\n%s", w, text)
+		}
+	}
+	return text
+}

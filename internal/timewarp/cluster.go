@@ -1,7 +1,6 @@
 package timewarp
 
 import (
-	"container/heap"
 	"sync/atomic"
 	"time"
 )
@@ -43,18 +42,40 @@ type schedEntry struct {
 	lp *lpRuntime
 }
 
+// schedHeap is a min-heap over schedEntry, manipulated with the non-boxing
+// heapPush/heapPop helpers.
 type schedHeap []schedEntry
 
-func (h schedHeap) Len() int            { return len(h) }
-func (h schedHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h schedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *schedHeap) Push(x interface{}) { *h = append(*h, x.(schedEntry)) }
-func (h *schedHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *schedHeap) push(e schedEntry) { heapPush((*[]schedEntry)(h), e, schedLess) }
+
+func (h *schedHeap) pop() schedEntry { return heapPop((*[]schedEntry)(h), schedLess) }
+
+// eventPool recycles event slices across bundles, rollbacks and fossil
+// collection, bounding the kernel's per-event GC pressure. Each cluster owns
+// one pool and every LP operation runs on its owning cluster's goroutine
+// (initialization is single-threaded), so no locking is needed.
+type eventPool struct {
+	free [][]Event
+}
+
+// get returns a recycled zero-length slice, or nil (callers append).
+func (p *eventPool) get() []Event {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return s
+	}
+	return nil
+}
+
+// put recycles a slice's backing array. The pool is bounded so a rollback
+// burst cannot pin memory forever.
+func (p *eventPool) put(s []Event) {
+	if cap(s) == 0 || len(p.free) >= 256 {
+		return
+	}
+	p.free = append(p.free, s[:0])
 }
 
 // cluster is one simulation node: a goroutine owning a set of LPs, an inbox
@@ -67,8 +88,11 @@ type cluster struct {
 	// localQ queues intra-cluster deliveries. Local messages are never
 	// delivered synchronously from inside LP operations: a rollback that
 	// sent an anti-message to a same-cluster LP (or to the LP itself) would
-	// otherwise re-enter rollback while queues are mid-mutation.
-	localQ []Event
+	// otherwise re-enter rollback while queues are mid-mutation. localHead
+	// indexes the next undelivered message so draining reuses the backing
+	// array instead of re-slicing it away.
+	localQ    []Event
+	localHead int
 	// outPending buffers messages whose destination inbox was full; the
 	// main loop retries, so a send never blocks (no send-send deadlocks).
 	outPending []Event
@@ -77,6 +101,7 @@ type cluster struct {
 	// delivered.
 	delayed delayHeap
 	sched   schedHeap
+	evPool  eventPool
 	stats   ClusterStats
 
 	eventsSinceGVT int
@@ -115,17 +140,9 @@ func (c *cluster) route(ev Event, positive bool) {
 // delayHeap orders on-the-wire events by wall-clock due time.
 type delayHeap []Event
 
-func (h delayHeap) Len() int            { return len(h) }
-func (h delayHeap) Less(i, j int) bool  { return h[i].dueNano < h[j].dueNano }
-func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
-func (h *delayHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+func (h *delayHeap) push(ev Event) { heapPush((*[]Event)(h), ev, delayLess) }
+
+func (h *delayHeap) pop() Event { return heapPop((*[]Event)(h), delayLess) }
 
 // deliverDue moves every delayed event whose wire time has elapsed into its
 // LP. force delivers everything regardless (GVT quiescence). Returns the
@@ -140,7 +157,7 @@ func (c *cluster) deliverDue(force bool) int {
 		if !force && c.delayed[0].dueNano > now {
 			break
 		}
-		ev := heap.Pop(&c.delayed).(Event)
+		ev := c.delayed.pop()
 		c.kernel.busy(c.kernel.cfg.NetRecvBusy)
 		atomic.AddInt64(&c.kernel.inFlight, -1)
 		c.deliver(ev)
@@ -153,7 +170,7 @@ func (c *cluster) deliverDue(force bool) int {
 // modeled wire latency.
 func (c *cluster) receive(ev Event) int {
 	if ev.dueNano > 0 && time.Now().UnixNano() < ev.dueNano {
-		heap.Push(&c.delayed, ev)
+		c.delayed.push(ev)
 		return 0
 	}
 	c.kernel.busy(c.kernel.cfg.NetRecvBusy)
@@ -167,13 +184,15 @@ func (c *cluster) receive(ev Event) int {
 // Returns the number delivered.
 func (c *cluster) drainLocal() int {
 	n := 0
-	for len(c.localQ) > 0 {
-		ev := c.localQ[0]
-		c.localQ = c.localQ[1:]
+	for c.localHead < len(c.localQ) {
+		ev := c.localQ[c.localHead]
+		c.localHead++
 		atomic.AddInt64(&c.kernel.inFlight, -1)
 		c.deliver(ev)
 		n++
 	}
+	c.localQ = c.localQ[:0]
+	c.localHead = 0
 	return n
 }
 
@@ -194,7 +213,7 @@ func (c *cluster) deliver(ev Event) {
 		lp.enqueue(ev)
 	}
 	if t := lp.nextTime(); t != TimeInfinity {
-		heap.Push(&c.sched, schedEntry{t: t, lp: lp})
+		c.sched.push(schedEntry{t: t, lp: lp})
 	}
 }
 
@@ -239,7 +258,7 @@ func (c *cluster) drainAll() int {
 		select {
 		case ev := <-c.inbox:
 			if ev.dueNano > 0 {
-				heap.Push(&c.delayed, ev)
+				c.delayed.push(ev)
 				n += c.deliverDue(true)
 			} else {
 				c.kernel.busy(c.kernel.cfg.NetRecvBusy)
@@ -270,7 +289,7 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 		}
 	}
 	for len(c.sched) > 0 {
-		e := heap.Pop(&c.sched).(schedEntry)
+		e := c.sched.pop()
 		t := e.lp.nextTime()
 		if t == TimeInfinity {
 			continue
@@ -279,16 +298,16 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 			// Beyond the window: put the entry back and wait for GVT to
 			// advance. The heap minimum is beyond the horizon, so every
 			// other entry is too.
-			heap.Push(&c.sched, schedEntry{t: t, lp: e.lp})
+			c.sched.push(schedEntry{t: t, lp: e.lp})
 			return 0, true
 		}
 		if t != e.t {
-			heap.Push(&c.sched, schedEntry{t: t, lp: e.lp})
+			c.sched.push(schedEntry{t: t, lp: e.lp})
 			continue
 		}
 		nx := e.lp.executeNext()
 		if nt := e.lp.nextTime(); nt != TimeInfinity {
-			heap.Push(&c.sched, schedEntry{t: nt, lp: e.lp})
+			c.sched.push(schedEntry{t: nt, lp: e.lp})
 		}
 		if nx > 0 {
 			return nx, false

@@ -52,26 +52,11 @@ type Event struct {
 	dueNano int64
 }
 
-// eventHeap is a min-heap of events ordered by receive time, then sender,
-// then ID, so bundle assembly is deterministic.
+// eventHeap is a min-heap of events ordered by eventLess (receive time,
+// then sender, then ID, so bundle assembly is deterministic). It is
+// manipulated with the non-boxing heapPush/heapPop helpers.
 type eventHeap []Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].RecvTime != h[j].RecvTime {
-		return h[i].RecvTime < h[j].RecvTime
-	}
-	if h[i].Sender != h[j].Sender {
-		return h[i].Sender < h[j].Sender
-	}
-	return h[i].ID < h[j].ID
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+func (h *eventHeap) push(ev Event) { heapPush((*[]Event)(h), ev, eventLess) }
+
+func (h *eventHeap) pop() Event { return heapPop((*[]Event)(h), eventLess) }

@@ -1,0 +1,66 @@
+package timewarp
+
+// heapPush and heapPop implement a binary min-heap directly over a slice
+// with an explicit less function. Unlike container/heap they never box
+// elements in interface{} values, so pushing an Event (the kernel's hottest
+// operation: every send, delivery, and rollback re-enqueue goes through a
+// heap) allocates only on slice growth.
+
+func heapPush[E any](s *[]E, x E, less func(a, b E) bool) {
+	*s = append(*s, x)
+	h := *s
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func heapPop[E any](s *[]E, less func(a, b E) bool) E {
+	h := *s
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	var zero E
+	h[n] = zero // drop references held by the vacated tail slot
+	h = h[:n]
+	*s = h
+	// Sift the new root down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(h[r], h[l]) {
+			m = r
+		}
+		if !less(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// eventLess orders events by receive time, then sender, then ID, so bundle
+// assembly is deterministic.
+func eventLess(a, b Event) bool {
+	if a.RecvTime != b.RecvTime {
+		return a.RecvTime < b.RecvTime
+	}
+	if a.Sender != b.Sender {
+		return a.Sender < b.Sender
+	}
+	return a.ID < b.ID
+}
+
+func schedLess(a, b schedEntry) bool { return a.t < b.t }
+
+func delayLess(a, b Event) bool { return a.dueNano < b.dueNano }

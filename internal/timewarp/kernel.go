@@ -1,7 +1,6 @@
 package timewarp
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -234,7 +233,7 @@ func (k *Kernel) Run() (RunStats, error) {
 	for _, c := range k.clusters {
 		for _, lp := range c.lps {
 			if t := lp.nextTime(); t != TimeInfinity {
-				heap.Push(&c.sched, schedEntry{t: t, lp: lp})
+				c.sched.push(schedEntry{t: t, lp: lp})
 			}
 		}
 	}

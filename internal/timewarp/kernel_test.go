@@ -308,11 +308,11 @@ func TestEventHeapOrdering(t *testing.T) {
 		{ID: 4, RecvTime: 5, Sender: 9},
 	}
 	for _, ev := range evs {
-		pushEvent(h, ev)
+		h.push(ev)
 	}
 	got := make([]uint64, 0, 4)
-	for h.Len() > 0 {
-		got = append(got, popEvent(h).ID)
+	for len(*h) > 0 {
+		got = append(got, h.pop().ID)
 	}
 	want := []uint64{1, 4, 2, 3}
 	for i := range want {

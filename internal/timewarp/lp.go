@@ -1,7 +1,6 @@
 package timewarp
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -11,7 +10,9 @@ import (
 // already sorted by (sender, ID). It may send events into the strict future
 // (recvTime > now) via the Context. The kernel snapshots state around every
 // bundle, so Execute must confine all mutable simulation state to what
-// SaveState captures.
+// SaveState captures. The events slice is owned by the kernel and recycled
+// after the bundle commits, and the Context is reused between bundles:
+// Execute must not retain either beyond the call.
 type Handler interface {
 	// Init runs once before the simulation starts; it may send initial
 	// events (including to the LP itself) with any recvTime >= 0.
@@ -22,6 +23,15 @@ type Handler interface {
 	SaveState() interface{}
 	// RestoreState reinstates a snapshot previously returned by SaveState.
 	RestoreState(s interface{})
+}
+
+// StateRecycler is an optional Handler extension: when implemented, the
+// kernel hands back snapshots it has discarded (committed by fossil
+// collection or undone past by rollback), so handlers can pool them instead
+// of re-allocating one per bundle. A recycled snapshot is never referenced
+// by the kernel again.
+type StateRecycler interface {
+	RecycleState(s interface{})
 }
 
 // Context is the kernel interface handed to Handler methods.
@@ -85,10 +95,26 @@ type lpRuntime struct {
 
 	// oldSends holds, under lazy cancellation, the sends of rolled-back
 	// bundles keyed by bundle time, awaiting regeneration or cancellation.
+	// Entries are kept sorted by time; every entry's time is strictly above
+	// lvt (entries at or below it are taken or flushed as execution passes
+	// them), which rollback exploits to merge without sorting.
 	oldSends []oldSendEntry
+
+	// oldScratch is the reusable merge buffer of rollback.
+	oldScratch []oldSendEntry
 
 	// stagedSends collects sends of the bundle currently executing.
 	stagedSends []Event
+
+	// recycler is the handler's optional StateRecycler side, resolved once.
+	recycler StateRecycler
+
+	// matchScratch is the reusable matched-flags buffer of lazy dispatch.
+	matchScratch []bool
+
+	// ctx is the reusable handler context (one live Execute per LP at a
+	// time, so a single context per LP suffices).
+	ctx Context
 }
 
 // bundle is one processed timestamp: the events consumed, the state before
@@ -106,13 +132,15 @@ type oldSendEntry struct {
 }
 
 func newLPRuntime(id LPID, h Handler, c *cluster) *lpRuntime {
-	return &lpRuntime{
+	lp := &lpRuntime{
 		id:        id,
 		handler:   h,
 		cluster:   c,
 		cancelled: make(map[uint64]struct{}),
 		lvt:       -1,
 	}
+	lp.recycler, _ = h.(StateRecycler)
+	return lp
 }
 
 // nextTime returns the receive time of the earliest live pending event, or
@@ -122,7 +150,7 @@ func (lp *lpRuntime) nextTime() Time {
 		top := lp.pending[0]
 		if _, dead := lp.cancelled[top.ID]; dead {
 			delete(lp.cancelled, top.ID)
-			heap.Pop(&lp.pending)
+			lp.pending.pop()
 			continue
 		}
 		return top.RecvTime
@@ -136,7 +164,7 @@ func (lp *lpRuntime) enqueue(ev Event) {
 	if ev.RecvTime <= lp.lvt {
 		lp.rollback(ev.RecvTime)
 	}
-	heap.Push(&lp.pending, ev)
+	lp.pending.push(ev)
 }
 
 // annihilate handles an anti-message. The matching positive event always
@@ -170,12 +198,25 @@ func (lp *lpRuntime) rollback(t Time) {
 	}
 	lp.cluster.stats.Rollbacks++
 	lazy := lp.cluster.kernel.cfg.LazyCancellation
-	for i := len(lp.processed) - 1; i >= idx; i-- {
+	// Every surviving oldSends entry has time > lvt, and every rolled-back
+	// bundle has time <= lvt, so the new entries (appended in chronological
+	// bundle order) sort strictly before the existing ones: stash the
+	// existing tail and re-append it after the loop — a sorted merge with
+	// no comparison sort.
+	stashed := false
+	if lazy && len(lp.oldSends) > 0 {
+		lp.oldScratch = append(lp.oldScratch[:0], lp.oldSends...)
+		lp.oldSends = lp.oldSends[:0]
+		stashed = true
+	}
+	pool := &lp.cluster.evPool
+	for i := idx; i < len(lp.processed); i++ {
 		b := &lp.processed[i]
 		lp.cluster.stats.EventsRolledBack += uint64(len(b.events))
 		for _, ev := range b.events {
-			heap.Push(&lp.pending, ev)
+			lp.pending.push(ev)
 		}
+		pool.put(b.events)
 		if len(b.sent) > 0 {
 			if lazy {
 				lp.oldSends = append(lp.oldSends, oldSendEntry{time: b.time, sent: b.sent})
@@ -183,13 +224,29 @@ func (lp *lpRuntime) rollback(t Time) {
 				for _, s := range b.sent {
 					lp.cluster.sendAnti(s)
 				}
+				pool.put(b.sent)
 			}
 		}
 	}
-	if lazy {
-		sort.SliceStable(lp.oldSends, func(i, j int) bool { return lp.oldSends[i].time < lp.oldSends[j].time })
+	if stashed {
+		lp.oldSends = append(lp.oldSends, lp.oldScratch...)
+		// Drop the scratch's aliases of the transferred entries.
+		for i := range lp.oldScratch {
+			lp.oldScratch[i] = oldSendEntry{}
+		}
+		lp.oldScratch = lp.oldScratch[:0]
 	}
 	lp.handler.RestoreState(lp.processed[idx].state)
+	// Zero the truncated bundles so their state snapshots and recycled
+	// slices are not retained through the backing array; the states are
+	// handed back to a recycling handler (after RestoreState copied out of
+	// processed[idx]'s).
+	for i := idx; i < len(lp.processed); i++ {
+		if lp.recycler != nil {
+			lp.recycler.RecycleState(lp.processed[i].state)
+		}
+		lp.processed[i] = bundle{}
+	}
 	lp.processed = lp.processed[:idx]
 	if idx > 0 {
 		lp.lvt = lp.processed[idx-1].time
@@ -210,9 +267,10 @@ func (lp *lpRuntime) executeNext() int {
 	// them.
 	lp.flushOldSends(t)
 
-	var events []Event
+	pool := &lp.cluster.evPool
+	events := pool.get()
 	for len(lp.pending) > 0 && lp.pending[0].RecvTime == t {
-		ev := heap.Pop(&lp.pending).(Event)
+		ev := lp.pending.pop()
 		if _, dead := lp.cancelled[ev.ID]; dead {
 			delete(lp.cancelled, ev.ID)
 			continue
@@ -220,15 +278,19 @@ func (lp *lpRuntime) executeNext() int {
 		events = append(events, ev)
 	}
 	if len(events) == 0 {
+		pool.put(events)
 		return 0
 	}
 
 	state := lp.handler.SaveState()
 	lp.stagedSends = lp.stagedSends[:0]
-	ctx := &Context{lp: lp, cluster: lp.cluster, now: t}
-	lp.handler.Execute(ctx, t, events)
+	lp.ctx = Context{lp: lp, cluster: lp.cluster, now: t}
+	lp.handler.Execute(&lp.ctx, t, events)
 
-	sent := append([]Event(nil), lp.stagedSends...)
+	var sent []Event
+	if len(lp.stagedSends) > 0 {
+		sent = append(pool.get(), lp.stagedSends...)
+	}
 	lp.dispatchSends(t, sent)
 
 	lp.processed = append(lp.processed, bundle{time: t, events: events, state: state, sent: sent})
@@ -261,7 +323,13 @@ func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 		}
 		return
 	}
-	matched := make([]bool, len(old))
+	if cap(lp.matchScratch) < len(old) {
+		lp.matchScratch = make([]bool, len(old))
+	}
+	matched := lp.matchScratch[:len(old)]
+	for i := range matched {
+		matched[i] = false
+	}
 	for i := range sent {
 		ev := &sent[i]
 		found := -1
@@ -289,16 +357,24 @@ func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 			lp.cluster.sendAnti(old[j])
 		}
 	}
+	lp.cluster.evPool.put(old)
 }
 
 // takeOldSends removes and returns the rolled-back sends recorded for
-// bundle time t, if any.
+// bundle time t, if any. The removal is a single in-place copy-down, not a
+// splice per element.
 func (lp *lpRuntime) takeOldSends(t Time) []Event {
 	for i := range lp.oldSends {
 		if lp.oldSends[i].time == t {
 			sent := lp.oldSends[i].sent
-			lp.oldSends = append(lp.oldSends[:i], lp.oldSends[i+1:]...)
+			n := len(lp.oldSends) - 1
+			copy(lp.oldSends[i:], lp.oldSends[i+1:])
+			lp.oldSends[n] = oldSendEntry{}
+			lp.oldSends = lp.oldSends[:n]
 			return sent
+		}
+		if lp.oldSends[i].time > t {
+			break // sorted: no entry at t exists
 		}
 	}
 	return nil
@@ -306,20 +382,27 @@ func (lp *lpRuntime) takeOldSends(t Time) []Event {
 
 // flushOldSends cancels every rolled-back send whose bundle time is before
 // `next`, because execution has provably advanced past any chance of
-// regenerating it.
+// regenerating it (for executeNext, `next` is the bundle about to run; for
+// fossil collection it is GVT). The scan is a single in-place filter.
 func (lp *lpRuntime) flushOldSends(next Time) {
 	if len(lp.oldSends) == 0 {
 		return
 	}
 	keep := lp.oldSends[:0]
-	for _, e := range lp.oldSends {
+	for i := range lp.oldSends {
+		e := lp.oldSends[i]
 		if e.time < next {
 			for _, s := range e.sent {
 				lp.cluster.sendAnti(s)
 			}
+			lp.cluster.evPool.put(e.sent)
 		} else {
 			keep = append(keep, e)
 		}
+	}
+	// Zero the vacated tail so recycled slices are not retained.
+	for i := len(keep); i < len(lp.oldSends); i++ {
+		lp.oldSends[i] = oldSendEntry{}
 	}
 	lp.oldSends = keep
 }
@@ -344,31 +427,33 @@ func (lp *lpRuntime) minPendingCancel() Time {
 // lies below gvt can never be regenerated (no execution happens below GVT),
 // so their sends are annihilated now — without this, an unregenerable entry
 // would hold the GVT floor at its send times forever and wedge the run.
+// Freed bundles return their event slices to the cluster pool and the
+// processed history is compacted in place, so steady-state fossil
+// collection allocates nothing.
 func (lp *lpRuntime) fossilCollect(gvt Time) uint64 {
-	if len(lp.oldSends) > 0 {
-		keep := lp.oldSends[:0]
-		for _, e := range lp.oldSends {
-			if e.time < gvt {
-				for _, s := range e.sent {
-					lp.cluster.sendAnti(s)
-				}
-			} else {
-				keep = append(keep, e)
-			}
-		}
-		lp.oldSends = keep
-	}
+	lp.flushOldSends(gvt)
 	idx := sort.Search(len(lp.processed), func(i int) bool { return lp.processed[i].time >= gvt })
 	if idx == 0 {
 		return 0
 	}
+	pool := &lp.cluster.evPool
 	var committed uint64
 	for i := 0; i < idx; i++ {
-		committed += uint64(len(lp.processed[i].events))
-		if lp.processed[i].time > lp.committedThrough {
-			lp.committedThrough = lp.processed[i].time
+		b := &lp.processed[i]
+		committed += uint64(len(b.events))
+		if b.time > lp.committedThrough {
+			lp.committedThrough = b.time
+		}
+		pool.put(b.events)
+		pool.put(b.sent)
+		if lp.recycler != nil {
+			lp.recycler.RecycleState(b.state)
 		}
 	}
-	lp.processed = append(lp.processed[:0:0], lp.processed[idx:]...)
+	n := copy(lp.processed, lp.processed[idx:])
+	for i := n; i < len(lp.processed); i++ {
+		lp.processed[i] = bundle{}
+	}
+	lp.processed = lp.processed[:n]
 	return committed
 }
