@@ -14,10 +14,13 @@
 //     refiners share one reusable scratch (dense lock sets, FM gain
 //     buckets), keeping the refinement inner loops allocation-free;
 //   - internal/timewarp: an optimistic parallel discrete event simulation
-//     kernel (Time Warp) with clusters, rollback, anti-messages, GVT,
-//     fossil collection, a configurable LAN model, and an optimism window.
-//     Event queues use non-boxing heaps and bundle/event slices are pooled
-//     across rollback and fossil collection;
+//     kernel (Time Warp) with clusters, rollback, anti-messages, fossil
+//     collection, a configurable LAN model, and an optimism window. GVT is
+//     an asynchronous Mattern-style two-cut protocol (colored messages,
+//     in-transit counts, control events on the cluster inboxes), so
+//     clusters never stop executing for a GVT round. Event queues use
+//     non-boxing heaps and bundle/event slices are pooled across rollback
+//     and fossil collection;
 //   - internal/smoketest: the `go build && run` harness behind the cmd/
 //     and examples/ entry-point smoke tests;
 //   - internal/seqsim: the sequential event-driven simulator used as the

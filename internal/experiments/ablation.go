@@ -80,11 +80,9 @@ func RunAblation(o Options, circuitName string, k int) (*AblationStudy, error) {
 		cfg.LazyCancellation = v.lazy
 		m := Measurement{Algorithm: v.name, Nodes: k}
 		for r := 0; r < o.Repeats; r++ {
-			res, err := runTimed(c, a, cfg, &m)
-			if err != nil {
+			if _, err := runTimed(c, a, cfg, &m, r); err != nil {
 				return nil, fmt.Errorf("experiments: %s: %w", v.name, err)
 			}
-			m.Committed = res.CommittedEvents
 		}
 		n := float64(o.Repeats)
 		m.Seconds /= n

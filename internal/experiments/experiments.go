@@ -138,7 +138,11 @@ type Measurement struct {
 	// RemoteMessages is the paper's "Number of Application Messages".
 	RemoteMessages float64
 	Rollbacks      float64
-	Committed      uint64
+	// Committed is the committed event count of the runs. Unlike the timing
+	// and message counters it is not an average: committed events are a
+	// correctness invariant, so every repeat must produce the same count and
+	// runTimed fails the measurement if they diverge.
+	Committed uint64
 }
 
 // measure runs circuit c under partitioner p on k nodes, averaging Repeats
@@ -149,16 +153,11 @@ func (o Options) measure(c *circuit.Circuit, p partition.Partitioner, k int) (Me
 	if err != nil {
 		return m, fmt.Errorf("experiments: %s: %w", p.Name(), err)
 	}
+	cfg := o.simConfig()
 	for r := 0; r < o.Repeats; r++ {
-		start := time.Now()
-		res, err := logicsim.Run(c, a, o.simConfig())
-		if err != nil {
+		if _, err := runTimed(c, a, cfg, &m, r); err != nil {
 			return m, fmt.Errorf("experiments: %s k=%d: %w", p.Name(), k, err)
 		}
-		m.Seconds += time.Since(start).Seconds()
-		m.RemoteMessages += float64(res.Stats.RemoteMessages)
-		m.Rollbacks += float64(res.Stats.Rollbacks)
-		m.Committed = res.CommittedEvents
 	}
 	n := float64(o.Repeats)
 	m.Seconds /= n
@@ -193,8 +192,12 @@ func (o Options) benchmarkCircuit(name string) (*circuit.Circuit, error) {
 	return circuit.NewBenchmark(name, o.Scale)
 }
 
-// runTimed executes one parallel run, accumulating time and counters into m.
-func runTimed(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config, m *Measurement) (logicsim.Result, error) {
+// runTimed executes repeat r of a measurement, accumulating time and
+// counters into m. The committed event count must be identical across
+// repeats — a run that commits a different number of events than its twin
+// is a correctness failure, not measurement noise — so the first repeat
+// records it and later repeats validate against it.
+func runTimed(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config, m *Measurement, r int) (logicsim.Result, error) {
 	start := time.Now()
 	res, err := logicsim.Run(c, a, cfg)
 	if err != nil {
@@ -203,5 +206,11 @@ func runTimed(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config, m
 	m.Seconds += time.Since(start).Seconds()
 	m.RemoteMessages += float64(res.Stats.RemoteMessages)
 	m.Rollbacks += float64(res.Stats.Rollbacks)
+	if r == 0 {
+		m.Committed = res.CommittedEvents
+	} else if res.CommittedEvents != m.Committed {
+		return res, fmt.Errorf("committed events nondeterministic across repeats: run 0 committed %d, run %d committed %d",
+			m.Committed, r, res.CommittedEvents)
+	}
 	return res, nil
 }

@@ -1,0 +1,71 @@
+package logicsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/seqsim"
+)
+
+// TestDeterminismMatrix is the end-to-end determinism suite for the
+// asynchronous GVT protocol: for every partitioner of the study, both
+// cancellation policies, and 1/2/8 clusters, a parallel run must commit
+// exactly the events of the sequential oracle and reproduce its output
+// history, output values, and final gate state. Any protocol race —
+// a message slipping under a GVT cut, a premature fossil collection, a
+// lost anti-message — shows up here as a committed-count or state mismatch.
+func TestDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "det280", Inputs: 8, Gates: 280, Outputs: 6, FlipFlops: 22, Seed: 31,
+	})
+	cfg := seqsim.Config{Cycles: 10, StimulusSeed: 77}
+	want, err := seqsim.Run(c, cfg)
+	if err != nil {
+		t.Fatalf("seqsim: %v", err)
+	}
+	if want.Events == 0 {
+		t.Fatal("sequential run processed no events")
+	}
+	for _, p := range partitioners() {
+		for _, lazy := range []bool{false, true} {
+			for _, k := range []int{1, 2, 8} {
+				name := fmt.Sprintf("%s/lazy=%v/k=%d", p.Name(), lazy, k)
+				t.Run(name, func(t *testing.T) {
+					a, err := p.Partition(c, k)
+					if err != nil {
+						t.Fatalf("partition: %v", err)
+					}
+					got, err := Run(c, a, Config{
+						Cycles:           cfg.Cycles,
+						StimulusSeed:     cfg.StimulusSeed,
+						LazyCancellation: lazy,
+					})
+					if err != nil {
+						t.Fatalf("logicsim: %v", err)
+					}
+					if got.CommittedEvents != want.Events {
+						t.Errorf("committed events = %d, sequential = %d", got.CommittedEvents, want.Events)
+					}
+					if got.OutputHistory != want.OutputHistory {
+						t.Errorf("output history = %#x, sequential = %#x", got.OutputHistory, want.OutputHistory)
+					}
+					for i := range want.OutputValues {
+						if got.OutputValues[i] != want.OutputValues[i] {
+							t.Errorf("output %d = %v, sequential = %v", i, got.OutputValues[i], want.OutputValues[i])
+						}
+					}
+					for id := range want.FinalValues {
+						if got.FinalValues[id] != want.FinalValues[id] {
+							t.Errorf("gate %d final = %v, sequential = %v", id, got.FinalValues[id], want.FinalValues[id])
+							break
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -78,6 +78,10 @@ func (p *eventPool) put(s []Event) {
 	p.free = append(p.free, s[:0])
 }
 
+// idleWait bounds how long an idle or window-stalled cluster blocks on its
+// inbox before re-checking scheduler, GVT and optimism-window state.
+const idleWait = 50 * time.Microsecond
+
 // cluster is one simulation node: a goroutine owning a set of LPs, an inbox
 // for inter-cluster messages, and a lowest-timestamp-first scheduler.
 type cluster struct {
@@ -106,11 +110,29 @@ type cluster struct {
 
 	eventsSinceGVT int
 	idleLoops      int
+
+	// color is the GVT round this cluster has joined; its parity stamps
+	// every outgoing message for the kernel's transit counts.
+	color int64
+	// redMin is the minimum receive time this cluster has sent since
+	// joining the current round — the bound on its messages that may still
+	// be in transit when the round's second cut closes.
+	redMin Time
+	// reportedRound is the last round this cluster sent a wave-2 report
+	// for; it makes duplicate report wakeups harmless.
+	reportedRound int64
+	// fossilAt is the GVT this cluster last fossil-collected at.
+	fossilAt Time
+	// idleTimer is the reusable timer behind waitInbox; time.After would
+	// allocate a fresh timer channel on every idle iteration.
+	idleTimer *time.Timer
 }
 
 // route delivers an event to its destination LP, locally or via the
 // destination cluster's inbox. positive distinguishes application messages
-// from anti-messages for accounting.
+// from anti-messages for accounting. Every routed message is stamped with
+// the cluster's current GVT color, counted in transit until delivered, and
+// folded into redMin so an in-flight message can never slip under a GVT cut.
 func (c *cluster) route(ev Event, positive bool) {
 	dst := c.kernel.clusterOf[ev.Receiver]
 	if positive {
@@ -120,7 +142,11 @@ func (c *cluster) route(ev Event, positive bool) {
 			c.stats.RemoteMessages++
 		}
 	}
-	atomic.AddInt64(&c.kernel.inFlight, 1)
+	ev.color = uint8(c.color & 1)
+	if ev.RecvTime < c.redMin {
+		c.redMin = ev.RecvTime
+	}
+	atomic.AddInt64(&c.kernel.transit[ev.color].n, 1)
 	if dst == c.id {
 		c.localQ = append(c.localQ, ev)
 		return
@@ -145,8 +171,8 @@ func (h *delayHeap) push(ev Event) { heapPush((*[]Event)(h), ev, delayLess) }
 func (h *delayHeap) pop() Event { return heapPop((*[]Event)(h), delayLess) }
 
 // deliverDue moves every delayed event whose wire time has elapsed into its
-// LP. force delivers everything regardless (GVT quiescence). Returns the
-// number delivered.
+// LP. force delivers everything regardless (initialization only). Returns
+// the number delivered.
 func (c *cluster) deliverDue(force bool) int {
 	n := 0
 	now := int64(0)
@@ -159,7 +185,7 @@ func (c *cluster) deliverDue(force bool) int {
 		}
 		ev := c.delayed.pop()
 		c.kernel.busy(c.kernel.cfg.NetRecvBusy)
-		atomic.AddInt64(&c.kernel.inFlight, -1)
+		atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
 		c.deliver(ev)
 		n++
 	}
@@ -167,14 +193,19 @@ func (c *cluster) deliverDue(force bool) int {
 }
 
 // receive accepts one event popped from the inbox channel, honoring the
-// modeled wire latency.
+// modeled wire latency. GVT control events are pure wakeups: they are
+// handled immediately and never reach an LP or the transit counts.
 func (c *cluster) receive(ev Event) int {
+	if ev.ctrl != ctrlNone {
+		c.checkGVT()
+		return 0
+	}
 	if ev.dueNano > 0 && time.Now().UnixNano() < ev.dueNano {
 		c.delayed.push(ev)
 		return 0
 	}
 	c.kernel.busy(c.kernel.cfg.NetRecvBusy)
-	atomic.AddInt64(&c.kernel.inFlight, -1)
+	atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
 	c.deliver(ev)
 	return 1
 }
@@ -187,7 +218,7 @@ func (c *cluster) drainLocal() int {
 	for c.localHead < len(c.localQ) {
 		ev := c.localQ[c.localHead]
 		c.localHead++
-		atomic.AddInt64(&c.kernel.inFlight, -1)
+		atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
 		c.deliver(ev)
 		n++
 	}
@@ -250,8 +281,11 @@ func (c *cluster) drainInbox() int {
 	}
 }
 
-// drainAll empties the inbox and the modeled wire unconditionally; used by
-// GVT quiescence and initialization.
+// drainAll empties the inbox and the modeled wire unconditionally; only
+// single-threaded initialization uses it, before the coordinator exists, so
+// no control event can be in flight here (the steady state never
+// force-drains the wire — the GVT protocol counts on-the-wire messages
+// instead of flushing them).
 func (c *cluster) drainAll() int {
 	n := c.deliverDue(true)
 	for {
@@ -262,13 +296,74 @@ func (c *cluster) drainAll() int {
 				n += c.deliverDue(true)
 			} else {
 				c.kernel.busy(c.kernel.cfg.NetRecvBusy)
-				atomic.AddInt64(&c.kernel.inFlight, -1)
+				atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
 				c.deliver(ev)
 				n++
 			}
 		default:
 			return n
 		}
+	}
+}
+
+// checkGVT runs the cluster-side half of the asynchronous GVT protocol:
+// join a newly opened round (wave 1) and report once the coordinator opens
+// wave 2. Both steps are cheap atomic probes; the main loop calls this every
+// iteration and control events trigger it early on idle clusters.
+func (c *cluster) checkGVT() {
+	k := c.kernel
+	if r := atomic.LoadInt64(&k.round); r > c.color {
+		// Wave 1 cut: turn red. Messages sent from here on carry the new
+		// color; redMin starts tracking their minimum receive time.
+		c.color = r
+		c.redMin = TimeInfinity
+		atomic.AddInt32(&k.cutAcks, 1)
+	}
+	if r := atomic.LoadInt64(&k.reportRound); r == c.color && c.reportedRound < r {
+		// Wave 2: every pre-cut message is accounted for (the white transit
+		// count reached zero before the coordinator opened this wave, and
+		// any that landed here were delivered before this call on this
+		// goroutine), so min(local work, red sends) is a sound contribution.
+		c.reportedRound = r
+		m := c.localMin()
+		if c.redMin < m {
+			m = c.redMin
+		}
+		atomic.StoreInt64(&k.reports[c.id].t, m)
+		atomic.AddInt32(&k.reportAcks, 1)
+		// Participating in a round resets the request period, preserving
+		// the one-round-per-GVTPeriodEvents cadence across the fleet.
+		c.eventsSinceGVT = 0
+	}
+}
+
+// maybeFossil commits history whenever the published GVT has advanced past
+// the last value this cluster collected at. Fossil collection is local: no
+// coordination with other clusters, no round barrier.
+func (c *cluster) maybeFossil() {
+	if g := c.kernel.GVT(); g > c.fossilAt {
+		c.fossilAt = g
+		c.fossilCollect(g)
+	}
+}
+
+// waitInbox blocks for at most idleWait for an inbound event (a remote
+// straggler or a GVT control wakeup). Idle and window-stalled clusters both
+// use it, so neither spins a core; an arriving event is handled immediately,
+// so waiting never delays straggler receipt.
+func (c *cluster) waitInbox() {
+	if c.idleTimer == nil {
+		c.idleTimer = time.NewTimer(idleWait)
+	} else {
+		c.idleTimer.Reset(idleWait)
+	}
+	select {
+	case ev := <-c.inbox:
+		c.idleTimer.Stop()
+		if c.receive(ev) > 0 {
+			c.idleLoops = 0
+		}
+	case <-c.idleTimer.C:
 	}
 }
 
@@ -295,8 +390,8 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 			continue
 		}
 		if t > horizon {
-			// Beyond the window: put the entry back and wait for GVT to
-			// advance. The heap minimum is beyond the horizon, so every
+			// Beyond the window: put the entry back and wait for the floor
+			// to advance. The heap minimum is beyond the horizon, so every
 			// other entry is too.
 			c.sched.push(schedEntry{t: t, lp: e.lp})
 			return 0, true
@@ -316,44 +411,30 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 	return 0, false
 }
 
-// run is the cluster's main loop.
+// run is the cluster's main loop. GVT rounds happen asynchronously around
+// it: the loop keeps draining and executing events while a round is in
+// flight, and the round's cut/report steps are single checkGVT probes.
 func (c *cluster) run() {
 	k := c.kernel
 	for atomic.LoadInt32(&k.done) == 0 {
-		if atomic.LoadInt32(&k.gvtFlag) == 1 {
-			k.gvtRound(c)
-			continue
+		if c.id == 0 {
+			k.coordinate()
 		}
 		moved := c.drainLocal() + c.drainInbox()
 		c.flushOut()
+		c.checkGVT()
 		n, windowStalled := c.executeOne()
 		c.drainLocal()
+		c.maybeFossil()
 		c.eventsSinceGVT += n
 		if c.eventsSinceGVT >= k.cfg.GVTPeriodEvents {
 			c.eventsSinceGVT = 0
 			k.requestGVT()
 		}
-		if n == 0 && moved == 0 && !windowStalled {
-			c.idleLoops++
-			if c.idleLoops >= 16 {
-				// Idle clusters push the run toward a GVT round so
-				// termination (GVT = infinity) is detected promptly.
-				k.requestGVTIfStale()
-				c.idleLoops = 0
-			}
-			// Wait briefly for remote events without missing GVT entry.
-			select {
-			case ev := <-c.inbox:
-				if c.receive(ev) > 0 {
-					c.idleLoops = 0
-				}
-			case <-time.After(50 * time.Microsecond):
-			}
-		} else {
-			c.idleLoops = 0
-		}
 		// Publish progress for the optimism throttle: this cluster's next
 		// work time (the scheduler top is accurate after executeOne).
+		// Publishing before any idle wait keeps the floor fresh for
+		// clusters stalled against the window.
 		if k.cfg.OptimismWindow > 0 {
 			next := TimeInfinity
 			if len(c.sched) > 0 {
@@ -361,7 +442,30 @@ func (c *cluster) run() {
 			}
 			k.publishProgress(c.id, next)
 		}
+		switch {
+		case n > 0 || moved > 0:
+			c.idleLoops = 0
+		case windowStalled:
+			// All local work lies beyond the optimism horizon. Wait like an
+			// idle cluster instead of spinning a core until the floor moves;
+			// stragglers and GVT wakeups still interrupt the wait instantly.
+			// No GVT request: the window throttles against the published
+			// progress floor, not GVT.
+			c.waitInbox()
+		default:
+			c.idleLoops++
+			if c.idleLoops >= 16 {
+				// Idle clusters nudge the run toward a GVT round so
+				// termination (GVT = infinity) is detected promptly.
+				k.requestGVTIfStale()
+				c.idleLoops = 0
+			}
+			c.waitInbox()
+		}
 	}
+	// Terminal GVT is infinity and the network is empty: commit everything
+	// that is still uncollected.
+	c.fossilCollect(k.GVT())
 }
 
 // localMin returns the earliest pending work of this cluster's LPs: the

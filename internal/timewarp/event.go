@@ -5,9 +5,19 @@
 // cluster models one workstation-level simulation process, and clusters
 // exchange timestamped event messages over channels. Each LP keeps input,
 // output and state queues; stragglers trigger rollback with aggressive (or
-// optionally lazy) cancellation via anti-messages; a stop-the-world GVT
-// computation bounds rollback, drives fossil collection, and detects
-// termination.
+// optionally lazy) cancellation via anti-messages.
+//
+// GVT (global virtual time) is computed by an asynchronous Mattern-style
+// two-cut protocol rather than a stop-the-world barrier: every message is
+// stamped with its sender's round color and counted in a per-color
+// in-transit counter; a round's first wave turns all clusters red and waits
+// (without stopping anyone) for the previous color's count to drain to
+// zero, and the second wave collects min(local pending work, minimum
+// receive time sent since the cut) from each cluster. GVT is the minimum
+// over those reports; it bounds rollback, drives per-cluster fossil
+// collection, and detects termination (GVT = infinity) — all while the
+// clusters keep executing events. See Kernel in kernel.go for the full
+// protocol walkthrough.
 //
 // LPs process events in timestamp bundles: all events for one LP that share
 // a receive time are executed together, and a late arrival for an
@@ -30,6 +40,17 @@ type LPID int32
 // NoLP is the nil LP id; it appears as the sender of kernel-internal events.
 const NoLP LPID = -1
 
+// GVT control message kinds (Event.ctrl). Control events ride the cluster
+// inboxes so an idle cluster blocked on its inbox wakes immediately, but
+// they carry no payload: the receiving cluster just probes the kernel's
+// round atomics (checkGVT). They are never counted in transit and never
+// reach an LP.
+const (
+	ctrlNone   uint8 = iota
+	ctrlCut          // wave 1: a GVT round opened; join it (turn red)
+	ctrlReport       // wave 2: the cut closed; report the local minimum
+)
+
 // Event is a timestamped message between LPs. Events are value types: the
 // kernel copies them freely between queues and clusters.
 type Event struct {
@@ -42,6 +63,11 @@ type Event struct {
 	RecvTime Time
 	// Anti marks an anti-message (annihilator).
 	Anti bool
+	// color is the sender's GVT round parity at send time; the matching
+	// in-transit counter is decremented when the event is delivered.
+	color uint8
+	// ctrl marks kernel GVT control messages (ctrlCut/ctrlReport).
+	ctrl uint8
 	// Kind and Value are application payload; the kernel does not
 	// interpret them.
 	Kind  int32

@@ -1,0 +1,139 @@
+package timewarp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGVTRoundsProgressWithoutBarrier drives a run with a small GVT period
+// so many asynchronous rounds fire, and checks the protocol's external
+// contract: rounds complete, GVT reaches infinity, and the committed total
+// is exact.
+func TestGVTRoundsProgressWithoutBarrier(t *testing.T) {
+	a := &pingLP{peer: 1, limit: 400, delay: 3, start: true}
+	b := &pingLP{peer: 0, limit: 400, delay: 3}
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}, GVTPeriodEvents: 16}, []Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GVTRounds < 2 {
+		t.Errorf("GVT rounds = %d, want several with a 16-event period", stats.GVTRounds)
+	}
+	if stats.FinalGVT != TimeInfinity {
+		t.Errorf("final GVT = %d, want infinity", stats.FinalGVT)
+	}
+	if stats.EventsCommitted != 401 {
+		t.Errorf("committed = %d, want 401", stats.EventsCommitted)
+	}
+}
+
+// TestTransitCountsDrainToZero: after a run terminates, both color counters
+// must be exactly zero — any imbalance means a message was counted on one
+// color and delivered on another (or a delivery path missed its decrement),
+// which would wedge or corrupt a later cut.
+func TestTransitCountsDrainToZero(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		v := &stragglerVictim{limit: 300}
+		s := &stragglerSender{victim: 0, n: 290}
+		k, err := New(Config{
+			NumClusters: 2, ClusterOf: []int{0, 1},
+			GVTPeriodEvents: 32, LazyCancellation: lazy,
+			NetLatency: 50 * time.Microsecond,
+		}, []Handler{v, s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for color := 0; color < 2; color++ {
+			if n := atomic.LoadInt64(&k.transit[color].n); n != 0 {
+				t.Errorf("lazy=%v: transit[%d] = %d after termination, want 0", lazy, color, n)
+			}
+		}
+	}
+}
+
+// TestGVTStressEightClusters is the configuration CI runs under
+// -race -count=3: eight clusters, modeled wire latency (so white messages
+// straddle cuts), lazy cancellation (so minPendingCancel feeds the
+// reports), and a small GVT period (so rounds overlap execution
+// constantly). It asserts termination, the commit invariant, and
+// run-to-run determinism of the rolled-back state.
+func TestGVTStressEightClusters(t *testing.T) {
+	run := func() (int64, RunStats) {
+		const chains = 16
+		handlers := make([]Handler, 0, chains+4)
+		clusterOf := make([]int, 0, chains+4)
+		for i := 0; i < chains; i++ {
+			handlers = append(handlers, &chainLP{limit: 250})
+			clusterOf = append(clusterOf, i%8)
+		}
+		// Two straggler pairs spanning cluster boundaries keep rollbacks and
+		// anti-messages flowing through every GVT cut.
+		handlers = append(handlers,
+			&stragglerVictim{limit: 350}, &stragglerSender{victim: LPID(chains), n: 340},
+			&stragglerVictim{limit: 350}, &stragglerSender{victim: LPID(chains + 2), n: 340},
+		)
+		clusterOf = append(clusterOf, 0, 7, 3, 5)
+		k, err := New(Config{
+			NumClusters:      8,
+			ClusterOf:        clusterOf,
+			GVTPeriodEvents:  64,
+			LazyCancellation: true,
+			NetLatency:       100 * time.Microsecond,
+		}, handlers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.FinalGVT != TimeInfinity {
+			t.Fatalf("run did not terminate (GVT=%d)", stats.FinalGVT)
+		}
+		if stats.EventsProcessed-stats.EventsRolledBack != stats.EventsCommitted {
+			t.Fatalf("processed-rolledback=%d != committed=%d",
+				stats.EventsProcessed-stats.EventsRolledBack, stats.EventsCommitted)
+		}
+		sum := handlers[chains].(*stragglerVictim).sum + handlers[chains+2].(*stragglerVictim).sum
+		return sum, stats
+	}
+	sum1, stats1 := run()
+	sum2, stats2 := run()
+	if sum1 != sum2 {
+		t.Errorf("straggler state differs across runs: %d vs %d", sum1, sum2)
+	}
+	if stats1.EventsCommitted != stats2.EventsCommitted {
+		t.Errorf("committed differs across runs: %d vs %d", stats1.EventsCommitted, stats2.EventsCommitted)
+	}
+}
+
+// TestIdleTerminationIsPrompt: a run whose work ends quickly must not hang
+// waiting for GVT rounds — idle clusters request a round and the
+// asynchronous protocol concludes GVT = infinity well inside a second.
+func TestIdleTerminationIsPrompt(t *testing.T) {
+	a := &pingLP{peer: 1, limit: 5, delay: 2, start: true}
+	b := &pingLP{peer: 0, limit: 5, delay: 2}
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}}, []Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalGVT != TimeInfinity {
+		t.Errorf("final GVT = %d, want infinity", stats.FinalGVT)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("termination took %v, want well under a second", elapsed)
+	}
+}

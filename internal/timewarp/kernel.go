@@ -15,8 +15,8 @@ type Config struct {
 	// ClusterOf maps every LP (by index) to its cluster; this is the
 	// partition assignment under study.
 	ClusterOf []int
-	// GVTPeriodEvents triggers a GVT round after a cluster has executed
-	// this many events since the last round. Default 4096.
+	// GVTPeriodEvents requests a GVT round after a cluster has executed
+	// this many events since it last took part in a round. Default 4096.
 	GVTPeriodEvents int
 	// LazyCancellation enables lazy cancellation: rolled-back sends are
 	// annihilated only if re-execution fails to regenerate them. The
@@ -31,9 +31,10 @@ type Config struct {
 	// NetLatency is the modeled one-way wall-clock delivery delay of an
 	// inter-cluster message. Events become visible to the receiving
 	// cluster only after this delay, reproducing the straggler dynamics of
-	// a LAN-connected Time Warp (stop-the-world GVT rounds flush the
-	// modeled network, so latency never delays termination detection).
-	// Zero disables the model.
+	// a LAN-connected Time Warp. A GVT round's cut cannot close while such
+	// a message is on the modeled wire (it is counted in transit), so GVT
+	// latency grows with NetLatency exactly as on a real LAN, but clusters
+	// keep executing while the cut waits. Zero disables the model.
 	NetLatency time.Duration
 	// InboxSize is the per-cluster channel capacity. Default 8192.
 	InboxSize int
@@ -75,8 +76,43 @@ type RunStats struct {
 	WallTime   time.Duration
 }
 
+// Coordinator phases of the asynchronous GVT round (kernel.phase; owned by
+// cluster 0's goroutine, no atomics needed).
+const (
+	phaseIdle    int32 = iota // no round in progress
+	phaseCut                  // wave 1: cut broadcast; waiting for joins + white drain
+	phaseCollect              // wave 2: report broadcast; waiting for reports
+)
+
 // Kernel is one Time Warp simulation instance. Build it with New, run it
 // once with Run.
+//
+// GVT is computed by an asynchronous Mattern-style two-cut protocol instead
+// of a stop-the-world barrier: clusters never stop executing events while a
+// round is in flight. Every message is stamped with its sender's round
+// parity ("color") and counted in transit[parity] until delivered. A round
+// proceeds in two waves driven by the coordinator (cluster 0) from inside
+// its ordinary main loop:
+//
+//   - Wave 1 (cut): the coordinator bumps the round counter and posts
+//     ctrlCut wakeups to every inbox. Each cluster joins the round the next
+//     time it looks (turning its sends "red" and resetting redMin, the
+//     minimum receive time it has sent since the cut) and acknowledges via
+//     cutAcks. Once every cluster has joined, no more "white"
+//     (previous-parity) messages can be created, so the white transit count
+//     drains monotonically to zero — at which point every pre-cut message
+//     has been delivered into some LP's queues.
+//   - Wave 2 (report): the coordinator opens reportRound and posts
+//     ctrlReport wakeups. Each cluster reports min(its local min over
+//     pending events and lazily-cancellable rolled-back sends, its redMin)
+//     — redMin covers red messages still in transit across the second cut.
+//     When all reports are in, GVT = min(reports): every message in flight
+//     at the second cut is red and bounded by some sender's redMin, and
+//     every queued straggler is bounded by its holder's local min.
+//
+// Fossil collection is not a round step: each cluster commits history on
+// its own schedule whenever it observes the published GVT advance.
+// Termination is GVT = TimeInfinity (no pending work, nothing in transit).
 type Kernel struct {
 	cfg       Config
 	lps       []*lpRuntime
@@ -84,23 +120,36 @@ type Kernel struct {
 	clusterOf []int
 
 	eventID     uint64
-	inFlight    int64
 	gvtFlag     int32
 	done        int32
 	gvt         int64
-	quietVotes  int32
 	lastGVTNano int64
 
-	bar         *reusableBarrier
-	localMins   []Time
-	gvtRounds   int
+	// transit counts undelivered messages (inboxes, intra-cluster queues,
+	// the modeled wire, and unflushed outPending buffers) by round parity.
+	transit [2]paddedCount
+
+	// Round broadcast state: round and reportRound open the two waves;
+	// cutAcks/reportAcks count cluster responses; reports holds each
+	// cluster's wave-2 minimum.
+	round       int64
+	reportRound int64
+	cutAcks     int32
+	reportAcks  int32
+	reports     []paddedTime
+
+	// Coordinator-only round bookkeeping (cluster 0's goroutine).
+	phase       int32
 	prevGVT     Time
 	stuckRounds int
+	gvtRounds   int
+	pendingCtrl []int // clusters still owed the current wave's control event
+	pendingKind uint8
 
 	// published holds each cluster's continuously self-reported next work
 	// time. The optimism window throttles against min(published) instead
-	// of the (expensive, stop-the-world) GVT, so throttling never forces
-	// extra GVT rounds. Entries are padded to avoid false sharing.
+	// of GVT, so throttling never forces extra GVT rounds. Entries are
+	// padded to avoid false sharing.
 	published []paddedTime
 
 	ran bool
@@ -117,17 +166,19 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 	k := &Kernel{
 		cfg:       cfg,
 		clusterOf: cfg.ClusterOf,
-		localMins: make([]Time, cfg.NumClusters),
-		bar:       newReusableBarrier(cfg.NumClusters),
+		reports:   make([]paddedTime, cfg.NumClusters),
 		gvt:       -1,
+		prevGVT:   -2,
 		published: make([]paddedTime, cfg.NumClusters),
 	}
 	k.clusters = make([]*cluster, cfg.NumClusters)
 	for i := range k.clusters {
 		k.clusters[i] = &cluster{
-			kernel: k,
-			id:     i,
-			inbox:  make(chan Event, cfg.InboxSize),
+			kernel:   k,
+			id:       i,
+			inbox:    make(chan Event, cfg.InboxSize),
+			redMin:   TimeInfinity,
+			fossilAt: -1,
 		}
 	}
 	k.lps = make([]*lpRuntime, len(handlers))
@@ -160,8 +211,8 @@ func (k *Kernel) requestGVTAfter(d time.Duration) {
 }
 
 // requestGVTIfStale requests a round only if none completed recently; idle
-// clusters use it so termination is detected without stalling busy clusters
-// with back-to-back stop-the-world rounds.
+// clusters use it so termination (GVT = infinity) is detected promptly
+// without spamming busy clusters with back-to-back rounds.
 func (k *Kernel) requestGVTIfStale() {
 	k.requestGVTAfter(2 * time.Millisecond)
 }
@@ -188,6 +239,12 @@ type paddedTime struct {
 	_ [7]int64
 }
 
+// paddedCount is a cache-line padded atomic counter.
+type paddedCount struct {
+	n int64
+	_ [7]int64
+}
+
 // publishProgress records cluster id's next work time for the optimism
 // window.
 func (k *Kernel) publishProgress(id int, t Time) {
@@ -207,6 +264,12 @@ func (k *Kernel) progressFloor() Time {
 	return min
 }
 
+// inTransit returns the total undelivered message count across both colors;
+// only initialization (single-threaded) needs the colorless total.
+func (k *Kernel) inTransit() int64 {
+	return atomic.LoadInt64(&k.transit[0].n) + atomic.LoadInt64(&k.transit[1].n)
+}
+
 // Run initializes every LP, runs the clusters to completion (GVT = infinity)
 // and returns the aggregated statistics. A kernel can run only once.
 func (k *Kernel) Run() (RunStats, error) {
@@ -222,7 +285,7 @@ func (k *Kernel) Run() (RunStats, error) {
 		lp.handler.Init(ctx)
 	}
 	// Initial events must land in LP queues before the clusters start.
-	for atomic.LoadInt64(&k.inFlight) != 0 {
+	for k.inTransit() != 0 {
 		for _, c := range k.clusters {
 			c.flushOut()
 			c.drainLocal()
@@ -262,45 +325,48 @@ func (k *Kernel) Run() (RunStats, error) {
 	return stats, nil
 }
 
-// gvtRound is the stop-the-world GVT protocol. Every cluster calls it when
-// it observes the gvtFlag; the round computes min over all pending work
-// after the network has quiesced, fossil-collects, and detects termination.
-func (k *Kernel) gvtRound(c *cluster) {
-	k.bar.wait() // everyone stopped processing
-
-	// Collective quiescence: drain until no message is in flight anywhere.
-	// Draining can trigger rollbacks that send anti-messages, so the check
-	// repeats under a barrier until the network is provably empty.
-	for {
-		c.flushOut()
-		c.drainLocal()
-		c.drainAll()
-		c.drainLocal()
-		k.bar.wait()
-		quiet := atomic.LoadInt64(&k.inFlight) == 0 && len(c.outPending) == 0
-		// A cluster with unflushable output is not quiet; publish by
-		// voting through a shared counter.
-		if quiet {
-			atomic.AddInt32(&k.quietVotes, 1)
+// coordinate advances the GVT round state machine by at most one step.
+// Cluster 0 calls it once per main-loop iteration; every step is
+// non-blocking, so the coordinator keeps draining and executing events
+// while a round is in flight.
+func (k *Kernel) coordinate() {
+	switch k.phase {
+	case phaseIdle:
+		if atomic.LoadInt32(&k.gvtFlag) == 0 {
+			return
 		}
-		k.bar.wait()
-		allQuiet := atomic.LoadInt32(&k.quietVotes) == int32(len(k.clusters))
-		k.bar.wait()
-		if c.id == 0 {
-			atomic.StoreInt32(&k.quietVotes, 0)
+		// Requests observed from here on belong to the next round.
+		atomic.StoreInt32(&k.gvtFlag, 0)
+		// Ack counters must be reset before the round counter is bumped:
+		// a cluster that observes the new round immediately acks into them.
+		atomic.StoreInt32(&k.cutAcks, 0)
+		atomic.StoreInt32(&k.reportAcks, 0)
+		atomic.AddInt64(&k.round, 1)
+		k.phase = phaseCut
+		k.broadcastCtrl(ctrlCut)
+	case phaseCut:
+		k.flushCtrl()
+		if atomic.LoadInt32(&k.cutAcks) != int32(len(k.clusters)) {
+			return
 		}
-		if allQuiet {
-			break
+		// All clusters are red; the previous color's in-transit count can
+		// only shrink. Zero means every pre-cut message has been delivered.
+		white := 1 - atomic.LoadInt64(&k.round)&1
+		if atomic.LoadInt64(&k.transit[white].n) != 0 {
+			return
 		}
-	}
-
-	k.localMins[c.id] = c.localMin()
-	k.bar.wait()
-	if c.id == 0 {
+		atomic.StoreInt64(&k.reportRound, atomic.LoadInt64(&k.round))
+		k.phase = phaseCollect
+		k.broadcastCtrl(ctrlReport)
+	case phaseCollect:
+		k.flushCtrl()
+		if atomic.LoadInt32(&k.reportAcks) != int32(len(k.clusters)) {
+			return
+		}
 		gvt := TimeInfinity
-		for _, m := range k.localMins {
-			if m < gvt {
-				gvt = m
+		for i := range k.reports {
+			if t := atomic.LoadInt64(&k.reports[i].t); t < gvt {
+				gvt = t
 			}
 		}
 		if gvt != TimeInfinity && gvt == k.prevGVT {
@@ -314,24 +380,57 @@ func (k *Kernel) gvtRound(c *cluster) {
 		k.prevGVT = gvt
 		atomic.StoreInt64(&k.gvt, gvt)
 		k.gvtRounds++
+		atomic.StoreInt64(&k.lastGVTNano, time.Now().UnixNano())
+		k.phase = phaseIdle
 		if gvt == TimeInfinity {
 			atomic.StoreInt32(&k.done, 1)
 		}
 	}
-	k.bar.wait()
-	c.fossilCollect(k.GVT())
-	c.eventsSinceGVT = 0
-	k.bar.wait()
-	if c.id == 0 {
-		atomic.StoreInt64(&k.lastGVTNano, time.Now().UnixNano())
-		atomic.StoreInt32(&k.gvtFlag, 0)
+}
+
+// broadcastCtrl posts one control event of the given kind to every other
+// cluster's inbox as a wakeup. Full inboxes are retried by flushCtrl on
+// later coordinator iterations (the broadcast itself never blocks). The
+// receiving side is idempotent — control events carry no data, they only
+// make an idle cluster look at the round atomics promptly.
+func (k *Kernel) broadcastCtrl(kind uint8) {
+	k.pendingKind = kind
+	k.pendingCtrl = k.pendingCtrl[:0]
+	for i := 1; i < len(k.clusters); i++ {
+		if !k.trySendCtrl(i, kind) {
+			k.pendingCtrl = append(k.pendingCtrl, i)
+		}
 	}
-	k.bar.wait()
+}
+
+func (k *Kernel) trySendCtrl(i int, kind uint8) bool {
+	select {
+	case k.clusters[i].inbox <- Event{Sender: NoLP, Receiver: NoLP, ctrl: kind}:
+		return true
+	default:
+		return false
+	}
+}
+
+// flushCtrl retries control events that found a full inbox.
+func (k *Kernel) flushCtrl() {
+	if len(k.pendingCtrl) == 0 {
+		return
+	}
+	keep := k.pendingCtrl[:0]
+	for _, i := range k.pendingCtrl {
+		if !k.trySendCtrl(i, k.pendingKind) {
+			keep = append(keep, i)
+		}
+	}
+	k.pendingCtrl = keep
 }
 
 // dumpStuck reports the kernel state when GVT has not advanced for thousands
 // of rounds: an unexecutable GVT floor indicates a kernel bug, so fail
-// loudly with enough context to locate the holder.
+// loudly with enough context to locate the holder. The dump reads other
+// clusters' state without synchronization — the kernel is already broken
+// and about to panic, so a torn diagnostic beats a silent wedge.
 func (k *Kernel) dumpStuck(gvt Time) {
 	var sb []byte
 	add := func(f string, a ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(f, a...))...) }

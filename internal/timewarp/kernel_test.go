@@ -1,8 +1,6 @@
 package timewarp
 
 import (
-	"sync"
-	"sync/atomic"
 	"testing"
 )
 
@@ -266,36 +264,6 @@ func TestKernelRunsOnce(t *testing.T) {
 	}
 	if _, err := k.Run(); err == nil {
 		t.Error("second Run accepted")
-	}
-}
-
-func TestReusableBarrier(t *testing.T) {
-	const n = 8
-	b := newReusableBarrier(n)
-	var phase int32
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for round := 0; round < 50; round++ {
-				cur := atomic.LoadInt32(&phase)
-				b.wait()
-				// After the barrier everyone must observe phase advanced by
-				// the leader of the previous round.
-				if atomic.LoadInt32(&phase) < cur {
-					t.Error("phase went backwards")
-					return
-				}
-				b.wait()
-				atomic.CompareAndSwapInt32(&phase, int32(round), int32(round+1))
-				b.wait()
-			}
-		}()
-	}
-	wg.Wait()
-	if phase != 50 {
-		t.Errorf("phase = %d, want 50", phase)
 	}
 }
 

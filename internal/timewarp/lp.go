@@ -187,9 +187,11 @@ func (lp *lpRuntime) annihilate(anti Event) {
 func (lp *lpRuntime) rollback(t Time) {
 	if t <= lp.committedThrough {
 		// GVT guarantees no message (positive or anti) arrives at or below
-		// the committed horizon; reaching this line means the kernel's GVT
-		// or cancellation protocol is broken, which would silently corrupt
-		// results, so fail loudly.
+		// the committed horizon — under the asynchronous protocol every
+		// in-transit message is bounded by a transit count or a redMin
+		// report. Reaching this line means the kernel's GVT or cancellation
+		// protocol is broken, which would silently corrupt results, so fail
+		// loudly.
 		panic("timewarp: rollback below committed horizon")
 	}
 	idx := sort.Search(len(lp.processed), func(i int) bool { return lp.processed[i].time >= t })
@@ -409,7 +411,10 @@ func (lp *lpRuntime) flushOldSends(next Time) {
 
 // minPendingCancel returns the earliest receive time of a rolled-back send
 // that lazy cancellation may still annihilate. These unsent anti-messages
-// bound GVT exactly like in-flight messages do.
+// bound GVT exactly like in-flight messages do: cluster.localMin folds this
+// value into every wave-2 GVT report, so the asynchronous protocol keeps a
+// continuous floor under lazy cancellation even though entries appear
+// (rollback) and drain (regeneration, flush) between cuts.
 func (lp *lpRuntime) minPendingCancel() Time {
 	min := TimeInfinity
 	for _, e := range lp.oldSends {
