@@ -1,13 +1,19 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, the
+// static-vs-dynamic partitioning study, and the machine-readable benchmark
+// trajectory.
 //
 // Usage:
 //
-//	experiments -table1 -table2 -fig4 -fig5 -fig6 -quality -linear [-all]
+//	experiments -table1 -table2 -fig4 -fig5 -fig6 -quality -linear -ablation
+//	    -dynamic [-all] [-json BENCH.json]
 //	    [-scale 0.12] [-cycles 8] [-grain 1500] [-repeats 1] [-nodes 8]
 //	    [-out results]
 //
 // Each selected experiment writes markdown/CSV into the -out directory and a
-// summary to stdout. -paper selects the full-scale configuration.
+// summary to stdout. -paper selects the full-scale configuration. -json runs
+// the benchmark scenarios (partitioner hot paths, runtime rebalancing, Time
+// Warp throughput static and dynamic) and writes one BenchReport; CI uploads
+// the file per run, so the repository accumulates a perf trajectory.
 package main
 
 import (
@@ -30,8 +36,10 @@ func main() {
 		doQuality = flag.Bool("quality", false, "partition quality study")
 		doLinear  = flag.Bool("linear", false, "multilevel linear-time study")
 		doAblate  = flag.Bool("ablation", false, "refiner/coarsener/cancellation ablation")
+		doDynamic = flag.Bool("dynamic", false, "static-vs-dynamic partitioning study (hotspot workload)")
 		doAll     = flag.Bool("all", false, "run every experiment")
 		paper     = flag.Bool("paper", false, "full-scale (paper-sized) configuration")
+		jsonOut   = flag.String("json", "", "write machine-readable benchmark results (ns/op, allocs/op, committed-event throughput) to this file")
 
 		scale   = flag.Float64("scale", 0, "circuit scale (0 = configuration default)")
 		cycles  = flag.Int("cycles", 0, "simulated clock cycles")
@@ -77,10 +85,10 @@ func main() {
 	}
 
 	if *doAll {
-		*doTable1, *doTable2, *doFig4, *doFig5, *doFig6, *doQuality, *doLinear, *doAblate = true, true, true, true, true, true, true, true
+		*doTable1, *doTable2, *doFig4, *doFig5, *doFig6, *doQuality, *doLinear, *doAblate, *doDynamic = true, true, true, true, true, true, true, true, true
 	}
-	if !*doTable1 && !*doTable2 && !*doFig4 && !*doFig5 && !*doFig6 && !*doQuality && !*doLinear && !*doAblate {
-		fmt.Fprintln(os.Stderr, "nothing selected; pass -all or one of -table1 -table2 -fig4 -fig5 -fig6 -quality -linear")
+	if !*doTable1 && !*doTable2 && !*doFig4 && !*doFig5 && !*doFig6 && !*doQuality && !*doLinear && !*doAblate && !*doDynamic && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "nothing selected; pass -all, -json <file>, or one of -table1 -table2 -fig4 -fig5 -fig6 -quality -linear -ablation -dynamic")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -150,6 +158,29 @@ func main() {
 		writeFile(filepath.Join(*outDir, "ablation.md"), ab.WriteMarkdown)
 		fmt.Println("## Ablation")
 		ab.WriteMarkdown(os.Stdout)
+	}
+	if *doDynamic {
+		dyn, err := experiments.RunDynamic(opts, "s9234", 4, progress)
+		if err != nil {
+			fatal(err)
+		}
+		writeBoth(*outDir, "dynamic", dyn.WriteMarkdown, dyn.WriteCSV)
+		fmt.Println("## Static vs dynamic partitioning (hotspot workload)")
+		dyn.WriteMarkdown(os.Stdout)
+	}
+	if *jsonOut != "" {
+		fh, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.RunBenchJSON(opts, fh); err != nil {
+			fh.Close()
+			fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchmark results written to %s\n", *jsonOut)
 	}
 	if *doLinear {
 		sizes := []int{500, 1000, 2000, 4000, 8000, 16000, 32000}

@@ -14,3 +14,13 @@ func TestExperimentsSmoke(t *testing.T) {
 		"## Table 1",
 	)
 }
+
+// TestExperimentsDynamicSmoke runs the static-vs-dynamic study end to end at
+// a tiny scale.
+func TestExperimentsDynamicSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{"-dynamic", "-scale", "0.04", "-cycles", "4", "-grain", "0", "-net", "0", "-q", "-out", "results"},
+		"## Static vs dynamic partitioning (hotspot workload)",
+		"Speedup",
+	)
+}

@@ -5,7 +5,11 @@
 //
 //	parsim -bench s9234 -scale 0.3 -nodes 8 -algo multilevel -cycles 10
 //	parsim -nodes 4 circuit.bench
+//	parsim -bench s9234 -nodes 8 -hotspot -dynamic -rebalance-period 2
 //
+// -hotspot concentrates stimulus in a rotating cone of the circuit;
+// -dynamic enables GVT-synchronized LP migration on top of the chosen
+// initial partition (the routing table then adapts to the observed load).
 // The run is verified against the sequential oracle unless -noverify is set.
 package main
 
@@ -24,16 +28,21 @@ import (
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 4, "number of simulation nodes (clusters)")
-		algo     = flag.String("algo", "multilevel", "partitioner: multilevel, random, dfs, cluster, topological, cone")
-		cycles   = flag.Int("cycles", 10, "clock cycles")
-		seed     = flag.Int64("seed", 1, "seed for stimulus and partitioner")
-		grain    = flag.Int("grain", 2000, "busy-loop iterations per gate evaluation")
-		window   = flag.Float64("window", 0.12, "optimism window in clock cycles (0 = unbounded)")
-		lazy     = flag.Bool("lazy", false, "lazy cancellation")
-		bench    = flag.String("bench", "", "built-in benchmark (s5378, s9234, s15850)")
-		scale    = flag.Float64("scale", 0.3, "scale for -bench")
-		noverify = flag.Bool("noverify", false, "skip the sequential oracle cross-check")
+		nodes       = flag.Int("nodes", 4, "number of simulation nodes (clusters)")
+		algo        = flag.String("algo", "multilevel", "partitioner: multilevel, random, dfs, cluster, topological, cone")
+		cycles      = flag.Int("cycles", 10, "clock cycles")
+		seed        = flag.Int64("seed", 1, "seed for stimulus and partitioner")
+		grain       = flag.Int("grain", 2000, "busy-loop iterations per gate evaluation")
+		window      = flag.Float64("window", 0.12, "optimism window in clock cycles (0 = unbounded)")
+		lazy        = flag.Bool("lazy", false, "lazy cancellation")
+		bench       = flag.String("bench", "", "built-in benchmark (s5378, s9234, s15850)")
+		scale       = flag.Float64("scale", 0.3, "scale for -bench")
+		noverify    = flag.Bool("noverify", false, "skip the sequential oracle cross-check")
+		hotspot     = flag.Bool("hotspot", false, "concentrate stimulus in a rotating window of the primary inputs")
+		hotspotFrac = flag.Float64("hotspot-frac", 0.25, "fraction of inputs inside the hotspot window")
+		dynamic     = flag.Bool("dynamic", false, "dynamic load balancing: GVT-synchronized LP migration")
+		rebalPeriod = flag.Int("rebalance-period", 4, "GVT-advancing rounds between rebalance decisions (with -dynamic)")
+		imbalance   = flag.Float64("imbalance", 1.1, "min max/mean committed-load ratio before migrating (with -dynamic)")
 	)
 	flag.Parse()
 
@@ -54,11 +63,20 @@ func main() {
 	fmt.Println(q)
 
 	cfg := logicsim.Config{
-		Cycles:           *cycles,
-		StimulusSeed:     *seed,
-		Grain:            *grain,
-		OptimismCycles:   *window,
-		LazyCancellation: *lazy,
+		Cycles:                *cycles,
+		StimulusSeed:          *seed,
+		Grain:                 *grain,
+		OptimismCycles:        *window,
+		LazyCancellation:      *lazy,
+		Hotspot:               *hotspot,
+		HotspotFraction:       *hotspotFrac,
+		DynamicRebalance:      *dynamic,
+		RebalancePeriodRounds: *rebalPeriod,
+		RebalanceImbalance:    *imbalance,
+		RebalanceSeed:         *seed,
+	}
+	if !*hotspot {
+		cfg.HotspotFraction = 0
 	}
 	start := time.Now()
 	res, err := logicsim.Run(c, a, cfg)
@@ -75,9 +93,16 @@ func main() {
 		100*float64(s.EventsCommitted)/float64(s.EventsProcessed))
 	fmt.Printf("  remote=%d local=%d anti=%d gvt-rounds=%d\n",
 		s.RemoteMessages, s.LocalMessages, s.AntiMessages, s.GVTRounds)
+	if *dynamic {
+		fmt.Printf("  migrations=%d forwarded=%d rebalance-rounds=%d route-epoch=%d\n",
+			s.Migrations, s.ForwardedMessages, res.Stats.RebalanceRounds, res.Stats.RouteEpoch)
+	}
 
 	if !*noverify {
-		sim, err := seqsim.New(c, seqsim.Config{Cycles: *cycles, StimulusSeed: *seed})
+		sim, err := seqsim.New(c, seqsim.Config{
+			Cycles: *cycles, StimulusSeed: *seed,
+			Hotspot: *hotspot, HotspotFraction: cfg.HotspotFraction,
+		})
 		if err != nil {
 			fail(err)
 		}

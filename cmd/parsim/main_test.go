@@ -14,3 +14,20 @@ func TestParsimSmoke(t *testing.T) {
 		"verified against the sequential oracle",
 	)
 }
+
+// TestParsimDynamicSmoke drives the hotspot workload with dynamic load
+// balancing from the CLI; the run must still verify against the oracle and
+// report the migration counters.
+func TestParsimDynamicSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{
+			"-bench", "s5378", "-scale", "0.08", "-nodes", "4", "-cycles", "8",
+			"-grain", "200", "-algo", "random", "-hotspot", "-dynamic",
+			"-rebalance-period", "1", "-imbalance", "1.0",
+		},
+		"parallel run:",
+		"migrations=",
+		"rebalance-rounds=",
+		"verified against the sequential oracle",
+	)
+}

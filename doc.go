@@ -5,22 +5,33 @@
 //
 //   - internal/circuit: gate-level circuit model, ISCAS'89 .bench I/O, and
 //     synthetic benchmark generators (s5378/s9234/s15850 equivalents);
-//   - internal/partition: partitioner interface, quality metrics, and the
-//     five baseline algorithms (Random, Topological, DFS, Cluster, Cone);
+//   - internal/partition: partitioner interface, quality metrics, the five
+//     baseline algorithms (Random, Topological, DFS, Cluster, Cone), and
+//     RuntimeGraph, the observed LP-communication graph the kernel measures
+//     at run time (vertex weights = committed events, edge weights =
+//     observed sends);
 //   - internal/core: the paper's multilevel partitioning algorithm
 //     (fanout coarsening, concurrency-preserving initial partitioning,
 //     greedy k-way refinement; KL/FM refiners and heavy-edge/activity
 //     coarsening for ablations). Graph levels are CSR arrays and the
 //     refiners share one reusable scratch (dense lock sets, FM gain
-//     buckets), keeping the refinement inner loops allocation-free;
+//     buckets), keeping the refinement inner loops allocation-free. The
+//     same machinery backs core.Rebalance, which refines an existing
+//     assignment against a RuntimeGraph with bounded churn for dynamic
+//     load balancing;
 //   - internal/timewarp: an optimistic parallel discrete event simulation
 //     kernel (Time Warp) with clusters, rollback, anti-messages, fossil
 //     collection, a configurable LAN model, and an optimism window. GVT is
 //     an asynchronous Mattern-style two-cut protocol (colored messages,
 //     in-transit counts, control events on the cluster inboxes), so
-//     clusters never stop executing for a GVT round. Event queues use
-//     non-boxing heaps and bundle/event slices are pooled across rollback
-//     and fossil collection;
+//     clusters never stop executing for a GVT round. The LP→cluster
+//     mapping is a versioned routing table the kernel rewrites mid-run:
+//     dynamic rebalancing snapshots per-LP load in an extra control wave
+//     and migrates LPs at observed-GVT advance, with stale-route
+//     forwarding and message-like transit accounting of the migration
+//     payload keeping every cut sound. Event queues use non-boxing heaps
+//     and bundle/event slices are pooled across rollback and fossil
+//     collection;
 //   - internal/smoketest: the `go build && run` harness behind the cmd/
 //     and examples/ entry-point smoke tests;
 //   - internal/seqsim: the sequential event-driven simulator used as the

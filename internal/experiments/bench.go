@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logicsim"
+	"repro/internal/partition"
+)
+
+// BenchResult is one machine-readable benchmark scenario: Go-benchmark
+// metrics plus, for simulation scenarios, the committed-event throughput
+// that the static-vs-dynamic study and the paper's tables are denominated
+// in.
+type BenchResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	// CommittedEvents and CommittedEventsPerSec are set for simulation
+	// scenarios (zero otherwise).
+	CommittedEvents       uint64  `json:"committed_events,omitempty"`
+	CommittedEventsPerSec float64 `json:"committed_events_per_sec,omitempty"`
+}
+
+// BenchReport is the file cmd/experiments -json writes: one point of the
+// performance trajectory, uploaded as a CI artifact per run.
+type BenchReport struct {
+	Timestamp string        `json:"timestamp"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Scale     float64       `json:"scale"`
+	Cycles    int           `json:"cycles"`
+	Results   []BenchResult `json:"results"`
+}
+
+func benchResult(name string, r testing.BenchmarkResult, committed uint64) BenchResult {
+	out := BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if committed > 0 && r.NsPerOp() > 0 {
+		out.CommittedEvents = committed
+		out.CommittedEventsPerSec = float64(committed) / (float64(r.NsPerOp()) / 1e9)
+	}
+	return out
+}
+
+// RunBenchJSON measures the repository's benchmark scenarios — partitioner
+// hot paths, runtime rebalancing, and Time Warp committed-event throughput
+// in static and dynamic mode — and writes one BenchReport as JSON.
+func RunBenchJSON(o Options, w io.Writer) error {
+	o.setDefaults()
+	rep := BenchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Scale:     o.Scale,
+		Cycles:    o.Cycles,
+	}
+	c, err := o.benchmarkCircuit("s9234")
+	if err != nil {
+		return err
+	}
+
+	// Partitioner hot path: the multilevel hierarchy end to end.
+	ml := core.New(o.Seed)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ml.Partition(c, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, benchResult("partition/multilevel/s9234/k=8", r, 0))
+
+	// Runtime rebalancing: refine a round-robin assignment against an
+	// observed chain graph of the circuit's size.
+	rg := benchRuntimeGraph(c.NumGates())
+	cur := partition.NewAssignment(c.NumGates(), 8)
+	for v := range cur.Parts {
+		cur.Parts[v] = v % 8
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Rebalance(cur, rg, core.RebalanceOptions{Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, benchResult("partition/rebalance/s9234/k=8", r, 0))
+
+	// Time Warp throughput, uniform stimulus, static multilevel partition.
+	a, err := ml.Partition(c, 4)
+	if err != nil {
+		return err
+	}
+	uniformCfg := o.simConfig()
+	committed, r, err := benchSim(c, a, uniformCfg)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, benchResult("timewarp/static/uniform/k=4", r, committed))
+
+	// Hotspot workload: static vs dynamic — the trajectory of the study's
+	// headline comparison.
+	for _, dynamic := range []bool{false, true} {
+		name := "timewarp/static/hotspot/k=4"
+		if dynamic {
+			name = "timewarp/dynamic/hotspot/k=4"
+		}
+		committed, r, err := benchSim(c, a, dynamicConfig(o, dynamic))
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, benchResult(name, r, committed))
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// benchSim benchmarks one parallel simulation configuration and returns its
+// committed-event count (identical across iterations by the determinism
+// invariant; verified here).
+func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (uint64, testing.BenchmarkResult, error) {
+	var committed uint64
+	var simErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := logicsim.Run(c, a, cfg)
+			if err != nil {
+				simErr = err
+				b.Fatal(err)
+			}
+			if committed == 0 {
+				committed = res.CommittedEvents
+			} else if res.CommittedEvents != committed {
+				simErr = fmt.Errorf("committed events nondeterministic: %d then %d", committed, res.CommittedEvents)
+				b.Fatal(simErr)
+			}
+		}
+	})
+	return committed, r, simErr
+}
+
+// benchRuntimeGraph builds a unit-activity chain runtime graph of n LPs.
+func benchRuntimeGraph(n int) *partition.RuntimeGraph {
+	g := &partition.RuntimeGraph{
+		N:            n,
+		VertexWeight: make([]int64, n),
+		EdgeOff:      make([]int32, n+1),
+	}
+	for v := 0; v < n; v++ {
+		g.VertexWeight[v] = 4
+		if v < n-1 {
+			g.EdgeDst = append(g.EdgeDst, int32(v+1))
+			g.EdgeWeight = append(g.EdgeWeight, 6)
+		}
+		g.EdgeOff[v+1] = int32(len(g.EdgeDst))
+	}
+	return g
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunBenchJSON runs the benchmark scenarios at a tiny scale and checks
+// the report decodes with every scenario populated — the contract CI's
+// artifact upload depends on.
+func TestRunBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness")
+	}
+	var buf bytes.Buffer
+	if err := RunBenchJSON(tinyOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, buf.String())
+	}
+	if rep.GoVersion == "" || rep.Timestamp == "" {
+		t.Errorf("environment fields missing: %+v", rep)
+	}
+	want := map[string]bool{
+		"partition/multilevel/s9234/k=8": false,
+		"partition/rebalance/s9234/k=8":  false,
+		"timewarp/static/uniform/k=4":    false,
+		"timewarp/static/hotspot/k=4":    false,
+		"timewarp/dynamic/hotspot/k=4":   false,
+	}
+	for _, r := range rep.Results {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected scenario %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s: empty metrics %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("scenario %q missing from report", name)
+		}
+	}
+	for _, r := range rep.Results {
+		if r.Name == "timewarp/static/uniform/k=4" && (r.CommittedEvents == 0 || r.CommittedEventsPerSec <= 0) {
+			t.Errorf("simulation scenario missing throughput: %+v", r)
+		}
+	}
+}

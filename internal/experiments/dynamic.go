@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/logicsim"
+	"repro/internal/seqsim"
+)
+
+// DynamicStudy is the static-vs-dynamic partitioning experiment: the hotspot
+// workload (stimulus concentrated in a rotating cone of the circuit, see
+// seqsim.HotspotActive) is run once with each partitioner's assignment
+// frozen for the whole run and once with GVT-synchronized LP migration
+// enabled, for all six partitioning algorithms. A phase-shifting hot region
+// is exactly the workload a construction-time partition cannot track, so the
+// study isolates what the mutable routing layer buys. Every run is verified
+// against the sequential oracle's committed-event count: migration must not
+// change committed results.
+type DynamicStudy struct {
+	Circuit string
+	Nodes   int
+	// OracleEvents is the sequential run's event count; every cell committed
+	// exactly this many events.
+	OracleEvents uint64
+	Rows         []DynamicRow
+}
+
+// DynamicRow is one partitioner's static/dynamic pair.
+type DynamicRow struct {
+	Algorithm string
+	Static    DynamicCell
+	Dynamic   DynamicCell
+}
+
+// DynamicCell is one measured configuration (best wall time over Repeats).
+type DynamicCell struct {
+	Seconds float64
+	// Throughput is committed events per second — the study's headline
+	// metric, comparable across cells because every run commits the same
+	// events.
+	Throughput float64
+	// RemoteMessages counts every event that crossed a cluster boundary,
+	// including stale-route forwards in dynamic runs.
+	RemoteMessages uint64
+	Rollbacks      uint64
+	// Migrations and RebalanceRounds are zero for static cells.
+	Migrations      uint64
+	RebalanceRounds int
+}
+
+// Speedup returns dynamic throughput over static throughput.
+func (r DynamicRow) Speedup() float64 {
+	if r.Static.Throughput == 0 {
+		return 0
+	}
+	return r.Dynamic.Throughput / r.Static.Throughput
+}
+
+// dynamicConfig is the study's workload: the rotating hotspot covers
+// HotspotFraction of the inputs, and rebalancing reacts at every other
+// advancing GVT round. The imbalance gate is fully open (1.0): a partition
+// can be perfectly load-balanced and still pay for every hot signal crossing
+// a cluster boundary (Random is the extreme), and boundary refinement from
+// the current assignment fixes exactly that, so the study lets the
+// rebalancer act whenever refinement finds any improvement.
+func dynamicConfig(o Options, dynamic bool) logicsim.Config {
+	cfg := o.simConfig()
+	cfg.Hotspot = true
+	cfg.HotspotFraction = 0.15
+	// Rebalancing can only react as often as GVT advances, and busy,
+	// balanced clusters request rounds purely by event count: cap the
+	// period (for both cells, so the comparison stays fair) so rounds fire
+	// regularly even at small study scales.
+	if cfg.GVTPeriodEvents == 0 || cfg.GVTPeriodEvents > 192 {
+		cfg.GVTPeriodEvents = 192
+	}
+	if dynamic {
+		cfg.DynamicRebalance = true
+		cfg.RebalancePeriodRounds = 2
+		cfg.RebalanceImbalance = 1.0
+		cfg.RebalanceSeed = o.Seed
+	}
+	return cfg
+}
+
+// RunDynamic measures the static-vs-dynamic study for one circuit at one
+// node count.
+func RunDynamic(o Options, circuitName string, nodes int, progress io.Writer) (*DynamicStudy, error) {
+	o.setDefaults()
+	c, err := o.benchmarkCircuit(circuitName)
+	if err != nil {
+		return nil, err
+	}
+	seqCfg := dynamicConfig(o, false)
+	oracle, err := seqsim.Run(c, seqsim.Config{
+		Cycles:          seqCfg.Cycles,
+		ClockPeriod:     seqCfg.ClockPeriod,
+		StimulusSeed:    seqCfg.StimulusSeed,
+		StimulusEvery:   seqCfg.StimulusEvery,
+		Hotspot:         true,
+		HotspotFraction: seqCfg.HotspotFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &DynamicStudy{Circuit: c.Name, Nodes: nodes, OracleEvents: oracle.Events}
+	for _, p := range Algorithms(o.Seed) {
+		a, err := p.Partition(c, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", p.Name(), err)
+		}
+		row := DynamicRow{Algorithm: p.Name()}
+		for _, dynamic := range []bool{false, true} {
+			cfg := dynamicConfig(o, dynamic)
+			cell := DynamicCell{}
+			for r := 0; r < o.Repeats; r++ {
+				start := time.Now()
+				res, err := logicsim.Run(c, a, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s dynamic=%v: %w", p.Name(), dynamic, err)
+				}
+				secs := time.Since(start).Seconds()
+				if res.CommittedEvents != oracle.Events {
+					return nil, fmt.Errorf("experiments: %s dynamic=%v committed %d events, oracle %d — migration changed committed results",
+						p.Name(), dynamic, res.CommittedEvents, oracle.Events)
+				}
+				if r == 0 || secs < cell.Seconds {
+					cell.Seconds = secs
+					// Forwarded hops (events chasing a migrated LP) are real
+					// inter-cluster traffic the dynamic mode itself creates;
+					// fold them in so the locality comparison is not biased
+					// in dynamic's favor. Static runs forward nothing.
+					cell.RemoteMessages = res.Stats.RemoteMessages + res.Stats.ForwardedMessages
+					cell.Rollbacks = res.Stats.Rollbacks
+					cell.Migrations = res.Stats.Migrations
+					cell.RebalanceRounds = res.Stats.RebalanceRounds
+				}
+			}
+			cell.Throughput = float64(oracle.Events) / cell.Seconds
+			if dynamic {
+				row.Dynamic = cell
+			} else {
+				row.Static = cell
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "dynamic-study %s nodes=%d %s dynamic=%v: %.3fs (%.0f ev/s, remote=%d mig=%d)\n",
+					c.Name, nodes, p.Name(), dynamic, cell.Seconds, cell.Throughput, cell.RemoteMessages, cell.Migrations)
+			}
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, nil
+}
+
+// Row returns the row of one algorithm.
+func (t *DynamicStudy) Row(algorithm string) (DynamicRow, bool) {
+	for _, r := range t.Rows {
+		if r.Algorithm == algorithm {
+			return r, true
+		}
+	}
+	return DynamicRow{}, false
+}
+
+// WriteMarkdown renders the study.
+func (t *DynamicStudy) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Hotspot workload on %s, %d nodes (%d committed events per run)\n\n",
+		t.Circuit, t.Nodes, t.OracleEvents); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "| Algorithm | Static ev/s | Dynamic ev/s | Speedup | Static remote | Dynamic remote | Migrations | Rebalances |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2fx | %d | %d | %d | %d |\n",
+			r.Algorithm, r.Static.Throughput, r.Dynamic.Throughput, r.Speedup(),
+			r.Static.RemoteMessages, r.Dynamic.RemoteMessages,
+			r.Dynamic.Migrations, r.Dynamic.RebalanceRounds)
+	}
+	return nil
+}
+
+// WriteCSV renders the study as CSV.
+func (t *DynamicStudy) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "algorithm,static_seconds,dynamic_seconds,static_throughput,dynamic_throughput,speedup,static_remote,dynamic_remote,migrations,rebalance_rounds"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%s,%.4f,%.4f,%.0f,%.0f,%.3f,%d,%d,%d,%d\n",
+			r.Algorithm, r.Static.Seconds, r.Dynamic.Seconds,
+			r.Static.Throughput, r.Dynamic.Throughput, r.Speedup(),
+			r.Static.RemoteMessages, r.Dynamic.RemoteMessages,
+			r.Dynamic.Migrations, r.Dynamic.RebalanceRounds)
+	}
+	return nil
+}

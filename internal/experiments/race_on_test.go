@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; timing-based assertions are skipped under it because
+// instrumentation distorts the simulator's cost model.
+const raceEnabled = true

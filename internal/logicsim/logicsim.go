@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/seqsim"
 	"repro/internal/timewarp"
@@ -32,6 +33,28 @@ type Config struct {
 	ClockPeriod   int64
 	StimulusSeed  int64
 	StimulusEvery int
+
+	// Hotspot and HotspotFraction concentrate stimulus in a rotating window
+	// of the primary inputs, exactly as in seqsim.Config: both simulators
+	// share seqsim.HotspotActive, so hotspot runs stay oracle-comparable.
+	Hotspot         bool
+	HotspotFraction float64
+
+	// DynamicRebalance enables GVT-synchronized LP migration: the kernel
+	// periodically snapshots the observed per-gate activity and send
+	// matrix, refines the current assignment with core.Rebalance, and
+	// migrates gates whose best home moved. Committed results are
+	// placement-independent, so a dynamic run still matches the oracle.
+	DynamicRebalance bool
+	// RebalancePeriodRounds is the number of GVT-advancing rounds between
+	// rebalance decisions (default 4).
+	RebalancePeriodRounds int
+	// RebalanceImbalance skips migration while max/mean per-cluster
+	// committed load is below this ratio (default 1.1; 1.0 rebalances on
+	// any imbalance, useful in tests).
+	RebalanceImbalance float64
+	// RebalanceSeed drives the refinement visit order of each rebalance.
+	RebalanceSeed int64
 
 	// Grain burns this many iterations of CPU per gate evaluation, modeling
 	// the heavyweight VHDL processes of the paper's TYVIS kernel. Zero
@@ -68,6 +91,15 @@ func (cfg *Config) setDefaults(c *circuit.Circuit) error {
 	}
 	if cfg.ClockPeriod < 2 {
 		return fmt.Errorf("logicsim: clock period %d too small", cfg.ClockPeriod)
+	}
+	if cfg.Hotspot && cfg.HotspotFraction == 0 {
+		cfg.HotspotFraction = 0.25
+	}
+	if cfg.HotspotFraction < 0 || cfg.HotspotFraction > 1 {
+		return fmt.Errorf("logicsim: hotspot fraction %v outside [0,1]", cfg.HotspotFraction)
+	}
+	if cfg.DynamicRebalance && cfg.RebalanceImbalance == 0 {
+		cfg.RebalanceImbalance = 1.1
 	}
 	return nil
 }
@@ -155,16 +187,27 @@ func newGateLP(sim *shared, g *circuit.Gate, inputIdx int) *gateLP {
 	return lp
 }
 
-// Init schedules the LP's first self-event: the cycle-0 stimulus for primary
-// inputs, the cycle-0 clock edge for flip-flops. Subsequent cycles chain
+// Init schedules the LP's first self-event: the first stimulus cycle for
+// primary inputs (cycle 0, unless a hotspot window excludes this input until
+// later), the cycle-0 clock edge for flip-flops. Subsequent cycles chain
 // from Execute so the pending queues stay small.
 func (lp *gateLP) Init(ctx *timewarp.Context) {
 	switch lp.typ {
 	case circuit.Input:
-		ctx.Send(ctx.Self(), 0, kindStimulus, 0)
+		if first := lp.nextStimulusCycle(0); first >= 0 {
+			ctx.Send(ctx.Self(), int64(first)*lp.sim.cfg.ClockPeriod, kindStimulus, 0)
+		}
 	case circuit.DFF:
 		ctx.Send(ctx.Self(), lp.sim.cfg.ClockPeriod/2, kindClock, 0)
 	}
+}
+
+// nextStimulusCycle returns this input LP's first stimulus cycle at or after
+// `from`, or -1; the shared schedule keeps parallel runs oracle-identical.
+func (lp *gateLP) nextStimulusCycle(from int) int {
+	cfg := &lp.sim.cfg
+	return seqsim.NextStimulusCycle(from, cfg.Cycles, cfg.StimulusEvery,
+		len(lp.sim.c.Inputs), lp.inputIdx, cfg.Hotspot, cfg.HotspotFraction)
 }
 
 // Execute implements the shared timestep semantics: apply every arrival,
@@ -195,8 +238,7 @@ func (lp *gateLP) Execute(ctx *timewarp.Context, now timewarp.Time, events []tim
 			lp.st.out = v
 			lp.emit(ctx, now)
 		}
-		next := cycle + cfg.StimulusEvery
-		if next < cfg.Cycles {
+		if next := lp.nextStimulusCycle(cycle + 1); next >= 0 {
 			ctx.Send(ctx.Self(), int64(next)*cfg.ClockPeriod, kindStimulus, 0)
 		}
 	case lp.typ == circuit.DFF:
@@ -284,6 +326,61 @@ func (lp *gateLP) RecycleState(snap interface{}) {
 	lp.snapFree = append(lp.snapFree, s)
 }
 
+// rebalancer adapts the kernel's load snapshots to core.Rebalance: it turns
+// the observed send matrix into a partition.RuntimeGraph, refines the
+// current assignment, and hands the result back as the new routing. Buffers
+// are reused across rounds; the kernel calls rebalance from a single
+// goroutine.
+type rebalancer struct {
+	imbalance float64
+	seed      int64
+
+	g   partition.RuntimeGraph
+	cur []int
+	cnt int
+}
+
+func (r *rebalancer) rebalance(s *timewarp.LoadSnapshot) []int {
+	r.cnt++
+	if s.Imbalance() < r.imbalance {
+		return nil
+	}
+	n := s.NumLPs()
+	r.g.N = n
+	r.g.VertexWeight = r.g.VertexWeight[:0]
+	r.g.EdgeOff = r.g.EdgeOff[:0]
+	r.g.EdgeDst = r.g.EdgeDst[:0]
+	r.g.EdgeWeight = r.g.EdgeWeight[:0]
+	for lp := 0; lp < n; lp++ {
+		r.g.VertexWeight = append(r.g.VertexWeight, int64(s.Committed[lp]))
+	}
+	r.g.EdgeOff = append(r.g.EdgeOff, s.EdgeOff...)
+	for _, d := range s.EdgeDst {
+		r.g.EdgeDst = append(r.g.EdgeDst, int32(d))
+	}
+	for _, c := range s.EdgeCnt {
+		r.g.EdgeWeight = append(r.g.EdgeWeight, int64(c))
+	}
+	r.cur = append(r.cur[:0], s.ClusterOf...)
+	next, st, err := core.Rebalance(
+		partition.Assignment{Parts: r.cur, K: s.NumClusters},
+		&r.g,
+		// Vary the seed per round so a rejected local optimum is not
+		// re-proposed identically forever.
+		core.RebalanceOptions{Seed: r.seed + int64(r.cnt)},
+	)
+	if err != nil {
+		// The inputs are kernel-built (snapshot CSR, current routing), so an
+		// error is a programming bug, not a workload condition; declining
+		// silently would disguise a fully static run as a dynamic one.
+		panic(fmt.Sprintf("logicsim: rebalance failed on a kernel-built snapshot: %v", err))
+	}
+	if st.Moved == 0 {
+		return nil
+	}
+	return next.Parts
+}
+
 // Run simulates circuit c with partition assignment a on a.K simulation
 // nodes and returns the committed results plus kernel statistics.
 func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error) {
@@ -319,7 +416,7 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 			window = 1
 		}
 	}
-	kernel, err := timewarp.New(timewarp.Config{
+	twCfg := timewarp.Config{
 		NumClusters:      a.K,
 		ClusterOf:        a.Parts,
 		OptimismWindow:   window,
@@ -329,7 +426,16 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 		NetRecvBusy:      cfg.NetRecvBusy,
 		NetLatency:       cfg.NetLatency,
 		InboxSize:        cfg.InboxSize,
-	}, handlers)
+	}
+	if cfg.DynamicRebalance && a.K > 1 {
+		rb := &rebalancer{
+			imbalance: cfg.RebalanceImbalance,
+			seed:      cfg.RebalanceSeed,
+		}
+		twCfg.Rebalance = rb.rebalance
+		twCfg.RebalancePeriodRounds = cfg.RebalancePeriodRounds
+	}
+	kernel, err := timewarp.New(twCfg, handlers)
 	if err != nil {
 		return Result{}, err
 	}

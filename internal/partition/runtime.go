@@ -1,0 +1,61 @@
+package partition
+
+import "fmt"
+
+// RuntimeGraph is an observed LP-communication graph: what the simulation
+// kernel actually measured over an activity window, as opposed to the static
+// circuit graph the offline partitioners consume. Vertex weights are the
+// events each LP committed over the window (its share of the real load, not
+// its gate count) and edge weights are the events sent between each pair, so
+// refining a partition against a RuntimeGraph balances observed work and
+// cuts observed traffic — the two quantities the paper's speedup model is
+// built from. Edges are directed as recorded (sender → receiver); consumers
+// that need symmetry (e.g. core.Rebalance) fold the two directions together.
+type RuntimeGraph struct {
+	// N is the number of LPs (vertices).
+	N int
+	// VertexWeight[v] is the committed-event count of LP v over the window.
+	VertexWeight []int64
+	// CSR rows: LP v sent EdgeWeight[j] events to EdgeDst[j] for
+	// j in [EdgeOff[v], EdgeOff[v+1]).
+	EdgeOff    []int32
+	EdgeDst    []int32
+	EdgeWeight []int64
+}
+
+// Validate checks the CSR structure.
+func (g *RuntimeGraph) Validate() error {
+	if g.N < 0 || len(g.VertexWeight) != g.N {
+		return fmt.Errorf("partition: runtime graph covers %d vertex weights, want %d", len(g.VertexWeight), g.N)
+	}
+	if len(g.EdgeOff) != g.N+1 {
+		return fmt.Errorf("partition: runtime graph has %d edge offsets, want %d", len(g.EdgeOff), g.N+1)
+	}
+	if g.N > 0 && (g.EdgeOff[0] != 0 || int(g.EdgeOff[g.N]) != len(g.EdgeDst)) {
+		return fmt.Errorf("partition: runtime graph edge offsets [%d,%d] do not span %d edges",
+			g.EdgeOff[0], g.EdgeOff[g.N], len(g.EdgeDst))
+	}
+	if len(g.EdgeWeight) != len(g.EdgeDst) {
+		return fmt.Errorf("partition: runtime graph has %d edge weights for %d edges", len(g.EdgeWeight), len(g.EdgeDst))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.EdgeOff[v] > g.EdgeOff[v+1] {
+			return fmt.Errorf("partition: runtime graph offsets decrease at vertex %d", v)
+		}
+	}
+	for _, d := range g.EdgeDst {
+		if d < 0 || int(d) >= g.N {
+			return fmt.Errorf("partition: runtime graph edge destination %d out of range [0,%d)", d, g.N)
+		}
+	}
+	return nil
+}
+
+// TotalWeight returns the summed vertex weight (committed events observed).
+func (g *RuntimeGraph) TotalWeight() int64 {
+	var t int64
+	for _, w := range g.VertexWeight {
+		t += w
+	}
+	return t
+}

@@ -1,0 +1,110 @@
+package seqsim
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestHotspotActiveWindow: the rotating window must cover exactly
+// round(frac·n) inputs per cycle and advance by one input per cycle.
+func TestHotspotActiveWindow(t *testing.T) {
+	const n = 16
+	const frac = 0.25 // width 4
+	for cycle := 0; cycle < 3*n; cycle++ {
+		active := 0
+		for in := 0; in < n; in++ {
+			if HotspotActive(n, frac, in, cycle) {
+				active++
+			}
+		}
+		if active != 4 {
+			t.Fatalf("cycle %d: %d active inputs, want 4", cycle, active)
+		}
+	}
+	// The window at cycle c+1 is the window at c shifted by one.
+	for in := 0; in < n; in++ {
+		if HotspotActive(n, frac, in, 0) != HotspotActive(n, frac, (in+1)%n, 1) {
+			t.Fatalf("window did not rotate by one at input %d", in)
+		}
+	}
+	// Degenerate cases: tiny fraction still activates one input; fraction 1
+	// activates everything; no inputs means nothing is active.
+	for cycle := 0; cycle < 8; cycle++ {
+		count := 0
+		for in := 0; in < n; in++ {
+			if HotspotActive(n, 0.001, in, cycle) {
+				count++
+			}
+			if !HotspotActive(n, 1.0, in, cycle) {
+				t.Fatal("fraction 1.0 left an input inactive")
+			}
+		}
+		if count != 1 {
+			t.Fatalf("cycle %d: minimal window has %d inputs, want 1", cycle, count)
+		}
+	}
+	if HotspotActive(0, 0.5, 0, 0) {
+		t.Error("zero inputs reported active")
+	}
+}
+
+// TestNextStimulusCycle: the schedule must agree with a direct scan of
+// HotspotActive and honor StimulusEvery, for hotspot and uniform modes.
+func TestNextStimulusCycle(t *testing.T) {
+	const n, cycles, every = 10, 40, 3
+	const frac = 0.2
+	for in := 0; in < n; in++ {
+		next := NextStimulusCycle(0, cycles, every, n, in, true, frac)
+		for cy := 0; cy < cycles; cy++ {
+			if cy%every == 0 && HotspotActive(n, frac, in, cy) {
+				if next != cy {
+					t.Fatalf("input %d: schedule says %d, scan says %d", in, next, cy)
+				}
+				next = NextStimulusCycle(cy+1, cycles, every, n, in, true, frac)
+			}
+		}
+		if next != -1 {
+			t.Fatalf("input %d: schedule has extra cycle %d", in, next)
+		}
+	}
+	// Uniform mode reduces to the plain StimulusEvery arithmetic.
+	if got := NextStimulusCycle(4, cycles, 3, n, 0, false, 0); got != 6 {
+		t.Errorf("uniform next from 4 with every=3 is %d, want 6", got)
+	}
+	if got := NextStimulusCycle(cycles, cycles, 1, n, 0, false, 0); got != -1 {
+		t.Errorf("past the horizon returned %d, want -1", got)
+	}
+}
+
+// TestHotspotSequentialRun: a hotspot run must process fewer events than a
+// uniform run of the same circuit (inactive inputs receive no stimulus) and
+// stay deterministic.
+func TestHotspotSequentialRun(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "hotseq", Inputs: 9, Gates: 90, Outputs: 3, FlipFlops: 6, Seed: 23,
+	})
+	uniform, err := Run(c, Config{Cycles: 6, StimulusSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1, err := Run(c, Config{Cycles: 6, StimulusSeed: 9, Hotspot: true, HotspotFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := Run(c, Config{Cycles: 6, StimulusSeed: 9, Hotspot: true, HotspotFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.Events >= uniform.Events {
+		t.Errorf("hotspot events %d not below uniform %d", run1.Events, uniform.Events)
+	}
+	if run1.Events != run2.Events || run1.OutputHistory != run2.OutputHistory {
+		t.Errorf("hotspot run nondeterministic: %d/%#x vs %d/%#x",
+			run1.Events, run1.OutputHistory, run2.Events, run2.OutputHistory)
+	}
+	bad := Config{Cycles: 2, HotspotFraction: 1.5}
+	if err := bad.setDefaults(c); err == nil {
+		t.Error("hotspot fraction 1.5 accepted")
+	}
+}

@@ -43,6 +43,53 @@ func StimulusBit(seed int64, input, cycle int) circuit.Value {
 	return circuit.Zero
 }
 
+// HotspotActive reports whether primary input `input` receives fresh
+// stimulus at `cycle` under the rotating hotspot window: a contiguous
+// window of round(frac·numInputs) inputs (minimum 1) is active each cycle,
+// and the window start advances by one input per cycle. Activity therefore
+// concentrates in the fanout cones of a sliding group of inputs — a
+// phase-shifting workload whose hot region no static partition can track.
+// Both simulators share this function, so the stimulus (and with it every
+// committed event) is identical between the sequential oracle and Time Warp.
+func HotspotActive(numInputs int, frac float64, input, cycle int) bool {
+	if numInputs <= 0 {
+		return false
+	}
+	width := int(frac*float64(numInputs) + 0.5)
+	if width < 1 {
+		width = 1
+	}
+	if width >= numInputs {
+		return true
+	}
+	d := input - cycle%numInputs
+	if d < 0 {
+		d += numInputs
+	}
+	return d < width
+}
+
+// NextStimulusCycle returns the first cycle in [from, cycles) at which
+// primary input `input` receives fresh stimulus — honoring the StimulusEvery
+// period and, when hotspot is set, the rotating hotspot window — or -1 when
+// no such cycle remains. Both simulators derive their stimulus schedules
+// from this function.
+func NextStimulusCycle(from, cycles, every, numInputs, input int, hotspot bool, frac float64) int {
+	if every < 1 {
+		every = 1
+	}
+	for cy := from; cy < cycles; cy++ {
+		if cy%every != 0 {
+			continue
+		}
+		if hotspot && !HotspotActive(numInputs, frac, input, cy) {
+			continue
+		}
+		return cy
+	}
+	return -1
+}
+
 // OutputHash mixes one primary-output change record (time, output index,
 // value) into an order-insensitive signature term. Both simulators share it.
 func OutputHash(t int64, outIdx int, v circuit.Value) uint64 {
@@ -94,6 +141,14 @@ type Config struct {
 	// StimulusEvery applies a fresh vector to the primary inputs every N
 	// cycles (default 1).
 	StimulusEvery int
+	// Hotspot concentrates stimulus in a rotating window of the primary
+	// inputs (see HotspotActive): only inputs inside the window receive a
+	// fresh vector each stimulus cycle, so simulation activity clusters in
+	// a sliding region of the circuit instead of spreading uniformly.
+	Hotspot bool
+	// HotspotFraction is the fraction of inputs inside the hotspot window.
+	// Default 0.25 when Hotspot is set.
+	HotspotFraction float64
 }
 
 func (cfg *Config) setDefaults(c *circuit.Circuit) error {
@@ -112,6 +167,12 @@ func (cfg *Config) setDefaults(c *circuit.Circuit) error {
 	}
 	if cfg.ClockPeriod < 2 {
 		return fmt.Errorf("seqsim: clock period %d too small", cfg.ClockPeriod)
+	}
+	if cfg.Hotspot && cfg.HotspotFraction == 0 {
+		cfg.HotspotFraction = 0.25
+	}
+	if cfg.HotspotFraction < 0 || cfg.HotspotFraction > 1 {
+		return fmt.Errorf("seqsim: hotspot fraction %v outside [0,1]", cfg.HotspotFraction)
 	}
 	return nil
 }
@@ -243,6 +304,9 @@ func (s *Simulator) Run() (Result, error) {
 		base := int64(cycle) * s.cfg.ClockPeriod
 		if cycle%s.cfg.StimulusEvery == 0 {
 			for idx, in := range s.c.Inputs {
+				if s.cfg.Hotspot && !HotspotActive(len(s.c.Inputs), s.cfg.HotspotFraction, idx, cycle) {
+					continue
+				}
 				s.schedule(base, in, -1, StimulusBit(s.cfg.StimulusSeed, idx, cycle))
 			}
 		}

@@ -1,6 +1,7 @@
 package timewarp
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -23,6 +24,12 @@ type ClusterStats struct {
 	LocalMessages uint64
 	// AntiMessages counts anti-messages sent (to any destination).
 	AntiMessages uint64
+	// Migrations counts LPs this cluster packed and handed to a new home
+	// under dynamic rebalancing.
+	Migrations uint64
+	// ForwardedMessages counts events that arrived under a stale routing
+	// epoch and were forwarded to the receiver's current home.
+	ForwardedMessages uint64
 }
 
 func (s *ClusterStats) add(o ClusterStats) {
@@ -33,6 +40,8 @@ func (s *ClusterStats) add(o ClusterStats) {
 	s.RemoteMessages += o.RemoteMessages
 	s.LocalMessages += o.LocalMessages
 	s.AntiMessages += o.AntiMessages
+	s.Migrations += o.Migrations
+	s.ForwardedMessages += o.ForwardedMessages
 }
 
 // schedEntry is a lazily maintained LTSF scheduler entry: the LP claimed to
@@ -126,15 +135,39 @@ type cluster struct {
 	// idleTimer is the reusable timer behind waitInbox; time.After would
 	// allocate a fresh timer channel on every idle iteration.
 	idleTimer *time.Timer
+
+	// owned[lp] reports whether this cluster currently owns lp. Only this
+	// cluster's goroutine reads or writes its own slice; ownership moves
+	// via the migration handoff (migrate.go), never by another goroutine
+	// touching it.
+	owned []bool
+	// limbo parks events addressed to LPs that are routed here but whose
+	// migration payload has not arrived yet; localMin folds it into GVT
+	// reports so the floor covers parked events.
+	limbo []Event
+	// loadSeen is the last load round this cluster captured counters for.
+	loadSeen int64
+	// Migration mailboxes: the coordinator appends orders, source clusters
+	// append payloads; migFlag makes the common no-migration case one
+	// atomic load. The scratch slices double-buffer the swap in
+	// checkMigrate.
+	migMu       sync.Mutex
+	migFlag     int32
+	migOrders   []migOrder
+	migIn       []migPayload
+	migScratchO []migOrder
+	migScratchP []migPayload
 }
 
-// route delivers an event to its destination LP, locally or via the
-// destination cluster's inbox. positive distinguishes application messages
-// from anti-messages for accounting. Every routed message is stamped with
-// the cluster's current GVT color, counted in transit until delivered, and
-// folded into redMin so an in-flight message can never slip under a GVT cut.
-func (c *cluster) route(ev Event, positive bool) {
-	dst := c.kernel.clusterOf[ev.Receiver]
+// route delivers an event to its destination LP's current home cluster (per
+// the routing table), locally or via the destination cluster's inbox.
+// positive distinguishes application messages from anti-messages for
+// accounting. Every routed message is stamped with the cluster's current GVT
+// color, counted in transit until delivered, and folded into redMin so an
+// in-flight message can never slip under a GVT cut. It reports whether the
+// event left the cluster (the sender's load profile counts remote sends).
+func (c *cluster) route(ev Event, positive bool) (remote bool) {
+	dst := c.kernel.RouteOf(ev.Receiver)
 	if positive {
 		if dst == c.id {
 			c.stats.LocalMessages++
@@ -149,7 +182,7 @@ func (c *cluster) route(ev Event, positive bool) {
 	atomic.AddInt64(&c.kernel.transit[ev.color].n, 1)
 	if dst == c.id {
 		c.localQ = append(c.localQ, ev)
-		return
+		return false
 	}
 	c.kernel.busy(c.kernel.cfg.NetSendBusy)
 	if lat := c.kernel.cfg.NetLatency; lat > 0 {
@@ -161,6 +194,7 @@ func (c *cluster) route(ev Event, positive bool) {
 	default:
 		c.outPending = append(c.outPending, ev)
 	}
+	return true
 }
 
 // delayHeap orders on-the-wire events by wall-clock due time.
@@ -235,8 +269,19 @@ func (c *cluster) sendAnti(pos Event) {
 	c.route(anti, false)
 }
 
-// deliver hands a received event to its LP and refreshes the scheduler.
+// deliver hands a received event to its LP and refreshes the scheduler. An
+// event for an LP this cluster does not own was routed under a stale epoch:
+// it is forwarded to the LP's current home, or parked in limbo when the LP
+// is migrating here and its payload has not landed yet.
 func (c *cluster) deliver(ev Event) {
+	if !c.owned[ev.Receiver] {
+		if c.kernel.RouteOf(ev.Receiver) != c.id {
+			c.forward(ev)
+		} else {
+			c.parkLimbo(ev)
+		}
+		return
+	}
 	lp := c.kernel.lps[ev.Receiver]
 	if ev.Anti {
 		lp.annihilate(ev)
@@ -255,7 +300,9 @@ func (c *cluster) flushOut() bool {
 	}
 	keep := c.outPending[:0]
 	for _, ev := range c.outPending {
-		target := c.kernel.clusters[c.kernel.clusterOf[ev.Receiver]]
+		// Re-read the route: the receiver may have migrated while the event
+		// sat buffered, and its new home delivers without a forwarding hop.
+		target := c.kernel.clusters[c.kernel.RouteOf(ev.Receiver)]
 		select {
 		case target.inbox <- ev:
 		default:
@@ -335,6 +382,14 @@ func (c *cluster) checkGVT() {
 		// the one-round-per-GVTPeriodEvents cadence across the fleet.
 		c.eventsSinceGVT = 0
 	}
+	if r := atomic.LoadInt64(&k.loadRound); r > c.loadSeen {
+		// Load round: copy this cluster's per-LP activity counters into its
+		// snapshot buffer (resetting the window) and ack. The coordinator
+		// reads the buffer only after every cluster acked.
+		c.loadSeen = r
+		c.captureLoad()
+		atomic.AddInt32(&k.loadAcks, 1)
+	}
 }
 
 // maybeFossil commits history whenever the published GVT has advanced past
@@ -385,6 +440,11 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 	}
 	for len(c.sched) > 0 {
 		e := c.sched.pop()
+		if !c.owned[e.lp.id] {
+			// The LP migrated away after this entry was pushed; its new
+			// owner schedules it now, and touching it here would race.
+			continue
+		}
 		t := e.lp.nextTime()
 		if t == TimeInfinity {
 			continue
@@ -423,6 +483,7 @@ func (c *cluster) run() {
 		moved := c.drainLocal() + c.drainInbox()
 		c.flushOut()
 		c.checkGVT()
+		c.checkMigrate()
 		n, windowStalled := c.executeOne()
 		c.drainLocal()
 		c.maybeFossil()
@@ -468,9 +529,12 @@ func (c *cluster) run() {
 	c.fossilCollect(k.GVT())
 }
 
-// localMin returns the earliest pending work of this cluster's LPs: the
-// earliest live pending event and, under lazy cancellation, the earliest
-// rolled-back send that may still turn into an anti-message.
+// localMin returns the earliest pending work of this cluster: the earliest
+// live pending event of its LPs, the earliest rolled-back send that may
+// still turn into an anti-message (lazy cancellation), and the earliest
+// event parked in limbo for an LP whose migration payload is still in
+// flight — parked events left the transit counts at delivery, so the GVT
+// floor must cover them here.
 func (c *cluster) localMin() Time {
 	min := TimeInfinity
 	for _, lp := range c.lps {
@@ -478,6 +542,11 @@ func (c *cluster) localMin() Time {
 			min = t
 		}
 		if t := lp.minPendingCancel(); t < min {
+			min = t
+		}
+	}
+	for i := range c.limbo {
+		if t := c.limbo[i].RecvTime; t < min {
 			min = t
 		}
 	}

@@ -1,0 +1,126 @@
+package timewarp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSetDefaultsValidation exercises every rejection path of Config
+// validation directly (TestConfigErrors covers the New() wrapper).
+func TestSetDefaultsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		numLPs  int
+		wantErr string
+	}{
+		{"zero clusters", Config{NumClusters: 0, ClusterOf: []int{0, 0}}, 2, "at least one cluster"},
+		{"negative clusters", Config{NumClusters: -3, ClusterOf: []int{0, 0}}, 2, "at least one cluster"},
+		{"short ClusterOf", Config{NumClusters: 2, ClusterOf: []int{0}}, 2, "covers 1 LPs"},
+		{"long ClusterOf", Config{NumClusters: 2, ClusterOf: []int{0, 1, 0}}, 2, "covers 3 LPs"},
+		{"nil ClusterOf", Config{NumClusters: 1}, 2, "covers 0 LPs"},
+		{"cluster id too large", Config{NumClusters: 2, ClusterOf: []int{0, 2}}, 2, "assigned to cluster 2"},
+		{"negative cluster id", Config{NumClusters: 2, ClusterOf: []int{-1, 0}}, 2, "assigned to cluster -1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.setDefaults(tc.numLPs)
+			if err == nil {
+				t.Fatalf("config accepted: %+v", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSetDefaultsApplied: zero-valued tunables must take their documented
+// defaults, and explicit values must survive.
+func TestSetDefaultsApplied(t *testing.T) {
+	cfg := Config{NumClusters: 2, ClusterOf: []int{0, 1}}
+	if err := cfg.setDefaults(2); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GVTPeriodEvents != 4096 {
+		t.Errorf("GVTPeriodEvents default = %d, want 4096", cfg.GVTPeriodEvents)
+	}
+	if cfg.InboxSize != 8192 {
+		t.Errorf("InboxSize default = %d, want 8192", cfg.InboxSize)
+	}
+	if cfg.RebalancePeriodRounds != 4 {
+		t.Errorf("RebalancePeriodRounds default = %d, want 4", cfg.RebalancePeriodRounds)
+	}
+
+	cfg = Config{
+		NumClusters: 1, ClusterOf: []int{0, 0},
+		GVTPeriodEvents: 7, InboxSize: 3, RebalancePeriodRounds: 9,
+	}
+	if err := cfg.setDefaults(2); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GVTPeriodEvents != 7 || cfg.InboxSize != 3 || cfg.RebalancePeriodRounds != 9 {
+		t.Errorf("explicit values overwritten: %+v", cfg)
+	}
+
+	// Negative tunables are treated as unset, like zero.
+	cfg = Config{
+		NumClusters: 1, ClusterOf: []int{0},
+		GVTPeriodEvents: -1, InboxSize: -1, RebalancePeriodRounds: -1,
+	}
+	if err := cfg.setDefaults(1); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GVTPeriodEvents != 4096 || cfg.InboxSize != 8192 || cfg.RebalancePeriodRounds != 4 {
+		t.Errorf("negative tunables not defaulted: %+v", cfg)
+	}
+}
+
+// TestNewKeepsConfigClusterOf: the kernel must copy the initial assignment
+// into its routing table rather than aliasing the caller's slice — mutating
+// the argument after New must not change routing.
+func TestNewKeepsConfigClusterOf(t *testing.T) {
+	clusterOf := []int{0, 1}
+	k, err := New(Config{NumClusters: 2, ClusterOf: clusterOf}, []Handler{&pingLP{peer: 1}, &pingLP{peer: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterOf[0] = 1
+	if got := k.RouteOf(0); got != 0 {
+		t.Errorf("route of LP 0 = %d after caller mutation, want 0", got)
+	}
+	if got := k.RouteOf(1); got != 1 {
+		t.Errorf("route of LP 1 = %d, want 1", got)
+	}
+	if k.RouteEpoch() != 0 {
+		t.Errorf("fresh kernel has route epoch %d, want 0", k.RouteEpoch())
+	}
+}
+
+// TestSendPanicMessage: the strict-future violation must name the actual
+// rule and include both times (the message used to be inverted — it fired
+// on a non-future send but read "Send into the non-strict future"). The
+// check precedes any queue work, so a bare Context exercises it.
+func TestSendPanicMessage(t *testing.T) {
+	for _, recvTime := range []Time{5, 3} { // at now, and in the past
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Send at recvTime %d with now 5 did not panic", recvTime)
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value %T, want string", r)
+				}
+				for _, want := range []string{"strict future", "now 5"} {
+					if !strings.Contains(msg, want) {
+						t.Errorf("panic %q missing %q", msg, want)
+					}
+				}
+			}()
+			ctx := &Context{now: 5}
+			ctx.Send(0, recvTime, 0, 0)
+		}()
+	}
+}

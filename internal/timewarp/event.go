@@ -24,6 +24,16 @@
 // already-executed timestamp rolls the LP back to just before that
 // timestamp. This matches the deterministic timestep semantics of the
 // sequential oracle in internal/seqsim.
+//
+// The LP→cluster mapping is a versioned routing table owned by the kernel,
+// not a frozen copy of the configuration: when Config.Rebalance is set, the
+// kernel periodically snapshots each LP's observed load (an extra control
+// wave on the same inboxes) and migrates LPs between clusters at
+// observed-GVT advance. Migration payloads are accounted exactly like
+// messages in flight, and events routed under a stale table epoch are
+// forwarded by whichever cluster receives them, so the GVT protocol's
+// invariants hold unchanged while the placement moves. See route.go and
+// migrate.go.
 package timewarp
 
 import "math"
@@ -49,6 +59,8 @@ const (
 	ctrlNone   uint8 = iota
 	ctrlCut          // wave 1: a GVT round opened; join it (turn red)
 	ctrlReport       // wave 2: the cut closed; report the local minimum
+	ctrlLoad         // load round: capture per-LP activity counters
+	ctrlWake         // plain wakeup: look at the migration mailboxes
 )
 
 // Event is a timestamped message between LPs. Events are value types: the

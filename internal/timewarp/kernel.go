@@ -44,6 +44,19 @@ type Config struct {
 	// how deep stragglers cut). Zero leaves optimism unbounded, Time
 	// Warp's default.
 	OptimismWindow Time
+	// Rebalance, when non-nil, enables dynamic load balancing: every
+	// RebalancePeriodRounds GVT rounds in which GVT advanced, the kernel
+	// collects a LoadSnapshot (per-LP committed events, rollbacks, remote
+	// sends, and the observed send matrix since the previous snapshot) and
+	// calls this function from the coordinator's goroutine. A non-nil
+	// return is the new LP→cluster assignment; LPs whose entry changed are
+	// migrated via the GVT-synchronized protocol in migrate.go. Returning
+	// nil declines (e.g. the imbalance is below a caller threshold). The
+	// snapshot's slices are reused by the kernel and must not be retained.
+	Rebalance func(*LoadSnapshot) []int
+	// RebalancePeriodRounds is the number of GVT-advancing rounds between
+	// load snapshots when Rebalance is set. Default 4.
+	RebalancePeriodRounds int
 }
 
 func (cfg *Config) setDefaults(numLPs int) error {
@@ -64,6 +77,9 @@ func (cfg *Config) setDefaults(numLPs int) error {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 8192
 	}
+	if cfg.RebalancePeriodRounds <= 0 {
+		cfg.RebalancePeriodRounds = 4
+	}
 	return nil
 }
 
@@ -72,8 +88,12 @@ type RunStats struct {
 	ClusterStats
 	PerCluster []ClusterStats
 	GVTRounds  int
-	FinalGVT   Time
-	WallTime   time.Duration
+	// RebalanceRounds counts completed load-collection rounds (dynamic
+	// rebalancing only); RouteEpoch counts routing-table rewrites.
+	RebalanceRounds int
+	RouteEpoch      int64
+	FinalGVT        Time
+	WallTime        time.Duration
 }
 
 // Coordinator phases of the asynchronous GVT round (kernel.phase; owned by
@@ -82,6 +102,7 @@ const (
 	phaseIdle    int32 = iota // no round in progress
 	phaseCut                  // wave 1: cut broadcast; waiting for joins + white drain
 	phaseCollect              // wave 2: report broadcast; waiting for reports
+	phaseLoad                 // load round: waiting for per-cluster load captures
 )
 
 // Kernel is one Time Warp simulation instance. Build it with New, run it
@@ -114,10 +135,13 @@ const (
 // its own schedule whenever it observes the published GVT advance.
 // Termination is GVT = TimeInfinity (no pending work, nothing in transit).
 type Kernel struct {
-	cfg       Config
-	lps       []*lpRuntime
-	clusters  []*cluster
-	clusterOf []int
+	cfg      Config
+	lps      []*lpRuntime
+	clusters []*cluster
+	// routes is the versioned LP→cluster mapping every send consults; it
+	// replaces the frozen ClusterOf copy, and GVT-synchronized migration
+	// rewrites it while the run is live (see route.go and migrate.go).
+	routes *routeTable
 
 	eventID     uint64
 	gvtFlag     int32
@@ -138,13 +162,24 @@ type Kernel struct {
 	reportAcks  int32
 	reports     []paddedTime
 
+	// Load-round broadcast state (dynamic rebalancing): loadRound opens a
+	// round, loadAcks counts captures, loadBufs holds each cluster's
+	// section, snap is the reused merged snapshot.
+	loadRound int64
+	loadAcks  int32
+	loadBufs  []loadSnapBuf
+	snap      LoadSnapshot
+	edgeFill  []int32 // coordinator-only scatter cursors of buildSnapshot
+
 	// Coordinator-only round bookkeeping (cluster 0's goroutine).
-	phase       int32
-	prevGVT     Time
-	stuckRounds int
-	gvtRounds   int
-	pendingCtrl []int // clusters still owed the current wave's control event
-	pendingKind uint8
+	phase           int32
+	prevGVT         Time
+	stuckRounds     int
+	gvtRounds       int
+	rebalanceRounds int
+	roundsSinceLoad int
+	pendingCtrl     []int // clusters still owed the current wave's control event
+	pendingKind     uint8
 
 	// published holds each cluster's continuously self-reported next work
 	// time. The optimism window throttles against min(published) instead
@@ -165,11 +200,12 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 	}
 	k := &Kernel{
 		cfg:       cfg,
-		clusterOf: cfg.ClusterOf,
+		routes:    newRouteTable(cfg.ClusterOf),
 		reports:   make([]paddedTime, cfg.NumClusters),
 		gvt:       -1,
 		prevGVT:   -2,
 		published: make([]paddedTime, cfg.NumClusters),
+		loadBufs:  make([]loadSnapBuf, cfg.NumClusters),
 	}
 	k.clusters = make([]*cluster, cfg.NumClusters)
 	for i := range k.clusters {
@@ -179,6 +215,7 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 			inbox:    make(chan Event, cfg.InboxSize),
 			redMin:   TimeInfinity,
 			fossilAt: -1,
+			owned:    make([]bool, len(handlers)),
 		}
 	}
 	k.lps = make([]*lpRuntime, len(handlers))
@@ -190,6 +227,7 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 		lp := newLPRuntime(LPID(i), h, c)
 		k.lps[i] = lp
 		c.lps = append(c.lps, lp)
+		c.owned[i] = true
 	}
 	return k, nil
 }
@@ -312,11 +350,26 @@ func (k *Kernel) Run() (RunStats, error) {
 	}
 	wg.Wait()
 
+	// A migration payload can be in flight at termination: an LP with no
+	// pending work neither blocks the final cut (its payloadMin is infinity)
+	// nor holds GVT finite, so its destination may exit before adopting it.
+	// Adopt such payloads single-threaded and commit their remaining
+	// history; the clusters' own exit paths already committed everything
+	// they owned.
+	for _, c := range k.clusters {
+		c.adoptFinalPayloads()
+	}
+	for _, c := range k.clusters {
+		c.fossilCollect(k.GVT())
+	}
+
 	stats := RunStats{
-		PerCluster: make([]ClusterStats, len(k.clusters)),
-		GVTRounds:  k.gvtRounds,
-		FinalGVT:   k.GVT(),
-		WallTime:   time.Since(start),
+		PerCluster:      make([]ClusterStats, len(k.clusters)),
+		GVTRounds:       k.gvtRounds,
+		RebalanceRounds: k.rebalanceRounds,
+		RouteEpoch:      k.routes.Epoch(),
+		FinalGVT:        k.GVT(),
+		WallTime:        time.Since(start),
 	}
 	for i, c := range k.clusters {
 		stats.PerCluster[i] = c.stats
@@ -377,6 +430,7 @@ func (k *Kernel) coordinate() {
 		} else {
 			k.stuckRounds = 0
 		}
+		advanced := gvt > k.prevGVT
 		k.prevGVT = gvt
 		atomic.StoreInt64(&k.gvt, gvt)
 		k.gvtRounds++
@@ -384,7 +438,25 @@ func (k *Kernel) coordinate() {
 		k.phase = phaseIdle
 		if gvt == TimeInfinity {
 			atomic.StoreInt32(&k.done, 1)
+			return
 		}
+		// Dynamic rebalancing piggybacks on GVT advance: that is the one
+		// point where every LP's committed prefix is unique and fossil
+		// collection has already pruned what a migration would carry.
+		if k.cfg.Rebalance != nil && advanced {
+			k.roundsSinceLoad++
+			if k.roundsSinceLoad >= k.cfg.RebalancePeriodRounds {
+				k.roundsSinceLoad = 0
+				k.startLoadRound()
+			}
+		}
+	case phaseLoad:
+		k.flushCtrl()
+		if atomic.LoadInt32(&k.loadAcks) != int32(len(k.clusters)) {
+			return
+		}
+		k.finishLoadRound()
+		k.phase = phaseIdle
 	}
 }
 
@@ -436,8 +508,8 @@ func (k *Kernel) dumpStuck(gvt Time) {
 	add := func(f string, a ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(f, a...))...) }
 	add("timewarp: GVT stuck at %d\n", gvt)
 	for _, c := range k.clusters {
-		add("cluster %d: sched=%d localQ=%d out=%d delayed=%d localMin=%d\n",
-			c.id, len(c.sched), len(c.localQ), len(c.outPending), len(c.delayed), c.localMin())
+		add("cluster %d: sched=%d localQ=%d out=%d delayed=%d limbo=%d localMin=%d\n",
+			c.id, len(c.sched), len(c.localQ), len(c.outPending), len(c.delayed), len(c.limbo), c.localMin())
 	}
 	for _, lp := range k.lps {
 		nt := lp.nextTime()
@@ -445,7 +517,7 @@ func (k *Kernel) dumpStuck(gvt Time) {
 			continue
 		}
 		add("  lp %d (cluster %d): next=%d lvt=%d pending=%d cancelled=%d processed=%d oldSends=%d",
-			lp.id, k.clusterOf[lp.id], nt, lp.lvt, len(lp.pending), len(lp.cancelled), len(lp.processed), len(lp.oldSends))
+			lp.id, k.RouteOf(lp.id), nt, lp.lvt, len(lp.pending), len(lp.cancelled), len(lp.processed), len(lp.oldSends))
 		for _, e := range lp.oldSends {
 			add(" [t=%d sends=%d]", e.time, len(e.sent))
 		}

@@ -1,6 +1,7 @@
 package timewarp
 
 import (
+	"fmt"
 	"sort"
 )
 
@@ -53,7 +54,8 @@ func (ctx *Context) Now() Time { return ctx.now }
 // legal).
 func (ctx *Context) Send(to LPID, recvTime Time, kind, value int32) {
 	if !ctx.inInit && recvTime <= ctx.now {
-		panic("timewarp: Send into the non-strict future")
+		panic(fmt.Sprintf("timewarp: Send outside the strict future: recvTime %d <= now %d (events must be scheduled strictly after the current bundle, except during Init)",
+			recvTime, ctx.now))
 	}
 	ev := Event{
 		ID:       ctx.cluster.kernel.nextEventID(),
@@ -66,7 +68,7 @@ func (ctx *Context) Send(to LPID, recvTime Time, kind, value int32) {
 	}
 	if ctx.inInit {
 		ev.SendTime = -1
-		ctx.cluster.route(ev, true)
+		ctx.lp.send(ev)
 		return
 	}
 	ctx.lp.stageSend(ctx.cluster, ev)
@@ -111,6 +113,20 @@ type lpRuntime struct {
 
 	// matchScratch is the reusable matched-flags buffer of lazy dispatch.
 	matchScratch []bool
+
+	// Load profile for dynamic rebalancing, owner-goroutine only, reset at
+	// every load round (captureLoad). loadCommitted/loadRollbacks/loadRemote
+	// count activity since the last snapshot; sendDst/sendCnt accumulate
+	// the LP's row of the observed send matrix (destinations discovered on
+	// first send, so the steady state appends nothing). sendCur remembers
+	// the last matched slot: handlers emit to their fanout in a fixed
+	// order, so the cyclic probe in noteSend usually hits immediately.
+	loadCommitted uint64
+	loadRollbacks uint64
+	loadRemote    uint64
+	sendDst       []LPID
+	sendCnt       []uint64
+	sendCur       int
 
 	// ctx is the reusable handler context (one live Execute per LP at a
 	// time, so a single context per LP suffices).
@@ -199,6 +215,7 @@ func (lp *lpRuntime) rollback(t Time) {
 		return
 	}
 	lp.cluster.stats.Rollbacks++
+	lp.loadRollbacks++
 	lazy := lp.cluster.kernel.cfg.LazyCancellation
 	// Every surviving oldSends entry has time > lvt, and every rolled-back
 	// bundle has time <= lvt, so the new entries (appended in chronological
@@ -307,6 +324,40 @@ func (lp *lpRuntime) stageSend(c *cluster, ev Event) {
 	lp.stagedSends = append(lp.stagedSends, ev)
 }
 
+// send routes one positive event originated by this LP and records it in the
+// LP's load profile (the observed send matrix driving dynamic rebalancing).
+func (lp *lpRuntime) send(ev Event) {
+	remote := lp.cluster.route(ev, true)
+	lp.noteSend(ev.Receiver, remote)
+}
+
+// noteSend accumulates one send into the LP's row of the send matrix. The
+// probe starts at the slot after the previous match, so cyclic fanout emit
+// patterns hit on the first comparison; a new destination appends once.
+func (lp *lpRuntime) noteSend(dst LPID, remote bool) {
+	if remote {
+		lp.loadRemote++
+	}
+	n := len(lp.sendDst)
+	for i := 0; i < n; i++ {
+		j := lp.sendCur + i
+		if j >= n {
+			j -= n
+		}
+		if lp.sendDst[j] == dst {
+			lp.sendCnt[j]++
+			lp.sendCur = j + 1
+			if lp.sendCur == n {
+				lp.sendCur = 0
+			}
+			return
+		}
+	}
+	lp.sendDst = append(lp.sendDst, dst)
+	lp.sendCnt = append(lp.sendCnt, 1)
+	lp.sendCur = 0
+}
+
 // dispatchSends routes the bundle's sends. Under lazy cancellation, sends
 // identical to a rolled-back send from the same bundle time are suppressed
 // (the original event is still valid at the receiver) and unmatched old
@@ -314,14 +365,14 @@ func (lp *lpRuntime) stageSend(c *cluster, ev Event) {
 func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 	if !lp.cluster.kernel.cfg.LazyCancellation {
 		for i := range sent {
-			lp.cluster.route(sent[i], true)
+			lp.send(sent[i])
 		}
 		return
 	}
 	old := lp.takeOldSends(t)
 	if old == nil {
 		for i := range sent {
-			lp.cluster.route(sent[i], true)
+			lp.send(sent[i])
 		}
 		return
 	}
@@ -351,7 +402,7 @@ func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 			// stays valid; record it as this bundle's send.
 			*ev = old[found]
 		} else {
-			lp.cluster.route(*ev, true)
+			lp.send(*ev)
 		}
 	}
 	for j := range old {
@@ -460,5 +511,6 @@ func (lp *lpRuntime) fossilCollect(gvt Time) uint64 {
 		lp.processed[i] = bundle{}
 	}
 	lp.processed = lp.processed[:n]
+	lp.loadCommitted += committed
 	return committed
 }

@@ -1,0 +1,420 @@
+package timewarp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rotatingRebalance returns a Rebalance callback that cyclically shifts
+// every LP to the next cluster at each load round — the most migration-heavy
+// policy possible, so every protocol edge (stale routes, limbo parking,
+// payload transit accounting) is exercised constantly.
+func rotatingRebalance(numLPs, numClusters int, rounds *int32) func(*LoadSnapshot) []int {
+	next := make([]int, numLPs)
+	return func(s *LoadSnapshot) []int {
+		atomic.AddInt32(rounds, 1)
+		for lp := range next {
+			next[lp] = (s.ClusterOf[lp] + 1) % numClusters
+		}
+		return next
+	}
+}
+
+// TestMigrationPingPong: the two-LP ping-pong from the basic kernel test, but
+// with both LPs forcibly rotated between the clusters at every GVT round.
+// The committed total, the handler state and termination must be identical
+// to the static run.
+func TestMigrationPingPong(t *testing.T) {
+	var rounds int32
+	a := &pingLP{peer: 1, limit: 200, delay: 3, start: true}
+	b := &pingLP{peer: 0, limit: 200, delay: 3}
+	k, err := New(Config{
+		NumClusters:           2,
+		ClusterOf:             []int{0, 1},
+		GVTPeriodEvents:       16,
+		Rebalance:             rotatingRebalance(2, 2, &rounds),
+		RebalancePeriodRounds: 1,
+	}, []Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.EventsCommitted; got != 201 {
+		t.Errorf("committed = %d, want 201", got)
+	}
+	if a.seen+b.seen != 201 {
+		t.Errorf("handler state: %d + %d != 201", a.seen, b.seen)
+	}
+	if stats.FinalGVT != TimeInfinity {
+		t.Errorf("final GVT = %d, want infinity", stats.FinalGVT)
+	}
+	if stats.Migrations == 0 {
+		t.Error("rotating rebalance migrated nothing")
+	}
+	if stats.RebalanceRounds == 0 || rounds == 0 {
+		t.Errorf("no rebalance rounds ran (stats=%d cb=%d)", stats.RebalanceRounds, rounds)
+	}
+	if stats.RouteEpoch == 0 {
+		t.Error("routing table epoch never advanced despite migrations")
+	}
+	for color := 0; color < 2; color++ {
+		if n := atomic.LoadInt64(&k.transit[color].n); n != 0 {
+			t.Errorf("transit[%d] = %d after termination, want 0", color, n)
+		}
+	}
+}
+
+// TestMigrationUnderRollbacks rotates LPs between eight clusters while
+// straggler pairs force rollbacks and lazy cancellation keeps unsent
+// anti-messages alive across cuts; two runs must commit the same total and
+// reach the same handler state, and migration-specific invariants (transit
+// drain, epoch advance) must hold.
+func TestMigrationUnderRollbacks(t *testing.T) {
+	for _, lazy := range []bool{false, true} {
+		run := func() (int64, RunStats) {
+			const chains = 12
+			var rounds int32
+			handlers := make([]Handler, 0, chains+4)
+			clusterOf := make([]int, 0, chains+4)
+			for i := 0; i < chains; i++ {
+				handlers = append(handlers, &chainLP{limit: 220})
+				clusterOf = append(clusterOf, i%8)
+			}
+			handlers = append(handlers,
+				&stragglerVictim{limit: 300}, &stragglerSender{victim: LPID(chains), n: 290},
+				&stragglerVictim{limit: 300}, &stragglerSender{victim: LPID(chains + 2), n: 290},
+			)
+			clusterOf = append(clusterOf, 0, 7, 3, 5)
+			k, err := New(Config{
+				NumClusters:           8,
+				ClusterOf:             clusterOf,
+				GVTPeriodEvents:       48,
+				LazyCancellation:      lazy,
+				NetLatency:            50 * time.Microsecond,
+				Rebalance:             rotatingRebalance(len(handlers), 8, &rounds),
+				RebalancePeriodRounds: 1,
+			}, handlers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := k.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.FinalGVT != TimeInfinity {
+				t.Fatalf("lazy=%v: run did not terminate (GVT=%d)", lazy, stats.FinalGVT)
+			}
+			if stats.EventsProcessed-stats.EventsRolledBack != stats.EventsCommitted {
+				t.Fatalf("lazy=%v: processed-rolledback=%d != committed=%d",
+					lazy, stats.EventsProcessed-stats.EventsRolledBack, stats.EventsCommitted)
+			}
+			for color := 0; color < 2; color++ {
+				if n := atomic.LoadInt64(&k.transit[color].n); n != 0 {
+					t.Errorf("lazy=%v: transit[%d] = %d after termination, want 0", lazy, color, n)
+				}
+			}
+			sum := handlers[chains].(*stragglerVictim).sum + handlers[chains+2].(*stragglerVictim).sum
+			return sum, stats
+		}
+		sum1, stats1 := run()
+		sum2, stats2 := run()
+		if sum1 != sum2 {
+			t.Errorf("lazy=%v: straggler state differs across runs: %d vs %d", lazy, sum1, sum2)
+		}
+		if stats1.EventsCommitted != stats2.EventsCommitted {
+			t.Errorf("lazy=%v: committed differs across runs: %d vs %d", lazy, stats1.EventsCommitted, stats2.EventsCommitted)
+		}
+		if stats1.Migrations == 0 {
+			t.Errorf("lazy=%v: no migrations happened", lazy)
+		}
+	}
+}
+
+// TestStaleRouteForwardAndLimbo pins down the two relocation paths
+// deterministically (single-threaded, before Run): an event in the old
+// home's inbox when the LP leaves must be forwarded to the new home; an
+// event reaching the new home before the migration payload must park in
+// limbo, be covered by the GVT floor (localMin), and be delivered once the
+// payload is adopted.
+func TestStaleRouteForwardAndLimbo(t *testing.T) {
+	h := []Handler{&pingLP{peer: 1}, &pingLP{peer: 0}}
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := k.clusters[0], k.clusters[1]
+	// Cluster 1 sends to LP 0 under the current route: the event lands in
+	// cluster 0's inbox.
+	b.route(Event{ID: k.nextEventID(), Sender: 1, Receiver: 0, SendTime: -1, RecvTime: 5}, true)
+	// LP 0 migrates to cluster 1 while that event is still in flight.
+	a.migrateOut(migOrder{lp: 0, to: 1})
+	if got := k.RouteOf(0); got != 1 {
+		t.Fatalf("route of LP 0 = %d after migrateOut, want 1", got)
+	}
+	if a.owned[0] || len(a.lps) != 0 {
+		t.Fatal("old home still owns the migrated LP")
+	}
+	// The old home drains its inbox: it no longer owns LP 0 and the route
+	// points away, so the event must be forwarded, not delivered or parked.
+	a.drainInbox()
+	if a.stats.ForwardedMessages != 1 {
+		t.Fatalf("forwarded = %d, want 1", a.stats.ForwardedMessages)
+	}
+	if len(a.limbo) != 0 {
+		t.Fatal("old home parked the event instead of forwarding")
+	}
+	// The new home drains before adopting the payload: the event is for an
+	// LP routed here but not yet owned → limbo, folded into the GVT floor.
+	b.drainInbox()
+	if len(b.limbo) != 1 {
+		t.Fatalf("limbo holds %d events, want 1", len(b.limbo))
+	}
+	if got := b.localMin(); got != 5 {
+		t.Fatalf("localMin = %d with a parked event at 5", got)
+	}
+	// Adopting the payload must drain limbo into the LP's queues and settle
+	// every in-flight count.
+	b.checkMigrate()
+	if !b.owned[0] || len(b.limbo) != 0 {
+		t.Fatalf("payload adoption incomplete: owned=%v limbo=%d", b.owned[0], len(b.limbo))
+	}
+	if got := k.lps[0].nextTime(); got != 5 {
+		t.Fatalf("migrated LP's next work = %d, want 5", got)
+	}
+	if n := k.inTransit(); n != 0 {
+		t.Fatalf("in-transit count = %d after adoption, want 0", n)
+	}
+}
+
+// TestMigrationWithWireLatency rotates both LPs of a cross-cluster
+// ping-pong every GVT round while every message spends wall-clock time on
+// the modeled wire, so messages routinely arrive at clusters their receiver
+// has left. The committed total must stay exact regardless.
+func TestMigrationWithWireLatency(t *testing.T) {
+	var rounds int32
+	a := &pingLP{peer: 1, limit: 1000, delay: 3, start: true}
+	b := &pingLP{peer: 0, limit: 1000, delay: 3}
+	k, err := New(Config{
+		NumClusters: 2, ClusterOf: []int{0, 1}, GVTPeriodEvents: 8,
+		NetLatency:            150 * time.Microsecond,
+		Rebalance:             rotatingRebalance(2, 2, &rounds),
+		RebalancePeriodRounds: 1,
+	}, []Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EventsCommitted != 1001 {
+		t.Errorf("committed = %d, want 1001", stats.EventsCommitted)
+	}
+	if a.seen+b.seen != 1001 {
+		t.Errorf("handler state: %d + %d != 1001", a.seen, b.seen)
+	}
+	if stats.Migrations == 0 {
+		t.Error("latency rotation migrated nothing")
+	}
+	for color := 0; color < 2; color++ {
+		if n := atomic.LoadInt64(&k.transit[color].n); n != 0 {
+			t.Errorf("transit[%d] = %d after termination, want 0", color, n)
+		}
+	}
+}
+
+// TestRebalanceDeclines: a callback that always returns nil must collect
+// load rounds but never migrate, and the routing table must stay at its
+// initial epoch.
+func TestRebalanceDeclines(t *testing.T) {
+	var rounds int32
+	a := &pingLP{peer: 1, limit: 300, delay: 2, start: true}
+	b := &pingLP{peer: 0, limit: 300, delay: 2}
+	k, err := New(Config{
+		NumClusters:     2,
+		ClusterOf:       []int{0, 1},
+		GVTPeriodEvents: 16,
+		Rebalance: func(s *LoadSnapshot) []int {
+			atomic.AddInt32(&rounds, 1)
+			if s.NumLPs() != 2 || s.NumClusters != 2 {
+				t.Errorf("snapshot shape: lps=%d clusters=%d", s.NumLPs(), s.NumClusters)
+			}
+			return nil
+		},
+		RebalancePeriodRounds: 1,
+	}, []Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EventsCommitted != 301 {
+		t.Errorf("committed = %d, want 301", stats.EventsCommitted)
+	}
+	if stats.Migrations != 0 || stats.RouteEpoch != 0 {
+		t.Errorf("declined rebalance still moved LPs: migrations=%d epoch=%d", stats.Migrations, stats.RouteEpoch)
+	}
+	if rounds == 0 {
+		t.Error("rebalance callback never ran")
+	}
+}
+
+// TestLoadSnapshotCounters: the snapshot must attribute committed events and
+// the send matrix to the right LPs. A one-way chain 0→1→2 on two clusters
+// gives a known shape: every LP commits, 0 and 1 each have exactly one
+// outgoing edge, and LP 1's sends to LP 2 cross the cluster boundary.
+func TestLoadSnapshotCounters(t *testing.T) {
+	type seen struct {
+		committed   [3]uint64
+		edges       map[LPID]map[LPID]uint64
+		remoteFrom1 uint64
+	}
+	var got seen
+	got.edges = map[LPID]map[LPID]uint64{}
+	record := func(s *LoadSnapshot) []int {
+		for lp := 0; lp < 3; lp++ {
+			got.committed[lp] += s.Committed[lp]
+			for j := s.EdgeOff[lp]; j < s.EdgeOff[lp+1]; j++ {
+				m := got.edges[LPID(lp)]
+				if m == nil {
+					m = map[LPID]uint64{}
+					got.edges[LPID(lp)] = m
+				}
+				m[s.EdgeDst[j]] += s.EdgeCnt[j]
+			}
+		}
+		got.remoteFrom1 += s.RemoteSends[1]
+		return nil
+	}
+	h := []Handler{
+		&relayLP{next: 1, limit: 120, start: true},
+		&relayLP{next: 2, limit: 120},
+		&relayLP{next: -1, limit: 120},
+	}
+	k, err := New(Config{
+		NumClusters:           2,
+		ClusterOf:             []int{0, 0, 1},
+		GVTPeriodEvents:       16,
+		Rebalance:             record,
+		RebalancePeriodRounds: 1,
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The final window (between the last load round and termination) is
+	// never snapshotted, so totals are lower bounds; with a period of one
+	// round and 120 hops they are all well above zero.
+	if got.committed[0] == 0 || got.committed[1] == 0 || got.committed[2] == 0 {
+		t.Errorf("committed counters missing activity: %v", got.committed)
+	}
+	if got.edges[0][1] == 0 {
+		t.Errorf("edge 0→1 unobserved: %v", got.edges)
+	}
+	if got.edges[1][2] == 0 {
+		t.Errorf("edge 1→2 unobserved: %v", got.edges)
+	}
+	if len(got.edges[2]) != 0 {
+		t.Errorf("sink LP 2 has outgoing edges: %v", got.edges[2])
+	}
+	if got.remoteFrom1 == 0 {
+		t.Error("LP 1's cross-cluster sends were not counted as remote")
+	}
+}
+
+// TestBuildSnapshotMergesDoubleCapture: an LP that migrates between the two
+// captures of one load round appears in both clusters' buffers with
+// disjoint activity windows; the merged snapshot must sum its counters and
+// concatenate its edge rows without corrupting its neighbors' rows.
+func TestBuildSnapshotMergesDoubleCapture(t *testing.T) {
+	h := []Handler{&pingLP{peer: 1}, &pingLP{peer: 0}, &pingLP{peer: 0}}
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 0, 1}}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0's capture saw LP 0 (about to migrate) and LP 1; cluster 1's
+	// capture saw LP 2 and then LP 0 again after adopting it.
+	k.loadBufs[0] = loadSnapBuf{
+		lps:       []LPID{0, 1},
+		committed: []uint64{10, 3},
+		rollbacks: []uint64{2, 0},
+		remote:    []uint64{5, 1},
+		edgeOff:   []int32{2, 3},
+		edgeDst:   []LPID{1, 2, 0},
+		edgeCnt:   []uint64{7, 4, 9},
+	}
+	k.loadBufs[1] = loadSnapBuf{
+		lps:       []LPID{2, 0},
+		committed: []uint64{6, 20},
+		rollbacks: []uint64{1, 3},
+		remote:    []uint64{2, 8},
+		edgeOff:   []int32{1, 2},
+		edgeDst:   []LPID{0, 2},
+		edgeCnt:   []uint64{5, 11},
+	}
+	s := k.buildSnapshot()
+	if got := s.Committed[0]; got != 30 {
+		t.Errorf("LP 0 committed = %d, want 10+20", got)
+	}
+	if s.Rollbacks[0] != 5 || s.RemoteSends[0] != 13 {
+		t.Errorf("LP 0 scalars not summed: rollbacks=%d remote=%d", s.Rollbacks[0], s.RemoteSends[0])
+	}
+	edges := func(lp int) map[LPID]uint64 {
+		m := map[LPID]uint64{}
+		for j := s.EdgeOff[lp]; j < s.EdgeOff[lp+1]; j++ {
+			m[s.EdgeDst[j]] += s.EdgeCnt[j]
+		}
+		return m
+	}
+	if got := edges(0); got[1] != 7 || got[2] != 4+11 {
+		t.Errorf("LP 0 edges = %v, want 1:7 2:15", got)
+	}
+	if got := edges(1); got[0] != 9 || len(got) != 1 {
+		t.Errorf("LP 1 row corrupted by its neighbor's second window: %v", got)
+	}
+	if got := edges(2); got[0] != 5 || len(got) != 1 {
+		t.Errorf("LP 2 edges = %v, want 0:5", got)
+	}
+	if int(s.EdgeOff[3]) != len(s.EdgeDst) || len(s.EdgeDst) != 5 {
+		t.Errorf("CSR shape: off=%v dst=%v", s.EdgeOff, s.EdgeDst)
+	}
+}
+
+// relayLP forwards each event one step down a fixed chain.
+type relayLP struct {
+	next  LPID
+	limit Time
+	start bool
+	seen  int32
+}
+
+func (r *relayLP) Init(ctx *Context) {
+	if r.start {
+		ctx.Send(ctx.Self(), 1, 0, 0)
+	}
+}
+
+func (r *relayLP) Execute(ctx *Context, now Time, events []Event) {
+	for range events {
+		r.seen++
+		if now < r.limit {
+			if r.next >= 0 {
+				ctx.Send(r.next, now+1, 0, 0)
+			}
+			if ctx.Self() == 0 {
+				ctx.Send(ctx.Self(), now+1, 0, 0)
+			}
+		}
+	}
+}
+
+func (r *relayLP) SaveState() interface{}     { return r.seen }
+func (r *relayLP) RestoreState(s interface{}) { r.seen = s.(int32) }
