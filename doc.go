@@ -21,16 +21,25 @@
 //     load balancing;
 //   - internal/timewarp: an optimistic parallel discrete event simulation
 //     kernel (Time Warp) with clusters, rollback, anti-messages, fossil
-//     collection, a configurable LAN model, and an optimism window. GVT is
-//     an asynchronous Mattern-style two-cut protocol (colored messages,
-//     in-transit counts, control events on the cluster inboxes), so
-//     clusters never stop executing for a GVT round. The LP→cluster
-//     mapping is a versioned routing table the kernel rewrites mid-run:
-//     dynamic rebalancing snapshots per-LP load in an extra control wave
-//     and migrates LPs at observed-GVT advance, with stale-route
-//     forwarding and message-like transit accounting of the migration
-//     payload keeping every cut sound. Event queues use non-boxing heaps
-//     and bundle/event slices are pooled across rollback and fossil
+//     collection, a configurable LAN model, and an optimism window.
+//     Inter-cluster transport is batched: per-destination outboxes flush
+//     whole batches into double-buffered, mutex-swapped mailboxes under an
+//     adaptive policy (size threshold, urgency against the destination's
+//     published progress, idle flush), so the per-event remote cost is an
+//     append and a copy, and intra-cluster messages take a
+//     zero-synchronization local queue. GVT is an asynchronous
+//     Mattern-style two-cut protocol — batches carry their sender's round
+//     color and charge a per-color in-transit counter by length, unflushed
+//     buffers are folded into their owner's GVT report, and control bits
+//     ride the mailboxes immune to data backpressure — so clusters never
+//     stop executing for a GVT round. The LP→cluster mapping is a
+//     versioned routing table the kernel rewrites mid-run: dynamic
+//     rebalancing snapshots per-LP load (EWMA-smoothed across rounds) in
+//     an extra control wave and migrates LPs at observed-GVT advance, with
+//     stale-route forwarding and batch-like transit accounting of the
+//     migration payload keeping every cut sound. Event queues use
+//     non-boxing heaps, scheduler pushes are deduplicated per LP, and
+//     bundle/event slices are pooled across rollback and fossil
 //     collection;
 //   - internal/smoketest: the `go build && run` harness behind the cmd/
 //     and examples/ entry-point smoke tests;

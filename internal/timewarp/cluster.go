@@ -67,6 +67,12 @@ type eventPool struct {
 	free [][]Event
 }
 
+// maxPooledEventCap bounds the backing-array size the pool will retain. One
+// rollback burst with huge bundles would otherwise park arbitrarily large
+// arrays in the pool forever — the pool length bound alone caps the count of
+// pinned slices, not their size.
+const maxPooledEventCap = 1024
+
 // get returns a recycled zero-length slice, or nil (callers append).
 func (p *eventPool) get() []Event {
 	if n := len(p.free); n > 0 {
@@ -78,26 +84,36 @@ func (p *eventPool) get() []Event {
 	return nil
 }
 
-// put recycles a slice's backing array. The pool is bounded so a rollback
-// burst cannot pin memory forever.
+// put recycles a slice's backing array. The pool is bounded in count and in
+// per-slice capacity so a rollback burst cannot pin memory forever.
 func (p *eventPool) put(s []Event) {
-	if cap(s) == 0 || len(p.free) >= 256 {
+	if cap(s) == 0 || cap(s) > maxPooledEventCap || len(p.free) >= 256 {
 		return
 	}
 	p.free = append(p.free, s[:0])
 }
 
 // idleWait bounds how long an idle or window-stalled cluster blocks on its
-// inbox before re-checking scheduler, GVT and optimism-window state.
+// mailbox before re-checking scheduler, GVT and optimism-window state.
 const idleWait = 50 * time.Microsecond
 
-// cluster is one simulation node: a goroutine owning a set of LPs, an inbox
-// for inter-cluster messages, and a lowest-timestamp-first scheduler.
+// cluster is one simulation node: a goroutine owning a set of LPs, a batched
+// mailbox for inter-cluster messages (transport.go), and a
+// lowest-timestamp-first scheduler.
 type cluster struct {
 	kernel *Kernel
 	id     int
 	lps    []*lpRuntime // LPs owned by this cluster
-	inbox  chan Event
+
+	// mail is the inbound side of the batched transport; mailEv/mailHdr are
+	// the drained buffers handed back at the next take (double buffering).
+	mail    mailbox
+	mailEv  []Event
+	mailHdr []batchHdr
+	// out holds the per-destination outboxes of not-yet-flushed remote
+	// events (out[c.id] stays empty; local messages use localQ).
+	out []outbox
+
 	// localQ queues intra-cluster deliveries. Local messages are never
 	// delivered synchronously from inside LP operations: a rollback that
 	// sent an anti-message to a same-cluster LP (or to the LP itself) would
@@ -106,13 +122,10 @@ type cluster struct {
 	// array instead of re-slicing it away.
 	localQ    []Event
 	localHead int
-	// outPending buffers messages whose destination inbox was full; the
-	// main loop retries, so a send never blocks (no send-send deadlocks).
-	outPending []Event
-	// delayed holds received events still "on the wire" under the modeled
+	// delayed holds received batches still "on the wire" under the modeled
 	// network latency; they stay in-flight for GVT accounting until
 	// delivered.
-	delayed delayHeap
+	delayed delayedHeap
 	sched   schedHeap
 	evPool  eventPool
 	stats   ClusterStats
@@ -121,10 +134,10 @@ type cluster struct {
 	idleLoops      int
 
 	// color is the GVT round this cluster has joined; its parity stamps
-	// every outgoing message for the kernel's transit counts.
+	// every flushed batch for the kernel's transit counts.
 	color int64
-	// redMin is the minimum receive time this cluster has sent since
-	// joining the current round — the bound on its messages that may still
+	// redMin is the minimum receive time this cluster has flushed since
+	// joining the current round — the bound on its batches that may still
 	// be in transit when the round's second cut closes.
 	redMin Time
 	// reportedRound is the last round this cluster sent a wave-2 report
@@ -132,7 +145,7 @@ type cluster struct {
 	reportedRound int64
 	// fossilAt is the GVT this cluster last fossil-collected at.
 	fossilAt Time
-	// idleTimer is the reusable timer behind waitInbox; time.After would
+	// idleTimer is the reusable timer behind waitMail; time.After would
 	// allocate a fresh timer channel on every idle iteration.
 	idleTimer *time.Timer
 
@@ -160,99 +173,46 @@ type cluster struct {
 }
 
 // route delivers an event to its destination LP's current home cluster (per
-// the routing table), locally or via the destination cluster's inbox.
-// positive distinguishes application messages from anti-messages for
-// accounting. Every routed message is stamped with the cluster's current GVT
-// color, counted in transit until delivered, and folded into redMin so an
-// in-flight message can never slip under a GVT cut. It reports whether the
-// event left the cluster (the sender's load profile counts remote sends).
+// the routing table): locally via localQ, or by staging it in the
+// destination's outbox for a batched flush (transport.go). positive
+// distinguishes application messages from anti-messages for accounting. It
+// reports whether the event left the cluster (the sender's load profile
+// counts remote sends).
+//
+// The local branch does no transit accounting at all. An intra-cluster
+// message can never be "in flight" across a GVT cut observation: it is
+// appended and drained by this same goroutine, and this goroutine is also
+// the only one that joins cuts and files wave-2 reports (checkGVT). Any cut
+// this cluster observes therefore happens at a program point where the
+// event is either not yet created, still in localQ (folded into the report
+// by localMin), or already delivered into an LP's queues (covered by the
+// LP's pending minimum) — there is no interleaving in which another
+// cluster's counter or report would have to account for it.
 func (c *cluster) route(ev Event, positive bool) (remote bool) {
 	dst := c.kernel.RouteOf(ev.Receiver)
-	if positive {
-		if dst == c.id {
-			c.stats.LocalMessages++
-		} else {
-			c.stats.RemoteMessages++
-		}
-	}
-	ev.color = uint8(c.color & 1)
-	if ev.RecvTime < c.redMin {
-		c.redMin = ev.RecvTime
-	}
-	atomic.AddInt64(&c.kernel.transit[ev.color].n, 1)
 	if dst == c.id {
+		if positive {
+			c.stats.LocalMessages++
+		}
 		c.localQ = append(c.localQ, ev)
 		return false
 	}
-	c.kernel.busy(c.kernel.cfg.NetSendBusy)
-	if lat := c.kernel.cfg.NetLatency; lat > 0 {
-		ev.dueNano = time.Now().UnixNano() + int64(lat)
+	if positive {
+		c.stats.RemoteMessages++
 	}
-	target := c.kernel.clusters[dst]
-	select {
-	case target.inbox <- ev:
-	default:
-		c.outPending = append(c.outPending, ev)
-	}
+	c.stageRemote(dst, ev)
 	return true
-}
-
-// delayHeap orders on-the-wire events by wall-clock due time.
-type delayHeap []Event
-
-func (h *delayHeap) push(ev Event) { heapPush((*[]Event)(h), ev, delayLess) }
-
-func (h *delayHeap) pop() Event { return heapPop((*[]Event)(h), delayLess) }
-
-// deliverDue moves every delayed event whose wire time has elapsed into its
-// LP. force delivers everything regardless (initialization only). Returns
-// the number delivered.
-func (c *cluster) deliverDue(force bool) int {
-	n := 0
-	now := int64(0)
-	if !force && len(c.delayed) > 0 {
-		now = time.Now().UnixNano()
-	}
-	for len(c.delayed) > 0 {
-		if !force && c.delayed[0].dueNano > now {
-			break
-		}
-		ev := c.delayed.pop()
-		c.kernel.busy(c.kernel.cfg.NetRecvBusy)
-		atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
-		c.deliver(ev)
-		n++
-	}
-	return n
-}
-
-// receive accepts one event popped from the inbox channel, honoring the
-// modeled wire latency. GVT control events are pure wakeups: they are
-// handled immediately and never reach an LP or the transit counts.
-func (c *cluster) receive(ev Event) int {
-	if ev.ctrl != ctrlNone {
-		c.checkGVT()
-		return 0
-	}
-	if ev.dueNano > 0 && time.Now().UnixNano() < ev.dueNano {
-		c.delayed.push(ev)
-		return 0
-	}
-	c.kernel.busy(c.kernel.cfg.NetRecvBusy)
-	atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
-	c.deliver(ev)
-	return 1
 }
 
 // drainLocal delivers every queued intra-cluster message, including those
 // appended while draining (rollbacks can emit further local anti-messages).
-// Returns the number delivered.
+// Same-goroutine delivery: no locks, no atomics (see route). Returns the
+// number delivered.
 func (c *cluster) drainLocal() int {
 	n := 0
 	for c.localHead < len(c.localQ) {
 		ev := c.localQ[c.localHead]
 		c.localHead++
-		atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
 		c.deliver(ev)
 		n++
 	}
@@ -288,89 +248,41 @@ func (c *cluster) deliver(ev Event) {
 	} else {
 		lp.enqueue(ev)
 	}
-	if t := lp.nextTime(); t != TimeInfinity {
+	c.schedule(lp)
+}
+
+// schedule refreshes lp's scheduler entry if its earliest work moved below
+// the tracked entry (lp.schedT). The gate keeps batch delivery from pushing
+// one heap entry per event: only the first event of a batch that lowers the
+// LP's next work time touches the heap.
+func (c *cluster) schedule(lp *lpRuntime) {
+	if t := lp.nextTime(); t < lp.schedT {
 		c.sched.push(schedEntry{t: t, lp: lp})
-	}
-}
-
-// flushOut retries buffered sends; returns true if everything flushed.
-func (c *cluster) flushOut() bool {
-	if len(c.outPending) == 0 {
-		return true
-	}
-	keep := c.outPending[:0]
-	for _, ev := range c.outPending {
-		// Re-read the route: the receiver may have migrated while the event
-		// sat buffered, and its new home delivers without a forwarding hop.
-		target := c.kernel.clusters[c.kernel.RouteOf(ev.Receiver)]
-		select {
-		case target.inbox <- ev:
-		default:
-			keep = append(keep, ev)
-		}
-	}
-	c.outPending = keep
-	return len(c.outPending) == 0
-}
-
-// drainInbox moves every currently queued inbound event into its LP (or the
-// delayed heap while its modeled wire latency has not elapsed). Returns the
-// number of events delivered.
-func (c *cluster) drainInbox() int {
-	n := c.deliverDue(false)
-	for {
-		select {
-		case ev := <-c.inbox:
-			n += c.receive(ev)
-		default:
-			return n
-		}
-	}
-}
-
-// drainAll empties the inbox and the modeled wire unconditionally; only
-// single-threaded initialization uses it, before the coordinator exists, so
-// no control event can be in flight here (the steady state never
-// force-drains the wire — the GVT protocol counts on-the-wire messages
-// instead of flushing them).
-func (c *cluster) drainAll() int {
-	n := c.deliverDue(true)
-	for {
-		select {
-		case ev := <-c.inbox:
-			if ev.dueNano > 0 {
-				c.delayed.push(ev)
-				n += c.deliverDue(true)
-			} else {
-				c.kernel.busy(c.kernel.cfg.NetRecvBusy)
-				atomic.AddInt64(&c.kernel.transit[ev.color].n, -1)
-				c.deliver(ev)
-				n++
-			}
-		default:
-			return n
-		}
+		lp.schedT = t
 	}
 }
 
 // checkGVT runs the cluster-side half of the asynchronous GVT protocol:
 // join a newly opened round (wave 1) and report once the coordinator opens
 // wave 2. Both steps are cheap atomic probes; the main loop calls this every
-// iteration and control events trigger it early on idle clusters.
+// iteration and control bits trigger it early on idle clusters.
 func (c *cluster) checkGVT() {
 	k := c.kernel
 	if r := atomic.LoadInt64(&k.round); r > c.color {
-		// Wave 1 cut: turn red. Messages sent from here on carry the new
+		// Wave 1 cut: turn red. Batches flushed from here on carry the new
 		// color; redMin starts tracking their minimum receive time.
 		c.color = r
 		c.redMin = TimeInfinity
 		atomic.AddInt32(&k.cutAcks, 1)
 	}
 	if r := atomic.LoadInt64(&k.reportRound); r == c.color && c.reportedRound < r {
-		// Wave 2: every pre-cut message is accounted for (the white transit
+		// Wave 2: every pre-cut batch is accounted for (the white transit
 		// count reached zero before the coordinator opened this wave, and
 		// any that landed here were delivered before this call on this
-		// goroutine), so min(local work, red sends) is a sound contribution.
+		// goroutine), so min(local work, red flushes) is a sound
+		// contribution. localMin folds in events still buffered in this
+		// cluster's outboxes and local queue — they carry no transit charge,
+		// and this report is exactly what covers them.
 		c.reportedRound = r
 		m := c.localMin()
 		if c.redMin < m {
@@ -402,26 +314,6 @@ func (c *cluster) maybeFossil() {
 	}
 }
 
-// waitInbox blocks for at most idleWait for an inbound event (a remote
-// straggler or a GVT control wakeup). Idle and window-stalled clusters both
-// use it, so neither spins a core; an arriving event is handled immediately,
-// so waiting never delays straggler receipt.
-func (c *cluster) waitInbox() {
-	if c.idleTimer == nil {
-		c.idleTimer = time.NewTimer(idleWait)
-	} else {
-		c.idleTimer.Reset(idleWait)
-	}
-	select {
-	case ev := <-c.inbox:
-		c.idleTimer.Stop()
-		if c.receive(ev) > 0 {
-			c.idleLoops = 0
-		}
-	case <-c.idleTimer.C:
-	}
-}
-
 // executeOne runs the next bundle of the lowest-timestamp LP. Returns the
 // number of events executed (0 when idle or when all work lies beyond the
 // optimism window).
@@ -440,12 +332,18 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 	}
 	for len(c.sched) > 0 {
 		e := c.sched.pop()
-		if !c.owned[e.lp.id] {
+		lp := e.lp
+		if !c.owned[lp.id] {
 			// The LP migrated away after this entry was pushed; its new
-			// owner schedules it now, and touching it here would race.
+			// owner schedules it now, and touching it (schedT included)
+			// here would race.
 			continue
 		}
-		t := e.lp.nextTime()
+		if e.t == lp.schedT {
+			// This was the LP's tracked entry; it is no longer in the heap.
+			lp.schedT = TimeInfinity
+		}
+		t := lp.nextTime()
 		if t == TimeInfinity {
 			continue
 		}
@@ -453,17 +351,15 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 			// Beyond the window: put the entry back and wait for the floor
 			// to advance. The heap minimum is beyond the horizon, so every
 			// other entry is too.
-			c.sched.push(schedEntry{t: t, lp: e.lp})
+			c.schedule(lp)
 			return 0, true
 		}
 		if t != e.t {
-			c.sched.push(schedEntry{t: t, lp: e.lp})
+			c.schedule(lp)
 			continue
 		}
-		nx := e.lp.executeNext()
-		if nt := e.lp.nextTime(); nt != TimeInfinity {
-			c.sched.push(schedEntry{t: nt, lp: e.lp})
-		}
+		nx := lp.executeNext()
+		c.schedule(lp)
 		if nx > 0 {
 			return nx, false
 		}
@@ -480,8 +376,8 @@ func (c *cluster) run() {
 		if c.id == 0 {
 			k.coordinate()
 		}
-		moved := c.drainLocal() + c.drainInbox()
-		c.flushOut()
+		moved := c.drainLocal() + c.drainMail()
+		c.maybeFlush()
 		c.checkGVT()
 		c.checkMigrate()
 		n, windowStalled := c.executeOne()
@@ -492,27 +388,28 @@ func (c *cluster) run() {
 			c.eventsSinceGVT = 0
 			k.requestGVT()
 		}
-		// Publish progress for the optimism throttle: this cluster's next
-		// work time (the scheduler top is accurate after executeOne).
-		// Publishing before any idle wait keeps the floor fresh for
-		// clusters stalled against the window.
-		if k.cfg.OptimismWindow > 0 {
-			next := TimeInfinity
-			if len(c.sched) > 0 {
-				next = c.sched[0].t
-			}
-			k.publishProgress(c.id, next)
+		// Publish progress: this cluster's next work time (the scheduler
+		// top is accurate after executeOne). The optimism throttle reads
+		// the floor over these, and senders read individual entries for the
+		// urgency flush trigger; publishing before any idle wait keeps both
+		// fresh. One plain atomic store.
+		next := TimeInfinity
+		if len(c.sched) > 0 {
+			next = c.sched[0].t
 		}
+		k.publishProgress(c.id, next)
 		switch {
 		case n > 0 || moved > 0:
 			c.idleLoops = 0
 		case windowStalled:
-			// All local work lies beyond the optimism horizon. Wait like an
-			// idle cluster instead of spinning a core until the floor moves;
-			// stragglers and GVT wakeups still interrupt the wait instantly.
-			// No GVT request: the window throttles against the published
-			// progress floor, not GVT.
-			c.waitInbox()
+			// All local work lies beyond the optimism horizon. Flush held
+			// batches (they may be what lets the floor advance elsewhere)
+			// and wait like an idle cluster instead of spinning a core;
+			// stragglers and GVT wakeups still interrupt the wait
+			// instantly. No GVT request: the window throttles against the
+			// published progress floor, not GVT.
+			c.flushAll()
+			c.waitMail()
 		default:
 			c.idleLoops++
 			if c.idleLoops >= 16 {
@@ -521,7 +418,9 @@ func (c *cluster) run() {
 				k.requestGVTIfStale()
 				c.idleLoops = 0
 			}
-			c.waitInbox()
+			// The idleness flush trigger: never block on held batches.
+			c.flushAll()
+			c.waitMail()
 		}
 	}
 	// Terminal GVT is infinity and the network is empty: commit everything
@@ -529,12 +428,15 @@ func (c *cluster) run() {
 	c.fossilCollect(k.GVT())
 }
 
-// localMin returns the earliest pending work of this cluster: the earliest
-// live pending event of its LPs, the earliest rolled-back send that may
-// still turn into an anti-message (lazy cancellation), and the earliest
+// localMin returns the earliest work this cluster is responsible for: the
+// earliest live pending event of its LPs, the earliest rolled-back send that
+// may still turn into an anti-message (lazy cancellation), the earliest
 // event parked in limbo for an LP whose migration payload is still in
-// flight — parked events left the transit counts at delivery, so the GVT
-// floor must cover them here.
+// flight, and the earliest event buffered in the local queue or a
+// per-destination outbox. Buffered events carry no transit charge (they are
+// private to this goroutine), so the GVT floor must cover them here; delayed
+// batches are NOT folded in — they still hold their transit charge, which
+// blocks the cut instead.
 func (c *cluster) localMin() Time {
 	min := TimeInfinity
 	for _, lp := range c.lps {
@@ -548,6 +450,16 @@ func (c *cluster) localMin() Time {
 	for i := range c.limbo {
 		if t := c.limbo[i].RecvTime; t < min {
 			min = t
+		}
+	}
+	for i := c.localHead; i < len(c.localQ); i++ {
+		if t := c.localQ[i].RecvTime; t < min {
+			min = t
+		}
+	}
+	for dst := range c.out {
+		if ob := &c.out[dst]; len(ob.buf) > 0 && ob.min < min {
+			min = ob.min
 		}
 	}
 	return min

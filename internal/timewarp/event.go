@@ -3,21 +3,33 @@
 // is the in-process equivalent of the WARPED kernel used by the paper:
 // logical processes (LPs) are grouped into clusters, one goroutine per
 // cluster models one workstation-level simulation process, and clusters
-// exchange timestamped event messages over channels. Each LP keeps input,
-// output and state queues; stragglers trigger rollback with aggressive (or
-// optionally lazy) cancellation via anti-messages.
+// exchange timestamped event messages. Each LP keeps input, output and state
+// queues; stragglers trigger rollback with aggressive (or optionally lazy)
+// cancellation via anti-messages.
+//
+// Inter-cluster transport is batched: a cluster accumulates remote events in
+// per-destination outboxes and flushes each as one batch into the
+// destination's double-buffered, mutex-swapped mailbox, so the per-event
+// remote cost is an append and a copy rather than a channel operation plus
+// atomic bookkeeping. An adaptive flush policy (size threshold, urgency
+// against the destination's published progress, idle flush) bounds how long
+// a batch can sit; intra-cluster messages take a zero-synchronization local
+// queue on the owning goroutine. See transport.go for the full policy and
+// its GVT-soundness argument.
 //
 // GVT (global virtual time) is computed by an asynchronous Mattern-style
-// two-cut protocol rather than a stop-the-world barrier: every message is
-// stamped with its sender's round color and counted in a per-color
-// in-transit counter; a round's first wave turns all clusters red and waits
-// (without stopping anyone) for the previous color's count to drain to
-// zero, and the second wave collects min(local pending work, minimum
-// receive time sent since the cut) from each cluster. GVT is the minimum
-// over those reports; it bounds rollback, drives per-cluster fossil
+// two-cut protocol rather than a stop-the-world barrier: every *batch* is
+// stamped with its sender's round color and counted (by length) in a
+// per-color in-transit counter; a round's first wave turns all clusters red
+// and waits (without stopping anyone) for the previous color's count to
+// drain to zero, and the second wave collects min(local pending work —
+// including events still buffered in outboxes and the local queue — and the
+// minimum receive time flushed since the cut) from each cluster. GVT is the
+// minimum over those reports; it bounds rollback, drives per-cluster fossil
 // collection, and detects termination (GVT = infinity) — all while the
-// clusters keep executing events. See Kernel in kernel.go for the full
-// protocol walkthrough.
+// clusters keep executing events. Control traffic (cut/report/load/wake)
+// rides the same mailboxes as a bitmask immune to data backpressure. See
+// Kernel in kernel.go for the full protocol walkthrough.
 //
 // LPs process events in timestamp bundles: all events for one LP that share
 // a receive time are executed together, and a late arrival for an
@@ -28,9 +40,9 @@
 // The LP→cluster mapping is a versioned routing table owned by the kernel,
 // not a frozen copy of the configuration: when Config.Rebalance is set, the
 // kernel periodically snapshots each LP's observed load (an extra control
-// wave on the same inboxes) and migrates LPs between clusters at
+// wave on the same mailboxes) and migrates LPs between clusters at
 // observed-GVT advance. Migration payloads are accounted exactly like
-// messages in flight, and events routed under a stale table epoch are
+// batches in flight, and events routed under a stale table epoch are
 // forwarded by whichever cluster receives them, so the GVT protocol's
 // invariants hold unchanged while the placement moves. See route.go and
 // migrate.go.
@@ -50,21 +62,22 @@ type LPID int32
 // NoLP is the nil LP id; it appears as the sender of kernel-internal events.
 const NoLP LPID = -1
 
-// GVT control message kinds (Event.ctrl). Control events ride the cluster
-// inboxes so an idle cluster blocked on its inbox wakes immediately, but
-// they carry no payload: the receiving cluster just probes the kernel's
-// round atomics (checkGVT). They are never counted in transit and never
-// reach an LP.
+// Control kinds, posted into a cluster's mailbox as a bitmask (mailbox.ctrl)
+// rather than as events: they carry no payload, they only make an idle
+// cluster probe the kernel's round atomics (checkGVT) and its migration
+// mailboxes (checkMigrate) promptly. Posting a control bit cannot fail on a
+// full mailbox, so the GVT control plane is immune to data backpressure.
 const (
-	ctrlNone   uint8 = iota
-	ctrlCut          // wave 1: a GVT round opened; join it (turn red)
-	ctrlReport       // wave 2: the cut closed; report the local minimum
-	ctrlLoad         // load round: capture per-LP activity counters
-	ctrlWake         // plain wakeup: look at the migration mailboxes
+	ctrlCut    uint8 = 1 << iota // wave 1: a GVT round opened; join it (turn red)
+	ctrlReport                   // wave 2: the cut closed; report the local minimum
+	ctrlLoad                     // load round: capture per-LP activity counters
+	ctrlWake                     // plain wakeup: look at the migration mailboxes
 )
 
 // Event is a timestamped message between LPs. Events are value types: the
-// kernel copies them freely between queues and clusters.
+// kernel copies them freely between queues and clusters. Transport metadata
+// (GVT round color, modeled-wire deadline) lives on the batch, not the
+// event — see batchHdr in transport.go.
 type Event struct {
 	// ID is unique among all events of a run; an anti-message carries the
 	// ID of the positive message it annihilates.
@@ -75,19 +88,10 @@ type Event struct {
 	RecvTime Time
 	// Anti marks an anti-message (annihilator).
 	Anti bool
-	// color is the sender's GVT round parity at send time; the matching
-	// in-transit counter is decremented when the event is delivered.
-	color uint8
-	// ctrl marks kernel GVT control messages (ctrlCut/ctrlReport).
-	ctrl uint8
 	// Kind and Value are application payload; the kernel does not
 	// interpret them.
 	Kind  int32
 	Value int32
-	// dueNano is the wall-clock instant (UnixNano) at which the modeled
-	// network delivers the event to a remote cluster; zero for local
-	// messages or when no latency is configured.
-	dueNano int64
 }
 
 // eventHeap is a min-heap of events ordered by eventLess (receive time,

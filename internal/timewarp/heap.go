@@ -62,5 +62,3 @@ func eventLess(a, b Event) bool {
 }
 
 func schedLess(a, b schedEntry) bool { return a.t < b.t }
-
-func delayLess(a, b Event) bool { return a.dueNano < b.dueNano }

@@ -24,19 +24,25 @@ type Config struct {
 	LazyCancellation bool
 	// NetSendBusy / NetRecvBusy burn this many iterations of CPU work per
 	// inter-cluster message at the sender / receiver, modeling the per-
-	// message protocol overhead of the paper's fast-ethernet LAN. Zero
-	// disables the model.
+	// message protocol overhead of the paper's fast-ethernet LAN. The cost
+	// is charged per event at batch flush/delivery time (one busy call of
+	// n×cost per batch). Zero disables the model.
 	NetSendBusy int
 	NetRecvBusy int
 	// NetLatency is the modeled one-way wall-clock delivery delay of an
-	// inter-cluster message. Events become visible to the receiving
-	// cluster only after this delay, reproducing the straggler dynamics of
-	// a LAN-connected Time Warp. A GVT round's cut cannot close while such
-	// a message is on the modeled wire (it is counted in transit), so GVT
-	// latency grows with NetLatency exactly as on a real LAN, but clusters
-	// keep executing while the cut waits. Zero disables the model.
+	// inter-cluster batch. Events become visible to the receiving cluster
+	// only after this delay, reproducing the straggler dynamics of a
+	// LAN-connected Time Warp. A GVT round's cut cannot close while such a
+	// batch is on the modeled wire (it keeps its transit charge until
+	// delivered), so GVT latency grows with NetLatency exactly as on a
+	// real LAN, but clusters keep executing while the cut waits. Zero
+	// disables the model.
 	NetLatency time.Duration
-	// InboxSize is the per-cluster channel capacity. Default 8192.
+	// InboxSize is the per-cluster mailbox capacity in events: a batch
+	// flush is refused (and retried by the sender) while the destination
+	// holds this many undrained events, except that an empty mailbox
+	// accepts any single batch so progress never deadlocks on a capacity
+	// smaller than one batch. Default 8192.
 	InboxSize int
 	// OptimismWindow bounds optimistic execution: a cluster does not
 	// execute bundles beyond GVT + OptimismWindow virtual time units,
@@ -57,6 +63,14 @@ type Config struct {
 	// RebalancePeriodRounds is the number of GVT-advancing rounds between
 	// load snapshots when Rebalance is set. Default 4.
 	RebalancePeriodRounds int
+	// LoadSmoothing is the EWMA coefficient applied to the per-LP load
+	// counters across load rounds: the snapshot's smoothed view is
+	// s ← LoadSmoothing·window + (1−LoadSmoothing)·s, seeded with the
+	// first window. 1 disables smoothing (each round sees only its own
+	// window); smaller values remember more history, so the rebalancer
+	// tracks persistent hotspots instead of chasing one-window transients.
+	// Zero defaults to 0.5; values outside (0, 1] are rejected.
+	LoadSmoothing float64
 }
 
 func (cfg *Config) setDefaults(numLPs int) error {
@@ -79,6 +93,12 @@ func (cfg *Config) setDefaults(numLPs int) error {
 	}
 	if cfg.RebalancePeriodRounds <= 0 {
 		cfg.RebalancePeriodRounds = 4
+	}
+	if cfg.LoadSmoothing == 0 {
+		cfg.LoadSmoothing = 0.5
+	}
+	if cfg.LoadSmoothing < 0 || cfg.LoadSmoothing > 1 {
+		return fmt.Errorf("timewarp: LoadSmoothing %v outside (0, 1]", cfg.LoadSmoothing)
 	}
 	return nil
 }
@@ -110,26 +130,27 @@ const (
 //
 // GVT is computed by an asynchronous Mattern-style two-cut protocol instead
 // of a stop-the-world barrier: clusters never stop executing events while a
-// round is in flight. Every message is stamped with its sender's round
-// parity ("color") and counted in transit[parity] until delivered. A round
-// proceeds in two waves driven by the coordinator (cluster 0) from inside
-// its ordinary main loop:
+// round is in flight. Every flushed batch is stamped with its sender's round
+// parity ("color") and counted (by event count) in transit[parity] until the
+// receiver takes it out of its mailbox. A round proceeds in two waves driven
+// by the coordinator (cluster 0) from inside its ordinary main loop:
 //
 //   - Wave 1 (cut): the coordinator bumps the round counter and posts
-//     ctrlCut wakeups to every inbox. Each cluster joins the round the next
-//     time it looks (turning its sends "red" and resetting redMin, the
-//     minimum receive time it has sent since the cut) and acknowledges via
-//     cutAcks. Once every cluster has joined, no more "white"
-//     (previous-parity) messages can be created, so the white transit count
-//     drains monotonically to zero — at which point every pre-cut message
-//     has been delivered into some LP's queues.
+//     ctrlCut bits to every mailbox. Each cluster joins the round the next
+//     time it looks (turning its flushes "red" and resetting redMin, the
+//     minimum receive time it has flushed since the cut) and acknowledges
+//     via cutAcks. Once every cluster has joined, no more "white"
+//     (previous-parity) batches can be flushed, so the white transit count
+//     drains monotonically to zero — at which point every pre-cut batch has
+//     been delivered into some LP's queues.
 //   - Wave 2 (report): the coordinator opens reportRound and posts
-//     ctrlReport wakeups. Each cluster reports min(its local min over
-//     pending events and lazily-cancellable rolled-back sends, its redMin)
-//     — redMin covers red messages still in transit across the second cut.
-//     When all reports are in, GVT = min(reports): every message in flight
-//     at the second cut is red and bounded by some sender's redMin, and
-//     every queued straggler is bounded by its holder's local min.
+//     ctrlReport bits. Each cluster reports min(its local min over pending
+//     events, lazily-cancellable rolled-back sends, and events still
+//     buffered in its outboxes and local queue, its redMin) — redMin covers
+//     red batches still in transit across the second cut, and the buffered
+//     terms cover events that carry no transit charge because they have not
+//     been flushed (see transport.go). When all reports are in,
+//     GVT = min(reports).
 //
 // Fossil collection is not a round step: each cluster commits history on
 // its own schedule whenever it observes the published GVT advance.
@@ -149,8 +170,10 @@ type Kernel struct {
 	gvt         int64
 	lastGVTNano int64
 
-	// transit counts undelivered messages (inboxes, intra-cluster queues,
-	// the modeled wire, and unflushed outPending buffers) by round parity.
+	// transit counts undelivered remote events (flushed batches in
+	// mailboxes and on the modeled wire) by round parity. Events still in
+	// outboxes or local queues are covered by their owner's GVT report
+	// instead (transport.go).
 	transit [2]paddedCount
 
 	// Round broadcast state: round and reportRound open the two waves;
@@ -170,6 +193,10 @@ type Kernel struct {
 	loadBufs  []loadSnapBuf
 	snap      LoadSnapshot
 	edgeFill  []int32 // coordinator-only scatter cursors of buildSnapshot
+	// ewma holds the smoothed per-LP committed-event load across load
+	// rounds (coordinator-only, allocated and seeded by the first load
+	// round; see Config.LoadSmoothing).
+	ewma []float64
 
 	// Coordinator-only round bookkeeping (cluster 0's goroutine).
 	phase           int32
@@ -178,13 +205,13 @@ type Kernel struct {
 	gvtRounds       int
 	rebalanceRounds int
 	roundsSinceLoad int
-	pendingCtrl     []int // clusters still owed the current wave's control event
-	pendingKind     uint8
 
 	// published holds each cluster's continuously self-reported next work
-	// time. The optimism window throttles against min(published) instead
-	// of GVT, so throttling never forces extra GVT rounds. Entries are
-	// padded to avoid false sharing.
+	// time. The optimism window throttles against min(published), and
+	// senders compare a buffered batch's minimum receive time against the
+	// destination's entry to decide urgent flushes — so throttling and
+	// flushing never force extra GVT rounds. Entries are padded to avoid
+	// false sharing.
 	published []paddedTime
 
 	ran bool
@@ -207,12 +234,20 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 		published: make([]paddedTime, cfg.NumClusters),
 		loadBufs:  make([]loadSnapBuf, cfg.NumClusters),
 	}
+	// A cluster that has not yet published progress must look idle, not
+	// "busy at time 0": senders flush eagerly to idle destinations, so the
+	// infinity seed keeps batches from sitting while a goroutine is still
+	// starting up.
+	for i := range k.published {
+		k.published[i].t = TimeInfinity
+	}
 	k.clusters = make([]*cluster, cfg.NumClusters)
 	for i := range k.clusters {
 		k.clusters[i] = &cluster{
 			kernel:   k,
 			id:       i,
-			inbox:    make(chan Event, cfg.InboxSize),
+			mail:     mailbox{notify: make(chan struct{}, 1)},
+			out:      make([]outbox, cfg.NumClusters),
 			redMin:   TimeInfinity,
 			fossilAt: -1,
 			owned:    make([]bool, len(handlers)),
@@ -232,8 +267,16 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 	return k, nil
 }
 
+// nextEventID hands out one event ID; tests and tools use it, the hot path
+// goes through lpRuntime.nextEventID's per-LP blocks instead.
 func (k *Kernel) nextEventID() uint64 {
 	return atomic.AddUint64(&k.eventID, 1)
+}
+
+// reserveIDs reserves one idBlock of event IDs and returns its exclusive
+// upper bound.
+func (k *Kernel) reserveIDs() uint64 {
+	return atomic.AddUint64(&k.eventID, idBlock)
 }
 
 func (k *Kernel) requestGVT() {
@@ -284,7 +327,7 @@ type paddedCount struct {
 }
 
 // publishProgress records cluster id's next work time for the optimism
-// window.
+// window and the urgency flush trigger.
 func (k *Kernel) publishProgress(id int, t Time) {
 	atomic.StoreInt64(&k.published[id].t, t)
 }
@@ -302,8 +345,8 @@ func (k *Kernel) progressFloor() Time {
 	return min
 }
 
-// inTransit returns the total undelivered message count across both colors;
-// only initialization (single-threaded) needs the colorless total.
+// inTransit returns the total undelivered flushed-event count across both
+// colors; only initialization (single-threaded) needs the colorless total.
 func (k *Kernel) inTransit() int64 {
 	return atomic.LoadInt64(&k.transit[0].n) + atomic.LoadInt64(&k.transit[1].n)
 }
@@ -322,20 +365,26 @@ func (k *Kernel) Run() (RunStats, error) {
 		ctx := &Context{lp: lp, cluster: lp.cluster, now: -1, inInit: true}
 		lp.handler.Init(ctx)
 	}
-	// Initial events must land in LP queues before the clusters start.
-	for k.inTransit() != 0 {
+	// Initial events must land in LP queues before the clusters start:
+	// flush every outbox and drain every queue until the whole transport is
+	// quiescent. A flush into a tiny, already-loaded mailbox can be refused
+	// and is simply retried on the next pass, after its consumer drained.
+	for {
+		moved := 0
+		buffered := 0
 		for _, c := range k.clusters {
-			c.flushOut()
-			c.drainLocal()
-			c.drainAll()
+			c.flushAll()
+			moved += c.drainLocal() + c.drainAllInit()
+			buffered += c.outboxed() + (len(c.localQ) - c.localHead)
+		}
+		if moved == 0 && buffered == 0 && k.inTransit() == 0 {
+			break
 		}
 	}
 	// Seed each cluster's scheduler.
 	for _, c := range k.clusters {
 		for _, lp := range c.lps {
-			if t := lp.nextTime(); t != TimeInfinity {
-				c.sched.push(schedEntry{t: t, lp: lp})
-			}
+			c.schedule(lp)
 		}
 	}
 
@@ -398,12 +447,11 @@ func (k *Kernel) coordinate() {
 		k.phase = phaseCut
 		k.broadcastCtrl(ctrlCut)
 	case phaseCut:
-		k.flushCtrl()
 		if atomic.LoadInt32(&k.cutAcks) != int32(len(k.clusters)) {
 			return
 		}
 		// All clusters are red; the previous color's in-transit count can
-		// only shrink. Zero means every pre-cut message has been delivered.
+		// only shrink. Zero means every pre-cut batch has been delivered.
 		white := 1 - atomic.LoadInt64(&k.round)&1
 		if atomic.LoadInt64(&k.transit[white].n) != 0 {
 			return
@@ -412,7 +460,6 @@ func (k *Kernel) coordinate() {
 		k.phase = phaseCollect
 		k.broadcastCtrl(ctrlReport)
 	case phaseCollect:
-		k.flushCtrl()
 		if atomic.LoadInt32(&k.reportAcks) != int32(len(k.clusters)) {
 			return
 		}
@@ -438,6 +485,10 @@ func (k *Kernel) coordinate() {
 		k.phase = phaseIdle
 		if gvt == TimeInfinity {
 			atomic.StoreInt32(&k.done, 1)
+			// Wake every cluster out of its idle wait so exit is prompt.
+			for i := 1; i < len(k.clusters); i++ {
+				k.clusters[i].mail.wake()
+			}
 			return
 		}
 		// Dynamic rebalancing piggybacks on GVT advance: that is the one
@@ -451,7 +502,6 @@ func (k *Kernel) coordinate() {
 			}
 		}
 	case phaseLoad:
-		k.flushCtrl()
 		if atomic.LoadInt32(&k.loadAcks) != int32(len(k.clusters)) {
 			return
 		}
@@ -460,42 +510,15 @@ func (k *Kernel) coordinate() {
 	}
 }
 
-// broadcastCtrl posts one control event of the given kind to every other
-// cluster's inbox as a wakeup. Full inboxes are retried by flushCtrl on
-// later coordinator iterations (the broadcast itself never blocks). The
-// receiving side is idempotent — control events carry no data, they only
-// make an idle cluster look at the round atomics promptly.
+// broadcastCtrl posts one control bit to every other cluster's mailbox as a
+// wakeup. Control bits merge into a bitmask and ignore mailbox capacity, so
+// a broadcast always lands in one pass — no retry bookkeeping. The receiving
+// side is idempotent: control bits carry no data, they only make an idle
+// cluster look at the round atomics promptly.
 func (k *Kernel) broadcastCtrl(kind uint8) {
-	k.pendingKind = kind
-	k.pendingCtrl = k.pendingCtrl[:0]
 	for i := 1; i < len(k.clusters); i++ {
-		if !k.trySendCtrl(i, kind) {
-			k.pendingCtrl = append(k.pendingCtrl, i)
-		}
+		k.clusters[i].mail.postCtrl(kind)
 	}
-}
-
-func (k *Kernel) trySendCtrl(i int, kind uint8) bool {
-	select {
-	case k.clusters[i].inbox <- Event{Sender: NoLP, Receiver: NoLP, ctrl: kind}:
-		return true
-	default:
-		return false
-	}
-}
-
-// flushCtrl retries control events that found a full inbox.
-func (k *Kernel) flushCtrl() {
-	if len(k.pendingCtrl) == 0 {
-		return
-	}
-	keep := k.pendingCtrl[:0]
-	for _, i := range k.pendingCtrl {
-		if !k.trySendCtrl(i, k.pendingKind) {
-			keep = append(keep, i)
-		}
-	}
-	k.pendingCtrl = keep
 }
 
 // dumpStuck reports the kernel state when GVT has not advanced for thousands
@@ -508,8 +531,13 @@ func (k *Kernel) dumpStuck(gvt Time) {
 	add := func(f string, a ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(f, a...))...) }
 	add("timewarp: GVT stuck at %d\n", gvt)
 	for _, c := range k.clusters {
-		add("cluster %d: sched=%d localQ=%d out=%d delayed=%d limbo=%d localMin=%d\n",
-			c.id, len(c.sched), len(c.localQ), len(c.outPending), len(c.delayed), len(c.limbo), c.localMin())
+		// The mailbox is the one structure with a lock of its own; take it
+		// so at least that read is clean.
+		c.mail.mu.Lock()
+		mail := len(c.mail.in)
+		c.mail.mu.Unlock()
+		add("cluster %d: sched=%d localQ=%d outboxed=%d mail=%d delayed=%d limbo=%d localMin=%d\n",
+			c.id, len(c.sched), len(c.localQ), c.outboxed(), mail, len(c.delayed), len(c.limbo), c.localMin())
 	}
 	for _, lp := range k.lps {
 		nt := lp.nextTime()

@@ -58,7 +58,7 @@ func (ctx *Context) Send(to LPID, recvTime Time, kind, value int32) {
 			recvTime, ctx.now))
 	}
 	ev := Event{
-		ID:       ctx.cluster.kernel.nextEventID(),
+		ID:       ctx.lp.nextEventID(),
 		Sender:   ctx.lp.id,
 		Receiver: to,
 		SendTime: ctx.now,
@@ -90,6 +90,22 @@ type lpRuntime struct {
 
 	// lvt is the receive time of the last processed bundle, or -1.
 	lvt Time
+
+	// schedT is the timestamp of this LP's tracked scheduler entry in its
+	// owning cluster's heap, or TimeInfinity when none is tracked. It
+	// deduplicates scheduler pushes: delivering a whole batch of events to
+	// one LP refreshes the scheduler once, not once per event (see
+	// cluster.schedule). Invariant: when finite, an entry with exactly
+	// this timestamp is in the owning cluster's heap, so skipping a push
+	// because schedT <= nextTime can never strand work.
+	schedT Time
+
+	// idNext/idEnd are this LP's current event-ID block, refilled from the
+	// kernel's global counter one idBlock at a time so event creation does
+	// not touch a shared atomic per send. Blocks stay with the LP across
+	// migration, so IDs remain monotonic per sender — the property the
+	// deterministic (recvTime, sender, ID) bundle order relies on.
+	idNext, idEnd uint64
 
 	// committedThrough is the latest fossil-collected bundle time; it only
 	// backs the rollback invariant check.
@@ -154,9 +170,25 @@ func newLPRuntime(id LPID, h Handler, c *cluster) *lpRuntime {
 		cluster:   c,
 		cancelled: make(map[uint64]struct{}),
 		lvt:       -1,
+		schedT:    TimeInfinity,
 	}
 	lp.recycler, _ = h.(StateRecycler)
 	return lp
+}
+
+// idBlock is the number of event IDs an LP reserves from the kernel's
+// global counter at a time.
+const idBlock = 1024
+
+// nextEventID returns a fresh event ID from the LP's block, reserving a new
+// block when it runs dry (one global atomic per idBlock sends).
+func (lp *lpRuntime) nextEventID() uint64 {
+	if lp.idNext == lp.idEnd {
+		lp.idEnd = lp.cluster.kernel.reserveIDs()
+		lp.idNext = lp.idEnd - idBlock
+	}
+	lp.idNext++
+	return lp.idNext
 }
 
 // nextTime returns the receive time of the earliest live pending event, or

@@ -24,9 +24,10 @@ import "sync/atomic"
 //     scheduler, and re-delivers any events that were parked for the LP.
 //
 // Events routed under a stale table entry are forwarded by whichever cluster
-// receives them (cluster.deliver): forwarding re-routes the event with the
-// forwarder's current color, so the forwarded hop is transit-counted and
-// redMin-bounded like any other send. Events that reach the destination
+// receives them (cluster.deliver): forwarding re-stages the event in the
+// forwarder's outbox, so the forwarded hop is report-covered while buffered
+// and transit-counted under the forwarder's color once its batch flushes,
+// like any other send. Events that reach the destination
 // before the payload does park in the destination's limbo queue, which is
 // folded into its GVT reports (localMin), preserving the rollback horizon.
 // Both queues drain without coordination, so migration never stops the
@@ -118,13 +119,9 @@ func (c *cluster) migrateOut(o migOrder) {
 	target.migIn = append(target.migIn, migPayload{lp: lp, color: color})
 	atomic.StoreInt32(&target.migFlag, 1)
 	target.migMu.Unlock()
-	// Best-effort wakeup in case the destination is idle-blocked on its
-	// inbox; if the inbox is full the destination is busy and will see the
-	// flag on its next iteration anyway.
-	select {
-	case target.inbox <- Event{Sender: NoLP, Receiver: NoLP, ctrl: ctrlWake}:
-	default:
-	}
+	// Wake the destination in case it is idle-blocked on its mailbox;
+	// control bits ignore capacity, so the nudge always lands.
+	target.mail.postCtrl(ctrlWake)
 }
 
 // migrateIn adopts one LP handed to this cluster.
@@ -134,9 +131,11 @@ func (c *cluster) migrateIn(p migPayload) {
 	c.owned[lp.id] = true
 	c.lps = append(c.lps, lp)
 	atomic.AddInt64(&c.kernel.transit[p.color].n, -1)
-	if t := lp.nextTime(); t != TimeInfinity {
-		c.sched.push(schedEntry{t: t, lp: lp})
-	}
+	// schedT tracked an entry in the old home's heap (now unreachable
+	// garbage, skipped there by the owned check); reset it before
+	// scheduling here or the gate could suppress the adopting push.
+	lp.schedT = TimeInfinity
+	c.schedule(lp)
 }
 
 // adoptFinalPayloads adopts payloads still parked at termination. It runs
@@ -211,8 +210,10 @@ func (c *cluster) drainLimbo() {
 
 // forward re-routes an event that arrived under a stale routing epoch toward
 // the receiver's current home. The hop is a fresh routed message: it is
-// stamped with this cluster's color, counted in transit, and folded into
-// redMin, so the forwarded leg is GVT-accounted like any other send.
+// staged in the forwarder's outbox like any other send, covered by the
+// forwarder's GVT reports (localMin) while buffered, and charged to transit
+// under the forwarder's color when its batch flushes — the forwarded leg is
+// GVT-accounted exactly like a send originated here.
 func (c *cluster) forward(ev Event) {
 	c.stats.ForwardedMessages++
 	c.route(ev, false)
@@ -235,6 +236,7 @@ func (k *Kernel) startLoadRound() {
 func (k *Kernel) finishLoadRound() {
 	k.rebalanceRounds++
 	s := k.buildSnapshot()
+	k.smoothLoad(s)
 	next := k.cfg.Rebalance(s)
 	if next == nil {
 		return // rebalancer declined (e.g. imbalance below threshold)

@@ -147,10 +147,11 @@ func TestStaleRouteForwardAndLimbo(t *testing.T) {
 		t.Fatal(err)
 	}
 	a, b := k.clusters[0], k.clusters[1]
-	// Cluster 1 sends to LP 0 under the current route: the event lands in
-	// cluster 0's inbox.
+	// Cluster 1 sends to LP 0 under the current route and flushes: the
+	// batch lands in cluster 0's mailbox.
 	b.route(Event{ID: k.nextEventID(), Sender: 1, Receiver: 0, SendTime: -1, RecvTime: 5}, true)
-	// LP 0 migrates to cluster 1 while that event is still in flight.
+	b.flushAll()
+	// LP 0 migrates to cluster 1 while that batch is still in flight.
 	a.migrateOut(migOrder{lp: 0, to: 1})
 	if got := k.RouteOf(0); got != 1 {
 		t.Fatalf("route of LP 0 = %d after migrateOut, want 1", got)
@@ -158,9 +159,16 @@ func TestStaleRouteForwardAndLimbo(t *testing.T) {
 	if a.owned[0] || len(a.lps) != 0 {
 		t.Fatal("old home still owns the migrated LP")
 	}
-	// The old home drains its inbox: it no longer owns LP 0 and the route
-	// points away, so the event must be forwarded, not delivered or parked.
-	a.drainInbox()
+	// Consume the migration wake bit so the adoption below stays a separate,
+	// observable step (drainMail would otherwise run checkMigrate itself).
+	if _, _, ctrl := b.mail.take(nil, nil); ctrl&ctrlWake == 0 {
+		t.Fatal("migrateOut posted no wake bit to the destination")
+	}
+	// The old home drains its mailbox: it no longer owns LP 0 and the route
+	// points away, so the event must be forwarded (staged and flushed
+	// toward the new home), not delivered or parked.
+	a.drainMail()
+	a.flushAll()
 	if a.stats.ForwardedMessages != 1 {
 		t.Fatalf("forwarded = %d, want 1", a.stats.ForwardedMessages)
 	}
@@ -169,7 +177,7 @@ func TestStaleRouteForwardAndLimbo(t *testing.T) {
 	}
 	// The new home drains before adopting the payload: the event is for an
 	// LP routed here but not yet owned → limbo, folded into the GVT floor.
-	b.drainInbox()
+	b.drainMail()
 	if len(b.limbo) != 1 {
 		t.Fatalf("limbo holds %d events, want 1", len(b.limbo))
 	}

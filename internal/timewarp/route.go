@@ -78,8 +78,15 @@ type LoadSnapshot struct {
 	EdgeOff []int32
 	EdgeDst []LPID
 	EdgeCnt []uint64
+	// SmoothedCommitted is the EWMA of Committed across load rounds
+	// (Config.LoadSmoothing), seeded with the first window: a decaying
+	// view of per-LP load that damps one-window transients so a rebalancer
+	// chases persistent hotspots, not noise. Kernel-owned like every other
+	// slice here.
+	SmoothedCommitted []float64
 
-	clusterLoad []uint64 // reused by ClusterLoad
+	clusterLoad  []uint64  // reused by ClusterLoad
+	clusterLoadF []float64 // reused by SmoothedImbalance
 }
 
 // NumLPs returns the number of LPs covered by the snapshot.
@@ -111,6 +118,46 @@ func (s *LoadSnapshot) Imbalance() float64 {
 	}
 	mean := float64(total) / float64(len(load))
 	return float64(max) / mean
+}
+
+// SmoothedImbalance is Imbalance over the EWMA-smoothed per-LP load: the
+// decayed view a rebalancer should gate on, so one quiet or one frantic
+// window does not trigger (or mask) a migration by itself.
+func (s *LoadSnapshot) SmoothedImbalance() float64 {
+	s.clusterLoadF = zeroed(s.clusterLoadF, s.NumClusters)
+	for lp, c := range s.ClusterOf {
+		s.clusterLoadF[c] += s.SmoothedCommitted[lp]
+	}
+	var total, max float64
+	for _, l := range s.clusterLoadF {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 1.0
+	}
+	return max / (total / float64(len(s.clusterLoadF)))
+}
+
+// smoothLoad folds one load round's committed window into the kernel's EWMA
+// view and exposes it on the snapshot. Coordinator-only, once per load
+// round; the first round seeds the EWMA with its raw window so early
+// rebalance decisions are not biased toward zero.
+func (k *Kernel) smoothLoad(s *LoadSnapshot) {
+	if k.ewma == nil {
+		k.ewma = make([]float64, len(s.Committed))
+		for lp, c := range s.Committed {
+			k.ewma[lp] = float64(c)
+		}
+	} else {
+		alpha := k.cfg.LoadSmoothing
+		for lp, c := range s.Committed {
+			k.ewma[lp] = alpha*float64(c) + (1-alpha)*k.ewma[lp]
+		}
+	}
+	s.SmoothedCommitted = k.ewma
 }
 
 // loadSnapBuf is one cluster's section of a load round: the counters of the

@@ -1,0 +1,376 @@
+package timewarp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Batched inter-cluster transport.
+//
+// Remote events are not handed over one channel operation at a time: each
+// cluster accumulates them in per-destination outboxes while it executes, and
+// flushes an outbox as one batch into the destination's mailbox — a
+// double-buffered, mutex-swapped MPSC queue. The whole batch costs one lock
+// acquire and one atomic in-transit add on the sender, and one lock acquire
+// plus one atomic sub per batch on the receiver, so the per-event cost of the
+// remote path is a slice append and a copy.
+//
+// GVT stays sound without per-event accounting because every place an event
+// can wait is covered by exactly one of two mechanisms:
+//
+//   - Flushed batches are in transit: the sender charges kernel.transit under
+//     its current round color *before* the batch becomes visible to the
+//     receiver, folds the batch's minimum receive time into redMin, and the
+//     receiver releases the charge when it takes the batch out of the
+//     mailbox. A round's first cut therefore cannot close while a flushed
+//     pre-cut batch is undelivered, exactly as with per-event counting.
+//   - Unflushed events (per-destination outboxes, the intra-cluster localQ)
+//     are private to their owning goroutine, and that same goroutine is the
+//     one that joins cuts and files wave-2 reports: cluster.localMin folds
+//     the buffered events' minimum receive time into every report, so a cut
+//     can never conclude a GVT above an event still sitting in a buffer.
+//
+// The flush policy bounds how long optimism can be starved by batching:
+//
+//   - size: an outbox at flushBatch events flushes immediately;
+//   - urgency: an event below the destination's published progress is (or
+//     soon will be) a straggler there — the outbox flushes at once so the
+//     rollback it triggers is as shallow as possible. An idle destination
+//     publishes TimeInfinity, so sends to idle clusters never sit;
+//   - idleness: a cluster with nothing to execute flushes everything before
+//     blocking, so held batches can never be what the fleet is waiting for.
+//
+// Batches are timestamped for the modeled wire once per flush: a batch whose
+// dueNano has not elapsed parks in the receiver's delayed heap still carrying
+// its transit charge (the cut waits for the modeled wire, as on a real LAN),
+// and is released per batch when it is delivered.
+//
+// GVT/load/wake control traffic rides the same mailboxes as a bitmask, not
+// as events: posting a control kind sets a bit and rings the notify channel,
+// which cannot fail on a full mailbox — the control plane is immune to data
+// backpressure, so broadcast needs no retry bookkeeping.
+
+// flushBatch is the outbox size that forces a flush. It bounds both the
+// sender-side buffer and the burst a single push dumps into a mailbox.
+const flushBatch = 64
+
+// batchHdr describes one pushed batch: its length, the GVT round color its
+// transit charge sits under, and the modeled-wire delivery deadline (zero
+// when no latency is configured).
+type batchHdr struct {
+	n       int32
+	color   uint8
+	dueNano int64
+}
+
+// mailbox is the per-cluster inbound queue: an MPSC, double-buffered pair of
+// slices swapped under a mutex. Producers append whole batches (events plus
+// one header); the owning cluster takes everything with one swap, handing its
+// drained buffers back as the next fill side. ctrl accumulates control kinds
+// as a bitmask; notify (capacity 1) wakes a consumer blocked in waitMail.
+type mailbox struct {
+	mu    sync.Mutex
+	in    []Event
+	hdrIn []batchHdr
+	ctrl  uint8
+	// flag is 1 whenever events or control bits are queued; the consumer
+	// polls it with one atomic load per main-loop iteration instead of
+	// taking the mutex to find an empty queue.
+	flag   int32
+	notify chan struct{}
+}
+
+// push appends one batch if it fits: a batch is accepted when the mailbox is
+// empty (so progress never deadlocks on a capacity smaller than one batch)
+// or when the resulting queue stays within capEvents. It never blocks;
+// rejected batches stay in the sender's outbox and are retried.
+func (m *mailbox) push(events []Event, hdr batchHdr, capEvents int) bool {
+	m.mu.Lock()
+	if len(m.in) > 0 && len(m.in)+len(events) > capEvents {
+		m.mu.Unlock()
+		return false
+	}
+	m.in = append(m.in, events...)
+	m.hdrIn = append(m.hdrIn, hdr)
+	// Ring the notify channel only on the empty→pending transition: a
+	// consumer that saw flag==1 (or was already rung) will take everything
+	// queued in one swap, so re-ringing per push buys nothing.
+	wasIdle := atomic.LoadInt32(&m.flag) == 0
+	atomic.StoreInt32(&m.flag, 1)
+	m.mu.Unlock()
+	if wasIdle {
+		m.wake()
+	}
+	return true
+}
+
+// postCtrl merges a control kind into the mailbox's bitmask. Control posts
+// ignore capacity: they carry no payload and must get through even when the
+// data side is backpressured.
+func (m *mailbox) postCtrl(kind uint8) {
+	m.mu.Lock()
+	m.ctrl |= kind
+	wasIdle := atomic.LoadInt32(&m.flag) == 0
+	atomic.StoreInt32(&m.flag, 1)
+	m.mu.Unlock()
+	if wasIdle {
+		m.wake()
+	}
+}
+
+// take swaps out everything queued, installing the caller's drained scratch
+// buffers as the new fill side. Consumer only.
+func (m *mailbox) take(evScratch []Event, hdrScratch []batchHdr) ([]Event, []batchHdr, uint8) {
+	m.mu.Lock()
+	ev, hdr, ctrl := m.in, m.hdrIn, m.ctrl
+	m.in, m.hdrIn, m.ctrl = evScratch[:0], hdrScratch[:0], 0
+	atomic.StoreInt32(&m.flag, 0)
+	m.mu.Unlock()
+	return ev, hdr, ctrl
+}
+
+func (m *mailbox) wake() {
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// outbox buffers this cluster's not-yet-flushed events for one destination.
+// min tracks the buffered minimum receive time (the value localMin folds into
+// GVT reports and flushDst folds into redMin); wantFlush marks a batch whose
+// flush trigger already fired but whose destination mailbox was full.
+type outbox struct {
+	buf       []Event
+	min       Time
+	wantFlush bool
+}
+
+// stageRemote buffers one event for dst and applies the size and urgency
+// flush triggers. The urgency probe (an atomic load of the destination's
+// published progress, a plain load, not a RMW) runs only when this event
+// lowers the outbox minimum: an unchanged minimum was already compared at
+// the previous stage, and maybeFlush re-checks every non-empty outbox once
+// per main-loop iteration as the destination advances.
+func (c *cluster) stageRemote(dst int, ev Event) {
+	ob := &c.out[dst]
+	if len(ob.buf) == 0 {
+		ob.min = TimeInfinity
+	}
+	urgent := false
+	if ev.RecvTime < ob.min {
+		ob.min = ev.RecvTime
+		urgent = ob.min < atomic.LoadInt64(&c.kernel.published[dst].t)
+	}
+	ob.buf = append(ob.buf, ev)
+	// A flush the destination already refused (wantFlush) is retried by
+	// maybeFlush once per main-loop iteration, not per staged event —
+	// re-trying here would reintroduce per-event lock traffic against a
+	// full mailbox, exactly the cost batching removes.
+	if (urgent || len(ob.buf) >= flushBatch) && !ob.wantFlush {
+		c.flushDst(dst)
+	}
+}
+
+// flushDst pushes one destination's outbox as a single batch. The transit
+// charge and the redMin fold happen before the push so no cut can observe the
+// batch unaccounted; a rejected push (destination mailbox full) takes the
+// charge back and leaves the events in the outbox, where localMin still
+// covers them. Returns whether the outbox is now empty.
+func (c *cluster) flushDst(dst int) bool {
+	ob := &c.out[dst]
+	n := len(ob.buf)
+	if n == 0 {
+		return true
+	}
+	k := c.kernel
+	color := uint8(c.color & 1)
+	if ob.min < c.redMin {
+		c.redMin = ob.min
+	}
+	atomic.AddInt64(&k.transit[color].n, int64(n))
+	hdr := batchHdr{n: int32(n), color: color}
+	if lat := k.cfg.NetLatency; lat > 0 {
+		hdr.dueNano = time.Now().UnixNano() + int64(lat)
+	}
+	if !k.clusters[dst].mail.push(ob.buf, hdr, k.cfg.InboxSize) {
+		atomic.AddInt64(&k.transit[color].n, -int64(n))
+		ob.wantFlush = true
+		return false
+	}
+	k.busy(k.cfg.NetSendBusy * n)
+	ob.buf = ob.buf[:0]
+	ob.min = TimeInfinity
+	ob.wantFlush = false
+	return true
+}
+
+// maybeFlush applies the urgency trigger to every non-empty outbox and
+// retries batches a full mailbox rejected. The main loop calls it once per
+// iteration; the scan is len(clusters) branch-predictable length checks.
+func (c *cluster) maybeFlush() {
+	for dst := range c.out {
+		ob := &c.out[dst]
+		if len(ob.buf) == 0 {
+			continue
+		}
+		if ob.wantFlush || ob.min < atomic.LoadInt64(&c.kernel.published[dst].t) {
+			c.flushDst(dst)
+		}
+	}
+}
+
+// flushAll flushes every outbox (the idleness trigger). Returns true when
+// everything flushed; full destinations keep their batches for retry.
+func (c *cluster) flushAll() bool {
+	ok := true
+	for dst := range c.out {
+		if len(c.out[dst].buf) > 0 && !c.flushDst(dst) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// outboxed returns the number of buffered, unflushed remote events.
+func (c *cluster) outboxed() int {
+	n := 0
+	for dst := range c.out {
+		n += len(c.out[dst].buf)
+	}
+	return n
+}
+
+// delayedBatch is one batch still "on the wire" under the modeled network
+// latency. It keeps its transit charge (color) until delivered, so a GVT cut
+// waits for the modeled wire exactly as it would for a real LAN; buf is a
+// pooled copy of the batch's events.
+type delayedBatch struct {
+	due   int64
+	color uint8
+	buf   []Event
+}
+
+// delayedHeap orders on-the-wire batches by wall-clock due time.
+type delayedHeap []delayedBatch
+
+func (h *delayedHeap) push(b delayedBatch) { heapPush((*[]delayedBatch)(h), b, delayedLess) }
+
+func (h *delayedHeap) pop() delayedBatch { return heapPop((*[]delayedBatch)(h), delayedLess) }
+
+func delayedLess(a, b delayedBatch) bool { return a.due < b.due }
+
+// deliverDue delivers every delayed batch whose wire time has elapsed (force
+// delivers everything; initialization only), releasing each batch's transit
+// charge as a whole. Returns the number of events delivered.
+func (c *cluster) deliverDue(force bool) int {
+	if len(c.delayed) == 0 {
+		return 0
+	}
+	n := 0
+	now := int64(0)
+	if !force {
+		now = time.Now().UnixNano()
+	}
+	for len(c.delayed) > 0 {
+		if !force && c.delayed[0].due > now {
+			break
+		}
+		b := c.delayed.pop()
+		atomic.AddInt64(&c.kernel.transit[b.color].n, -int64(len(b.buf)))
+		c.kernel.busy(c.kernel.cfg.NetRecvBusy * len(b.buf))
+		for i := range b.buf {
+			c.deliver(b.buf[i])
+		}
+		n += len(b.buf)
+		c.evPool.put(b.buf)
+	}
+	return n
+}
+
+// drainMail takes everything queued in this cluster's mailbox and delivers
+// it: due batches into LP queues, premature batches (modeled wire) into the
+// delayed heap still carrying their transit charge. Control bits are handled
+// after the data so a GVT probe triggered here observes the delivered events
+// in localMin. Returns the number of events delivered.
+func (c *cluster) drainMail() int {
+	n := c.deliverDue(false)
+	if atomic.LoadInt32(&c.mail.flag) == 0 {
+		return n
+	}
+	ev, hdr, ctrl := c.mail.take(c.mailEv, c.mailHdr)
+	c.mailEv, c.mailHdr = ev, hdr
+	k := c.kernel
+	now := int64(0)
+	if k.cfg.NetLatency > 0 {
+		now = time.Now().UnixNano()
+	}
+	off := 0
+	for _, h := range hdr {
+		b := ev[off : off+int(h.n)]
+		off += int(h.n)
+		if h.dueNano > now {
+			c.delayed.push(delayedBatch{due: h.dueNano, color: h.color, buf: append(c.evPool.get(), b...)})
+			continue
+		}
+		// Release the whole batch's transit charge with one atomic; the
+		// events are covered from here on by this goroutine's own localMin
+		// (they are all delivered below, before any GVT probe runs here).
+		atomic.AddInt64(&k.transit[h.color].n, -int64(h.n))
+		k.busy(k.cfg.NetRecvBusy * int(h.n))
+		for i := range b {
+			c.deliver(b[i])
+		}
+		n += int(h.n)
+	}
+	if ctrl != 0 {
+		c.checkGVT()
+		c.checkMigrate()
+	}
+	return n
+}
+
+// drainAllInit force-drains the mailbox and the modeled wire; only
+// single-threaded initialization uses it, before the coordinator exists (the
+// steady state never force-drains the wire — the GVT protocol counts
+// on-the-wire batches instead of flushing them).
+func (c *cluster) drainAllInit() int {
+	n := c.deliverDue(true)
+	if atomic.LoadInt32(&c.mail.flag) == 0 {
+		return n
+	}
+	ev, hdr, _ := c.mail.take(c.mailEv, c.mailHdr)
+	c.mailEv, c.mailHdr = ev, hdr
+	off := 0
+	for _, h := range hdr {
+		b := ev[off : off+int(h.n)]
+		off += int(h.n)
+		atomic.AddInt64(&c.kernel.transit[h.color].n, -int64(h.n))
+		for i := range b {
+			c.deliver(b[i])
+		}
+		n += int(h.n)
+	}
+	return n
+}
+
+// waitMail blocks for at most idleWait for a mailbox wakeup (a remote batch,
+// a GVT control bit, or a migration nudge). Idle and window-stalled clusters
+// both use it, so neither spins a core; an arriving batch is handled
+// immediately, so waiting never delays straggler receipt.
+func (c *cluster) waitMail() {
+	if c.idleTimer == nil {
+		c.idleTimer = time.NewTimer(idleWait)
+	} else {
+		c.idleTimer.Reset(idleWait)
+	}
+	select {
+	case <-c.mail.notify:
+		c.idleTimer.Stop()
+		if c.drainMail() > 0 {
+			c.idleLoops = 0
+		}
+	case <-c.idleTimer.C:
+	}
+}
