@@ -41,6 +41,20 @@
 //     non-boxing heaps, scheduler pushes are deduplicated per LP, and
 //     bundle/event slices are pooled across rollback and fossil
 //     collection;
+//   - internal/analyzers: the kernel-invariant analyzer suite behind
+//     cmd/kernelvet — a self-contained go/analysis-style framework
+//     (loader, call graph, annotation parser, analysistest harness) and
+//     five analyzers driven by the //kernelvet: vocabulary: atomics
+//     (fields accessed via sync/atomic anywhere must be atomic
+//     everywhere), ownership (//kernelvet:owner fields only touched from
+//     their //kernelvet:goroutine domain's call tree), determinism
+//     (//kernelvet:deterministic call trees free of wall clocks, global
+//     rand, map iteration, select, and goroutine spawns), noalloc
+//     (//kernelvet:noalloc functions cross-checked against the
+//     compiler's escape analysis), and directives (the vocabulary
+//     itself: placement, arity, reason-bearing allows). CI runs
+//     `go run ./cmd/kernelvet ./...` and the selftest package keeps
+//     `go test ./...` equivalent to it;
 //   - internal/smoketest: the `go build && run` harness behind the cmd/
 //     and examples/ entry-point smoke tests;
 //   - internal/seqsim: the sequential event-driven simulator used as the

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncNode is one function in the package's static call graph: a declared
+// function or method (Obj != nil) or a function literal (Lit != nil).
+type FuncNode struct {
+	Obj  *types.Func
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+	// Calls are same-package callees invoked on this goroutine: direct calls
+	// to declared functions, plus contained function literals (a literal runs
+	// on its creator's goroutine unless launched with go).
+	Calls []*FuncNode
+	// GoLaunches are functions this node starts as new goroutines.
+	GoLaunches []*FuncNode
+	// External are resolved callees declared outside the package (or without
+	// a body in it); analyzers match them by package path and name.
+	External []*types.Func
+}
+
+// Name returns a human-readable identifier for diagnostics.
+func (n *FuncNode) Name() string {
+	if n.Obj != nil {
+		return n.Obj.Name()
+	}
+	return "function literal"
+}
+
+// CallGraph is the package-local static call graph. Dynamic calls (interface
+// methods, func-typed fields and variables) are not resolved: the kernel's
+// checked invariants all sit on concrete call paths, and an unresolved edge
+// can only make the analyzers miss, never misreport.
+type CallGraph struct {
+	ByObj map[*types.Func]*FuncNode
+	ByLit map[*ast.FuncLit]*FuncNode
+	Nodes []*FuncNode
+}
+
+// BuildCallGraph constructs the package's call graph.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		ByObj: make(map[*types.Func]*FuncNode),
+		ByLit: make(map[*ast.FuncLit]*FuncNode),
+	}
+	// Create declared-function nodes first so edges can resolve forward
+	// references in one pass.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); fn != nil {
+				node := &FuncNode{Obj: fn, Body: fd.Body}
+				g.ByObj[fn] = node
+				g.Nodes = append(g.Nodes, node)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			g.walk(pass, g.ByObj[fn], fd.Body)
+		}
+	}
+	return g
+}
+
+// walk records cur's edges, descending into nested literals with their own
+// nodes.
+func (g *CallGraph) walk(pass *Pass, cur *FuncNode, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := &FuncNode{Lit: n, Body: n.Body}
+			g.ByLit[n] = lit
+			g.Nodes = append(g.Nodes, lit)
+			cur.Calls = append(cur.Calls, lit)
+			g.walk(pass, lit, n.Body)
+			return false
+		case *ast.GoStmt:
+			g.addGo(pass, cur, n)
+			return false
+		case *ast.CallExpr:
+			g.addCall(pass, cur, n)
+		}
+		return true
+	})
+}
+
+// addGo records a go statement: the launched function becomes a GoLaunches
+// edge (a fresh goroutine), while its arguments are evaluated on cur's
+// goroutine and walk normally.
+func (g *CallGraph) addGo(pass *Pass, cur *FuncNode, stmt *ast.GoStmt) {
+	call := stmt.Call
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		node := &FuncNode{Lit: lit, Body: lit.Body}
+		g.ByLit[lit] = node
+		g.Nodes = append(g.Nodes, node)
+		cur.GoLaunches = append(cur.GoLaunches, node)
+		g.walk(pass, node, lit.Body)
+	} else if callee := CalleeOf(pass.TypesInfo, call); callee != nil {
+		if node, ok := g.ByObj[callee]; ok {
+			cur.GoLaunches = append(cur.GoLaunches, node)
+		}
+	}
+	for _, arg := range call.Args {
+		g.walk(pass, cur, arg)
+	}
+}
+
+func (g *CallGraph) addCall(pass *Pass, cur *FuncNode, call *ast.CallExpr) {
+	callee := CalleeOf(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if node, ok := g.ByObj[callee]; ok {
+		cur.Calls = append(cur.Calls, node)
+		return
+	}
+	cur.External = append(cur.External, callee)
+}
+
+// CalleeOf statically resolves a call expression's target function: package
+// functions, methods (through the selection), and generic instantiations.
+// It returns nil for builtins, conversions, and dynamic calls.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr:
+		// Explicit generic instantiation: f[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// EntryDomains resolves the package's goroutine domains from annotations:
+// functions marked //kernelvet:goroutine <name> anchor named domains, and
+// every go-launched function or literal without such an annotation anchors
+// the anonymous domain "". Single-threaded functions are not entries — code
+// only they reach is unconstrained.
+type EntryDomains struct {
+	// Entries maps each entry node to its domain name ("" = unannotated
+	// goroutine).
+	Entries map[*FuncNode]string
+	// stop marks nodes a domain traversal must not descend into: every entry
+	// (it owns its own subtree) and every single-threaded function.
+	stop map[*FuncNode]bool
+}
+
+// ResolveEntries computes the package's goroutine entry points.
+func ResolveEntries(g *CallGraph, ann *Annotations) *EntryDomains {
+	e := &EntryDomains{
+		Entries: make(map[*FuncNode]string),
+		stop:    make(map[*FuncNode]bool),
+	}
+	for _, node := range g.Nodes {
+		if node.Obj == nil {
+			continue
+		}
+		if d, ok := ann.FuncDirective(node.Obj, VerbGoroutine); ok && len(d.Args) == 1 {
+			e.Entries[node] = d.Args[0]
+			e.stop[node] = true
+		}
+		if _, ok := ann.FuncDirective(node.Obj, VerbSingleThreaded); ok {
+			e.stop[node] = true
+		}
+	}
+	for _, node := range g.Nodes {
+		for _, launched := range node.GoLaunches {
+			if _, annotated := e.Entries[launched]; !annotated {
+				e.Entries[launched] = ""
+				e.stop[launched] = true
+			}
+		}
+	}
+	return e
+}
+
+// ReachableFrom returns every node reachable from entry over same-goroutine
+// call edges, without descending into other entries or single-threaded
+// functions (each owns its own domain), nor into nodes matched by skip (nil
+// for none) — analyzers pass their //kernelvet:allow predicate so an allowed
+// function exempts its whole subtree, consistently with the determinism
+// analyzer's treatment. The entry itself is included.
+func (e *EntryDomains) ReachableFrom(entry *FuncNode, skip func(*FuncNode) bool) []*FuncNode {
+	seen := map[*FuncNode]bool{entry: true}
+	order := []*FuncNode{entry}
+	for i := 0; i < len(order); i++ {
+		for _, next := range order[i].Calls {
+			if seen[next] || (e.stop[next] && next != entry) {
+				continue
+			}
+			if skip != nil && skip(next) {
+				continue
+			}
+			seen[next] = true
+			order = append(order, next)
+		}
+	}
+	return order
+}

@@ -1,0 +1,127 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against // want comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only framework in
+// internal/analyzers/analysis.
+//
+// A fixture lives under <analyzer>/testdata/src/<pkg>/ — inside a testdata
+// directory so "./..." patterns (and therefore cmd/kernelvet runs over the
+// repository) never see its deliberate violations, while explicit paths keep
+// it buildable and type-checkable.
+//
+// Expectations are trailing comments of the form
+//
+//	expr // want `regexp` `another regexp`
+//
+// Each backquoted regexp must match one diagnostic reported on that line,
+// every diagnostic must be matched by exactly one expectation, and leftovers
+// in either direction fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// wantRE captures the backquoted regexps of a // want comment.
+var wantRE = regexp.MustCompile("`[^`]*`")
+
+// expectation is one `// want` regexp, anchored to a file and line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named package (relative to dir, the
+// analyzer's testdata directory) and reports every mismatch between the
+// analyzer's diagnostics and the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("src", p))
+	}
+	res, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(res, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range res.Analyzed {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					wants = append(wants, parseWants(t, res, c)...)
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(findings))
+	for _, want := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.Pos.Filename != want.file || f.Pos.Line != want.line {
+				continue
+			}
+			if want.re.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", want.file, want.line, want.raw)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+		}
+	}
+}
+
+// parseWants extracts the expectations of one comment.
+func parseWants(t *testing.T, res *analysis.Result, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := c.Text
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		return nil
+	}
+	pos := res.Fset.Position(c.Pos())
+	var wants []*expectation
+	for _, raw := range wantRE.FindAllString(text[idx:], -1) {
+		pat := raw[1 : len(raw)-1]
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+		}
+		wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: want comment without backquoted patterns: %s", pos, text)
+	}
+	return wants
+}
+
+// Fprint is a debugging helper: it renders findings one per line.
+func Fprint(findings []analysis.Finding) string {
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&sb, f)
+	}
+	return sb.String()
+}

@@ -1,0 +1,225 @@
+// Package atomics implements the kernelvet atomics-discipline analyzer.
+//
+// Rule: a struct field that is accessed through sync/atomic anywhere in the
+// package must be accessed through sync/atomic everywhere in the package. A
+// single plain load racing an atomic store is a data race even when it
+// "only" reads — the compiler may tear, cache, or reorder it — and the Time
+// Warp kernel leans on exactly this discipline for its per-color in-transit
+// counters, routing-table entries, mailbox flags, and GVT words.
+//
+// The analyzer infers the atomic field set from usage (no annotation
+// needed): every `&x.f` (or `&x.f[i]`) argument of a sync/atomic call marks
+// f. It then flags every plain read, write, or address-taking of a marked
+// field. Exemptions:
+//
+//   - functions annotated //kernelvet:single-threaded (construction and
+//     post-shutdown paths, where no other goroutine can observe the field);
+//   - sites carrying //kernelvet:allow atomics <reason>;
+//   - composite literals (they build a fresh value no other goroutine holds).
+//
+// Scope: package-local, like the rest of the suite — a field accessed
+// atomically in one package and plainly in another is not caught. Typed
+// atomics (atomic.Int64 and friends) enforce the discipline in the type
+// system already and are ignored here.
+package atomics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+const name = "atomics"
+
+// Analyzer is the atomics-discipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  run,
+}
+
+// accessKind classifies what a flagged site does with the field.
+type accessKind int
+
+const (
+	accessRead accessKind = iota
+	accessWrite
+	accessAddr
+)
+
+func (k accessKind) String() string {
+	switch k {
+	case accessWrite:
+		return "plain write of"
+	case accessAddr:
+		return "address taken of"
+	default:
+		return "plain read of"
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ParseAnnotations(pass)
+
+	// Pass 1: find the atomic field set and remember the exact operand nodes
+	// inside sync/atomic calls so pass 2 does not re-flag them.
+	structFields := make(map[*types.Var]bool) // &x.f
+	elemFields := make(map[*types.Var]bool)   // &x.f[i]: the slice/array field
+	operands := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(unary.X)
+			switch target := operand.(type) {
+			case *ast.SelectorExpr:
+				if fv := fieldOf(pass, target); fv != nil {
+					structFields[fv] = true
+					operands[target] = true
+				}
+			case *ast.IndexExpr:
+				if sel, ok := ast.Unparen(target.X).(*ast.SelectorExpr); ok {
+					if fv := fieldOf(pass, sel); fv != nil {
+						elemFields[fv] = true
+						operands[target] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(structFields) == 0 && len(elemFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses, walking with the enclosing function for
+	// the single-threaded and allow exemptions.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enclosing, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if enclosing != nil {
+				if _, single := ann.FuncDirective(enclosing, analysis.VerbSingleThreaded); single {
+					continue
+				}
+			}
+			w := &walker{pass: pass, ann: ann, enclosing: enclosing,
+				structFields: structFields, elemFields: elemFields, operands: operands}
+			w.walk(fd.Body, nil)
+		}
+	}
+	return nil
+}
+
+// walker flags plain accesses, tracking each node's ancestors to classify
+// reads, writes, and address-taking, and to skip composite-literal keys.
+type walker struct {
+	pass         *analysis.Pass
+	ann          *analysis.Annotations
+	enclosing    *types.Func
+	structFields map[*types.Var]bool
+	elemFields   map[*types.Var]bool
+	operands     map[ast.Expr]bool
+	stack        []ast.Node
+}
+
+func (w *walker) walk(n ast.Node, _ ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			w.stack = w.stack[:len(w.stack)-1]
+			return false
+		}
+		w.stack = append(w.stack, node)
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			if w.operands[node] {
+				return true
+			}
+			if fv := fieldOf(w.pass, node); fv != nil && w.structFields[fv] {
+				w.report(node, fv, "field")
+			}
+		case *ast.IndexExpr:
+			if w.operands[node] {
+				return true
+			}
+			if sel, ok := ast.Unparen(node.X).(*ast.SelectorExpr); ok {
+				if fv := fieldOf(w.pass, sel); fv != nil && w.elemFields[fv] {
+					w.report(node, fv, "element of atomic slice field")
+				}
+			}
+		case *ast.RangeStmt:
+			if node.Value != nil {
+				if sel, ok := ast.Unparen(node.X).(*ast.SelectorExpr); ok {
+					if fv := fieldOf(w.pass, sel); fv != nil && w.elemFields[fv] {
+						w.reportAt(node.X.Pos(), accessRead, fv, "element of atomic slice field")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// report classifies the access via the ancestor stack and emits a finding.
+func (w *walker) report(node ast.Expr, fv *types.Var, what string) {
+	kind := accessRead
+	if len(w.stack) >= 2 {
+		switch parent := w.stack[len(w.stack)-2].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if ast.Unparen(lhs) == node {
+					kind = accessWrite
+				}
+			}
+		case *ast.IncDecStmt:
+			kind = accessWrite
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				kind = accessAddr
+			}
+		}
+	}
+	w.reportAt(node.Pos(), kind, fv, what)
+}
+
+func (w *walker) reportAt(pos token.Pos, kind accessKind, fv *types.Var, what string) {
+	if w.ann.AllowsAt(w.pass.Fset, pos, w.enclosing, name) {
+		return
+	}
+	if what == "field" {
+		what = "atomic field"
+	}
+	w.pass.Reportf(pos, "%s %s %s; it is accessed with sync/atomic elsewhere, so every access must be atomic (or the function marked //kernelvet:single-threaded)",
+		kind, what, fv.Name())
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function (Load*/Store*/Add*/Swap*/CompareAndSwap*...).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it reads, or nil.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	fv, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !fv.IsField() {
+		return nil
+	}
+	return fv
+}

@@ -1,0 +1,56 @@
+// Package a is the atomics analyzer fixture: counter.n and counter.slots are
+// accessed through sync/atomic in atomicUser, so every other access must be
+// atomic, exempted, or inside a single-threaded function.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	slots []int64
+	other int64
+}
+
+func atomicUser(c *counter) {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreInt64(&c.slots[0], 2)
+}
+
+func plainReader(c *counter) int64 {
+	return c.n // want `plain read of atomic field n`
+}
+
+func plainWriter(c *counter) {
+	c.n = 7        // want `plain write of atomic field n`
+	c.n++          // want `plain write of atomic field n`
+	c.slots[1] = 9 // want `plain write of element of atomic slice field slots`
+}
+
+func addrTaker(c *counter) *int64 {
+	return &c.n // want `address taken of atomic field n`
+}
+
+func rangeReader(c *counter) int64 {
+	var sum int64
+	for _, v := range c.slots { // want `plain read of element of atomic slice field slots`
+		sum += v
+	}
+	return sum
+}
+
+// newCounter builds the struct before anyone else can see it; plain writes
+// are fine here.
+//
+//kernelvet:single-threaded
+func newCounter() *counter {
+	c := &counter{slots: make([]int64, 4)}
+	c.n = 1
+	return c
+}
+
+func allowedReader(c *counter) int64 {
+	v := c.n //kernelvet:allow atomics diagnostic-only torn read is acceptable here
+	return v + c.other
+}
+
+var _ = [...]interface{}{atomicUser, plainReader, plainWriter, addrTaker, rangeReader, newCounter, allowedReader}

@@ -1,0 +1,137 @@
+// Package determinism implements the kernelvet determinism analyzer.
+//
+// Rule: functions annotated //kernelvet:deterministic — the Time Warp
+// kernel's commit, rollback, and GVT paths, where the deterministic
+// (recvTime, sender, ID) bundle order is constructed — must not, directly or
+// through same-package callees:
+//
+//   - read the wall clock (time.Now / time.Since / time.Until);
+//   - use the global math/rand generators (an explicitly seeded *rand.Rand
+//     is fine: it is reproducible state the caller controls);
+//   - iterate over a map (iteration order is randomized);
+//   - execute a select statement (branch choice is scheduling-dependent);
+//   - start a goroutine.
+//
+// The check is transitive over the package-local static call graph and stops
+// at functions annotated //kernelvet:allow determinism <reason> — the escape
+// hatch for callees whose nondeterminism provably cannot reach simulation
+// results (e.g. a wall-clock read that only stamps the modeled wire).
+// Dynamic calls (interface methods, func values) are not traversed.
+package determinism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+const name = "determinism"
+
+// Analyzer is the determinism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "//kernelvet:deterministic call trees must avoid wall clocks, global rand, map iteration, select, and goroutines",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ParseAnnotations(pass)
+	graph := analysis.BuildCallGraph(pass)
+
+	// BFS from every deterministic root; remember which root first reached
+	// each node for the diagnostic.
+	rootOf := make(map[*analysis.FuncNode]*types.Func)
+	var order []*analysis.FuncNode
+	for _, node := range graph.Nodes {
+		if node.Obj == nil {
+			continue
+		}
+		if _, ok := ann.FuncDirective(node.Obj, analysis.VerbDeterministic); ok {
+			rootOf[node] = node.Obj
+			order = append(order, node)
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	for i := 0; i < len(order); i++ {
+		node := order[i]
+		for _, next := range node.Calls {
+			if _, seen := rootOf[next]; seen {
+				continue
+			}
+			if next.Obj != nil && ann.FuncAllows(next.Obj, name) {
+				continue // exempt subtree
+			}
+			rootOf[next] = rootOf[node]
+			order = append(order, next)
+		}
+	}
+
+	for _, node := range order {
+		c := &checker{pass: pass, ann: ann, node: node, root: rootOf[node]}
+		c.check()
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	ann  *analysis.Annotations
+	node *analysis.FuncNode
+	root *types.Func
+}
+
+func (c *checker) check() {
+	if c.node.Body == nil {
+		return
+	}
+	ast.Inspect(c.node.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != c.node.Body {
+				return false // its own graph node
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					c.reportf(n.Pos(), "iterates over a map (randomized order)")
+				}
+			}
+		case *ast.SelectStmt:
+			c.reportf(n.Pos(), "select statement (scheduling-dependent branch)")
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "starts a goroutine")
+		case *ast.CallExpr:
+			fn := analysis.CalleeOf(c.pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true
+			}
+			switch pkg, name := fn.Pkg().Path(), fn.Name(); {
+			case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+				c.reportf(n.Pos(), "calls time.%s (wall clock)", name)
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				c.reportf(n.Pos(), "calls global %s.%s", pkg, name)
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
+	if c.ann.AllowsAt(c.pass.Fset, pos, c.node.Obj, name) {
+		return
+	}
+	where := "a //kernelvet:deterministic function"
+	if c.node.Obj != c.root {
+		where = "the deterministic call tree of " + c.root.Name()
+	}
+	c.pass.Reportf(pos, "%s in %s", fmt.Sprintf(format, args...), where)
+}

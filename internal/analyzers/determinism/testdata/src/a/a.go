@@ -1,0 +1,61 @@
+// Package a is the determinism analyzer fixture: commit is a deterministic
+// root, so it and its call tree must avoid wall clocks, global rand, map
+// iteration, select, and goroutine launches.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sim struct {
+	q    []int
+	seen map[int]bool
+	rng  *rand.Rand
+	ch   chan int
+}
+
+// commit replays committed events; its order must be reproducible.
+//
+//kernelvet:deterministic
+func (s *sim) commit() {
+	_ = time.Now()          // want `calls time.Now \(wall clock\) in a //kernelvet:deterministic function`
+	_ = rand.Int()          // want `calls global math/rand.Int in a //kernelvet:deterministic function`
+	for k := range s.seen { // want `iterates over a map \(randomized order\)`
+		_ = k
+	}
+	for _, v := range s.q { // slices iterate in order: fine
+		_ = v
+	}
+	select { // want `select statement \(scheduling-dependent branch\)`
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	go s.helper() // want `starts a goroutine`
+	s.helper()
+	_ = s.rng.Intn(10) // explicitly seeded source: fine
+	s.stamp()
+}
+
+// helper is nondeterministic only through the clock read; it is flagged
+// because commit reaches it.
+func (s *sim) helper() {
+	_ = time.Now() // want `calls time.Now \(wall clock\) in the deterministic call tree of commit`
+}
+
+// stamp reads the wall clock, but only to label log output, never to order
+// simulation state.
+//
+//kernelvet:allow determinism wall time labels logs only, never simulation state
+func (s *sim) stamp() {
+	_ = time.Now()
+}
+
+// free is outside every deterministic tree; nothing here is checked.
+func free() {
+	_ = time.Now()
+	_ = rand.Int()
+}
+
+var _ = [...]interface{}{(*sim).commit, free}

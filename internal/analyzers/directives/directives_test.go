@@ -1,0 +1,12 @@
+package directives_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/directives"
+)
+
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", directives.Analyzer, "a")
+}

@@ -1,0 +1,51 @@
+// Package a is the directives validator fixture: every malformed or
+// misplaced //kernelvet: comment must be reported, and the well-formed ones
+// at the bottom must not.
+package a
+
+type state struct {
+	count int //kernelvet:owner // want `kernelvet:owner takes exactly one argument`
+	extra int //kernelvet:owner worker helper // want `kernelvet:owner takes exactly one argument`
+	badal int //kernelvet:allow ownership // want `kernelvet:allow belongs in a function doc comment or on the offending line`
+	good  int //kernelvet:owner worker
+}
+
+// misOwner has an owner directive, which only means something on a field.
+//
+//kernelvet:owner worker // want `kernelvet:owner belongs on a struct field`
+func misOwner() {}
+
+// misVerb has a typo in the verb.
+//
+//kernelvet:determinstic // want `unknown kernelvet directive "determinstic"`
+func misVerb() {}
+
+// misArgs gives deterministic an argument it does not take.
+//
+//kernelvet:deterministic always // want `kernelvet:deterministic takes 0 arguments`
+func misArgs() {}
+
+// misGoroutine forgets the domain name.
+//
+//kernelvet:goroutine // want `kernelvet:goroutine takes exactly one argument`
+func misGoroutine() {}
+
+func misPlaced() {
+	//kernelvet:deterministic // want `kernelvet:deterministic belongs in a function doc comment`
+	x := 1 //kernelvet:allow spellcheck because // want `kernelvet:allow needs an analyzer name \(one of atomics, determinism, noalloc, ownership\)`
+	y := 2 //kernelvet:allow atomics // want `kernelvet:allow atomics needs a reason`
+	_, _ = x, y
+}
+
+// wellFormed exercises every valid spelling; nothing below is reported.
+//
+//kernelvet:goroutine worker
+//kernelvet:deterministic
+//kernelvet:noalloc
+//kernelvet:single-threaded
+//kernelvet:allow atomics the invariant holds because nothing else runs yet
+func wellFormed() {
+	_ = 3 //kernelvet:allow noalloc amortized growth
+}
+
+var _ = [...]interface{}{misOwner, misVerb, misArgs, misGoroutine, misPlaced, wellFormed}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "a")
+}

@@ -1,0 +1,133 @@
+// Package ownership implements the kernelvet goroutine-ownership analyzer.
+//
+// Rule: a struct field annotated //kernelvet:owner <domain> may only be
+// touched by functions running on that domain's goroutine. A domain is
+// anchored by a function annotated //kernelvet:goroutine <domain> — its
+// entry point — and consists of everything reachable from the entry through
+// same-goroutine calls, without descending into other entries (an entry owns
+// its own subtree: the kernel's coordinator runs inside cluster 0's main
+// loop, yet has its own single-goroutine state). Function literals launched
+// with `go` that carry no annotation anchor an anonymous domain, which owns
+// nothing — any annotated field they reach is flagged.
+//
+// The call graph is static and package-local; dynamic calls (interface
+// methods, func values) are not traversed, so code only reachable through
+// them is unconstrained. Functions annotated //kernelvet:single-threaded are
+// likewise unconstrained (construction and post-shutdown, when no other
+// goroutine exists), and //kernelvet:allow ownership <reason> suppresses a
+// deliberate cross-goroutine touch (e.g. a best-effort crash dump) in the
+// annotated function and everything it alone reaches — the domain traversal
+// does not descend through an allowed function, matching the determinism
+// analyzer's subtree semantics.
+package ownership
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyzers/analysis"
+)
+
+const name = "ownership"
+
+// Analyzer is the goroutine-ownership analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "//kernelvet:owner fields may only be touched from their owner goroutine's call tree",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ParseAnnotations(pass)
+	if len(ann.FieldOwner) == 0 {
+		return nil
+	}
+	graph := analysis.BuildCallGraph(pass)
+	entries := analysis.ResolveEntries(graph, ann)
+
+	// domains[node] is the set of goroutine domains whose entry reaches the
+	// node on its own goroutine.
+	allowed := func(n *analysis.FuncNode) bool {
+		return n.Obj != nil && ann.FuncAllows(n.Obj, name)
+	}
+	domains := make(map[*analysis.FuncNode]map[string]bool)
+	for entry, domain := range entries.Entries {
+		for _, node := range entries.ReachableFrom(entry, allowed) {
+			set := domains[node]
+			if set == nil {
+				set = make(map[string]bool)
+				domains[node] = set
+			}
+			set[domain] = true
+		}
+	}
+
+	for _, node := range graph.Nodes {
+		reached := domains[node]
+		if len(reached) == 0 {
+			continue // not reachable from any goroutine entry: unconstrained
+		}
+		if node.Obj != nil && ann.FuncAllows(node.Obj, name) {
+			continue
+		}
+		foreign := make([]string, 0, len(reached))
+		for d := range reached {
+			foreign = append(foreign, d)
+		}
+		sort.Strings(foreign)
+		checkBody(pass, ann, node, foreign)
+	}
+	return nil
+}
+
+// checkBody flags every annotated-field access in node's own body (nested
+// literals are their own graph nodes) that a non-owner domain can reach.
+func checkBody(pass *analysis.Pass, ann *analysis.Annotations, node *analysis.FuncNode, reached []string) {
+	root := ast.Node(node.Body)
+	if node.Body == nil {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != node.Body {
+			stack = stack[:len(stack)-1]
+			return false // separate node; its domain may differ
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fv, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !fv.IsField() {
+			return true
+		}
+		owner, annotated := ann.FieldOwner[fv]
+		if !annotated {
+			return true
+		}
+		// Composite-literal keys build fresh values; they are not accesses
+		// to a live owned structure. (Keys are Idents, not SelectorExprs, so
+		// they never reach here — this guards the value side of `s.f`-style
+		// expressions inside literals, which *are* real reads.)
+		for _, domain := range reached {
+			if domain == owner {
+				continue
+			}
+			if ann.AllowsAt(pass.Fset, sel.Pos(), node.Obj, name) {
+				continue
+			}
+			if domain == "" {
+				pass.Reportf(sel.Pos(), "field %s (owner %s) accessed from an unannotated goroutine; launch it from a //kernelvet:goroutine function or move the access", fv.Name(), owner)
+			} else {
+				pass.Reportf(sel.Pos(), "field %s (owner %s) accessed from goroutine %s", fv.Name(), owner, domain)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package ownership_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/ownership"
+)
+
+func TestOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", ownership.Analyzer, "a")
+}

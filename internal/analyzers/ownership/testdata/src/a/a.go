@@ -1,0 +1,70 @@
+// Package a is the ownership analyzer fixture: state.count is owned by the
+// worker goroutine; the monitor goroutine and unannotated goroutines must not
+// touch it.
+package a
+
+type state struct {
+	count int //kernelvet:owner worker
+	free  int
+}
+
+type kern struct {
+	st *state
+}
+
+// run is the worker goroutine's main loop; it owns state.count.
+//
+//kernelvet:goroutine worker
+func (k *kern) run() {
+	k.st.count++
+	k.helper()
+}
+
+// helper is only reachable from the worker entry, so it may touch count.
+func (k *kern) helper() {
+	k.st.count += 2
+	_ = k.st.free
+}
+
+// monitor runs on its own goroutine and must keep its hands off worker state.
+//
+//kernelvet:goroutine monitor
+func (k *kern) monitor() {
+	_ = k.st.count // want `field count \(owner worker\) accessed from goroutine monitor`
+	_ = k.st.free
+	k.dump()
+}
+
+// dump is reached from monitor but deliberately exempt, and the exemption
+// covers its subtree: dumpDetail is only reachable through dump from the
+// monitor domain, so its count read is not flagged either.
+//
+//kernelvet:allow ownership best-effort crash diagnostics may read torn state
+func (k *kern) dump() {
+	_ = k.st.count
+	k.dumpDetail()
+}
+
+func (k *kern) dumpDetail() {
+	_ = k.st.count
+}
+
+// newKern runs before any goroutine exists; it is not an entry, so the
+// count write here is unconstrained.
+//
+//kernelvet:single-threaded
+func newKern() *kern {
+	k := &kern{st: &state{}}
+	k.st.count = 1
+	return k
+}
+
+func (k *kern) spawnAll() {
+	go k.run()
+	go k.monitor()
+	go func() {
+		_ = k.st.count // want `field count \(owner worker\) accessed from an unannotated goroutine`
+	}()
+}
+
+var _ = [...]interface{}{(*kern).spawnAll, newKern}

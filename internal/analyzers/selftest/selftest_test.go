@@ -1,0 +1,45 @@
+// Package selftest pins the repository's own kernelvet cleanliness: the full
+// analyzer suite over every package must report nothing. This is the same
+// check CI runs via `go run ./cmd/kernelvet ./...`, duplicated as a plain
+// test so `go test ./...` alone catches an annotation-contract regression.
+package selftest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analyzers/analysis"
+	"repro/internal/analyzers/atomics"
+	"repro/internal/analyzers/determinism"
+	"repro/internal/analyzers/directives"
+	"repro/internal/analyzers/noalloc"
+	"repro/internal/analyzers/ownership"
+)
+
+func TestRepositoryIsKernelvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{
+		directives.Analyzer,
+		atomics.Analyzer,
+		ownership.Analyzer,
+		determinism.Analyzer,
+		noalloc.Analyzer,
+	}
+	findings, err := analysis.RunAnalyzers(res, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

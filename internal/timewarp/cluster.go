@@ -103,16 +103,17 @@ const idleWait = 50 * time.Microsecond
 type cluster struct {
 	kernel *Kernel
 	id     int
-	lps    []*lpRuntime // LPs owned by this cluster
+	lps    []*lpRuntime //kernelvet:owner cluster
 
-	// mail is the inbound side of the batched transport; mailEv/mailHdr are
-	// the drained buffers handed back at the next take (double buffering).
+	// mail is the inbound side of the batched transport (its own internal
+	// synchronization); mailEv/mailHdr are the drained buffers handed back
+	// at the next take (double buffering).
 	mail    mailbox
-	mailEv  []Event
-	mailHdr []batchHdr
+	mailEv  []Event    //kernelvet:owner cluster
+	mailHdr []batchHdr //kernelvet:owner cluster
 	// out holds the per-destination outboxes of not-yet-flushed remote
 	// events (out[c.id] stays empty; local messages use localQ).
-	out []outbox
+	out []outbox //kernelvet:owner cluster
 
 	// localQ queues intra-cluster deliveries. Local messages are never
 	// delivered synchronously from inside LP operations: a rollback that
@@ -120,46 +121,46 @@ type cluster struct {
 	// otherwise re-enter rollback while queues are mid-mutation. localHead
 	// indexes the next undelivered message so draining reuses the backing
 	// array instead of re-slicing it away.
-	localQ    []Event
-	localHead int
+	localQ    []Event //kernelvet:owner cluster
+	localHead int     //kernelvet:owner cluster
 	// delayed holds received batches still "on the wire" under the modeled
 	// network latency; they stay in-flight for GVT accounting until
 	// delivered.
-	delayed delayedHeap
-	sched   schedHeap
-	evPool  eventPool
-	stats   ClusterStats
+	delayed delayedHeap  //kernelvet:owner cluster
+	sched   schedHeap    //kernelvet:owner cluster
+	evPool  eventPool    //kernelvet:owner cluster
+	stats   ClusterStats //kernelvet:owner cluster
 
-	eventsSinceGVT int
-	idleLoops      int
+	eventsSinceGVT int //kernelvet:owner cluster
+	idleLoops      int //kernelvet:owner cluster
 
 	// color is the GVT round this cluster has joined; its parity stamps
 	// every flushed batch for the kernel's transit counts.
-	color int64
+	color int64 //kernelvet:owner cluster
 	// redMin is the minimum receive time this cluster has flushed since
 	// joining the current round — the bound on its batches that may still
 	// be in transit when the round's second cut closes.
-	redMin Time
+	redMin Time //kernelvet:owner cluster
 	// reportedRound is the last round this cluster sent a wave-2 report
 	// for; it makes duplicate report wakeups harmless.
-	reportedRound int64
+	reportedRound int64 //kernelvet:owner cluster
 	// fossilAt is the GVT this cluster last fossil-collected at.
-	fossilAt Time
+	fossilAt Time //kernelvet:owner cluster
 	// idleTimer is the reusable timer behind waitMail; time.After would
 	// allocate a fresh timer channel on every idle iteration.
-	idleTimer *time.Timer
+	idleTimer *time.Timer //kernelvet:owner cluster
 
 	// owned[lp] reports whether this cluster currently owns lp. Only this
 	// cluster's goroutine reads or writes its own slice; ownership moves
 	// via the migration handoff (migrate.go), never by another goroutine
 	// touching it.
-	owned []bool
+	owned []bool //kernelvet:owner cluster
 	// limbo parks events addressed to LPs that are routed here but whose
 	// migration payload has not arrived yet; localMin folds it into GVT
 	// reports so the floor covers parked events.
-	limbo []Event
+	limbo []Event //kernelvet:owner cluster
 	// loadSeen is the last load round this cluster captured counters for.
-	loadSeen int64
+	loadSeen int64 //kernelvet:owner cluster
 	// Migration mailboxes: the coordinator appends orders, source clusters
 	// append payloads; migFlag makes the common no-migration case one
 	// atomic load. The scratch slices double-buffer the swap in
@@ -369,7 +370,12 @@ func (c *cluster) executeOne() (n int, windowStalled bool) {
 
 // run is the cluster's main loop. GVT rounds happen asynchronously around
 // it: the loop keeps draining and executing events while a round is in
-// flight, and the round's cut/report steps are single checkGVT probes.
+// flight, and the round's cut/report steps are single checkGVT probes. It is
+// the entry point of the cluster goroutine domain: everything it reaches
+// (scheduling, delivery, rollback, fossil collection) runs on this goroutine
+// and may touch cluster- and LP-owned state freely.
+//
+//kernelvet:goroutine cluster
 func (c *cluster) run() {
 	k := c.kernel
 	for atomic.LoadInt32(&k.done) == 0 {

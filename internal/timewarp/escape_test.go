@@ -1,0 +1,116 @@
+package timewarp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// escapeBaseline is the committed set of known heap escapes in this package,
+// one normalized "file.go: description" entry per line. TestEscapeBaseline
+// fails on any escape not in this file, so a change that makes a hot-path
+// value escape (a closure capture, an interface conversion, a missed
+// inlining) is caught even when it lands in a function nobody thought to
+// annotate //kernelvet:noalloc.
+const escapeBaseline = "testdata/escape_baseline.txt"
+
+var escapeLineRE = regexp.MustCompile(`^(.*\.go):\d+:\d+: (?:(.*?) escapes to heap|moved to heap: (.*?)):?$`)
+
+// currentEscapes runs the compiler's escape analysis over this package and
+// returns the normalized entries. Entries drop line and column so the
+// baseline survives unrelated edits; string constants are skipped (the
+// compiler reports every non-inlined constant string argument, which is
+// noise, not allocation on the hot path).
+func currentEscapes(t *testing.T) []string {
+	t.Helper()
+	cmd := exec.Command("go", "build", "-o", os.DevNull, "-gcflags=-m -m", ".")
+	cmd.Dir = "."
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := escapeLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		desc := m[2]
+		if desc == "" {
+			desc = m[3]
+		}
+		if strings.HasPrefix(desc, `"`) {
+			continue
+		}
+		file := strings.TrimPrefix(m[1], "./")
+		seen[file+": "+desc] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]string, 0, len(seen))
+	for e := range seen {
+		entries = append(entries, e)
+	}
+	sort.Strings(entries)
+	return entries
+}
+
+// TestEscapeBaseline asserts the package introduces no heap escapes beyond
+// the committed baseline. A failure lists the new escapes; either fix them
+// (the point of the test) or, for a deliberate cold-path allocation, add the
+// printed lines to testdata/escape_baseline.txt in the same change.
+func TestEscapeBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the package")
+	}
+	raw, err := os.ReadFile(escapeBaseline)
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with the lines this test prints): %v", err)
+	}
+	baseline := make(map[string]bool)
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		baseline[line] = true
+	}
+
+	current := currentEscapes(t)
+	var fresh []string
+	for _, e := range current {
+		if !baseline[e] {
+			fresh = append(fresh, e)
+		}
+	}
+	if len(fresh) > 0 {
+		t.Errorf("new heap escapes not in %s:\n%s", escapeBaseline, strings.Join(fresh, "\n"))
+	}
+
+	currentSet := make(map[string]bool, len(current))
+	for _, e := range current {
+		currentSet[e] = true
+	}
+	for e := range baseline {
+		if !currentSet[e] {
+			t.Logf("baseline entry no longer escapes (safe to remove): %s", e)
+		}
+	}
+	if t.Failed() {
+		fmt.Println("full current escape set:")
+		for _, e := range current {
+			fmt.Println(e)
+		}
+	}
+}

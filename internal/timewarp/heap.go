@@ -6,6 +6,7 @@ package timewarp
 // operation: every send, delivery, and rollback re-enqueue goes through a
 // heap) allocates only on slice growth.
 
+//kernelvet:noalloc
 func heapPush[E any](s *[]E, x E, less func(a, b E) bool) {
 	*s = append(*s, x)
 	h := *s
@@ -20,6 +21,7 @@ func heapPush[E any](s *[]E, x E, less func(a, b E) bool) {
 	}
 }
 
+//kernelvet:noalloc
 func heapPop[E any](s *[]E, less func(a, b E) bool) E {
 	h := *s
 	n := len(h) - 1

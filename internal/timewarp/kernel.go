@@ -191,20 +191,20 @@ type Kernel struct {
 	loadRound int64
 	loadAcks  int32
 	loadBufs  []loadSnapBuf
-	snap      LoadSnapshot
-	edgeFill  []int32 // coordinator-only scatter cursors of buildSnapshot
+	snap      LoadSnapshot //kernelvet:owner coordinator
+	edgeFill  []int32      //kernelvet:owner coordinator
 	// ewma holds the smoothed per-LP committed-event load across load
 	// rounds (coordinator-only, allocated and seeded by the first load
 	// round; see Config.LoadSmoothing).
-	ewma []float64
+	ewma []float64 //kernelvet:owner coordinator
 
 	// Coordinator-only round bookkeeping (cluster 0's goroutine).
-	phase           int32
-	prevGVT         Time
-	stuckRounds     int
-	gvtRounds       int
-	rebalanceRounds int
-	roundsSinceLoad int
+	phase           int32 //kernelvet:owner coordinator
+	prevGVT         Time  //kernelvet:owner coordinator
+	stuckRounds     int   //kernelvet:owner coordinator
+	gvtRounds       int   //kernelvet:owner coordinator
+	rebalanceRounds int   //kernelvet:owner coordinator
+	roundsSinceLoad int   //kernelvet:owner coordinator
 
 	// published holds each cluster's continuously self-reported next work
 	// time. The optimism window throttles against min(published), and
@@ -237,9 +237,11 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 	// A cluster that has not yet published progress must look idle, not
 	// "busy at time 0": senders flush eagerly to idle destinations, so the
 	// infinity seed keeps batches from sitting while a goroutine is still
-	// starting up.
+	// starting up. The store is atomic like every other access to published:
+	// New itself runs single-threaded, but the field's contract is
+	// all-atomic-or-nothing, and the seed is not hot.
 	for i := range k.published {
-		k.published[i].t = TimeInfinity
+		atomic.StoreInt64(&k.published[i].t, TimeInfinity)
 	}
 	k.clusters = make([]*cluster, cfg.NumClusters)
 	for i := range k.clusters {
@@ -430,7 +432,11 @@ func (k *Kernel) Run() (RunStats, error) {
 // coordinate advances the GVT round state machine by at most one step.
 // Cluster 0 calls it once per main-loop iteration; every step is
 // non-blocking, so the coordinator keeps draining and executing events
-// while a round is in flight.
+// while a round is in flight. The coordinator runs inside cluster 0's loop
+// yet is its own ownership domain: only code reached from here may touch the
+// kernel's round bookkeeping.
+//
+//kernelvet:goroutine coordinator
 func (k *Kernel) coordinate() {
 	switch k.phase {
 	case phaseIdle:
@@ -526,6 +532,8 @@ func (k *Kernel) broadcastCtrl(kind uint8) {
 // loudly with enough context to locate the holder. The dump reads other
 // clusters' state without synchronization — the kernel is already broken
 // and about to panic, so a torn diagnostic beats a silent wedge.
+//
+//kernelvet:allow ownership the kernel is wedged and about to panic; torn reads beat a silent hang
 func (k *Kernel) dumpStuck(gvt Time) {
 	var sb []byte
 	add := func(f string, a ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(f, a...))...) }

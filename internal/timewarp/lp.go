@@ -74,22 +74,24 @@ func (ctx *Context) Send(to LPID, recvTime Time, kind, value int32) {
 	ctx.lp.stageSend(ctx.cluster, ev)
 }
 
-// lpRuntime is the kernel-side record of one LP.
+// lpRuntime is the kernel-side record of one LP. Its mutable state is owned
+// by the cluster goroutine that currently owns the LP (the owner moves only
+// through the migration handoff, which runs on both ends' own goroutines).
 type lpRuntime struct {
 	id      LPID
 	handler Handler
-	cluster *cluster
+	cluster *cluster //kernelvet:owner cluster
 
-	pending eventHeap
+	pending eventHeap //kernelvet:owner cluster
 	// cancelled holds IDs of positive events annihilated before they were
 	// popped from pending (lazy annihilation).
-	cancelled map[uint64]struct{}
+	cancelled map[uint64]struct{} //kernelvet:owner cluster
 
 	// processed bundles in chronological order.
-	processed []bundle
+	processed []bundle //kernelvet:owner cluster
 
 	// lvt is the receive time of the last processed bundle, or -1.
-	lvt Time
+	lvt Time //kernelvet:owner cluster
 
 	// schedT is the timestamp of this LP's tracked scheduler entry in its
 	// owning cluster's heap, or TimeInfinity when none is tracked. It
@@ -98,37 +100,37 @@ type lpRuntime struct {
 	// cluster.schedule). Invariant: when finite, an entry with exactly
 	// this timestamp is in the owning cluster's heap, so skipping a push
 	// because schedT <= nextTime can never strand work.
-	schedT Time
+	schedT Time //kernelvet:owner cluster
 
 	// idNext/idEnd are this LP's current event-ID block, refilled from the
 	// kernel's global counter one idBlock at a time so event creation does
 	// not touch a shared atomic per send. Blocks stay with the LP across
 	// migration, so IDs remain monotonic per sender — the property the
 	// deterministic (recvTime, sender, ID) bundle order relies on.
-	idNext, idEnd uint64
+	idNext, idEnd uint64 //kernelvet:owner cluster
 
 	// committedThrough is the latest fossil-collected bundle time; it only
 	// backs the rollback invariant check.
-	committedThrough Time
+	committedThrough Time //kernelvet:owner cluster
 
 	// oldSends holds, under lazy cancellation, the sends of rolled-back
 	// bundles keyed by bundle time, awaiting regeneration or cancellation.
 	// Entries are kept sorted by time; every entry's time is strictly above
 	// lvt (entries at or below it are taken or flushed as execution passes
 	// them), which rollback exploits to merge without sorting.
-	oldSends []oldSendEntry
+	oldSends []oldSendEntry //kernelvet:owner cluster
 
 	// oldScratch is the reusable merge buffer of rollback.
-	oldScratch []oldSendEntry
+	oldScratch []oldSendEntry //kernelvet:owner cluster
 
 	// stagedSends collects sends of the bundle currently executing.
-	stagedSends []Event
+	stagedSends []Event //kernelvet:owner cluster
 
 	// recycler is the handler's optional StateRecycler side, resolved once.
 	recycler StateRecycler
 
 	// matchScratch is the reusable matched-flags buffer of lazy dispatch.
-	matchScratch []bool
+	matchScratch []bool //kernelvet:owner cluster
 
 	// Load profile for dynamic rebalancing, owner-goroutine only, reset at
 	// every load round (captureLoad). loadCommitted/loadRollbacks/loadRemote
@@ -137,16 +139,16 @@ type lpRuntime struct {
 	// first send, so the steady state appends nothing). sendCur remembers
 	// the last matched slot: handlers emit to their fanout in a fixed
 	// order, so the cyclic probe in noteSend usually hits immediately.
-	loadCommitted uint64
-	loadRollbacks uint64
-	loadRemote    uint64
-	sendDst       []LPID
-	sendCnt       []uint64
-	sendCur       int
+	loadCommitted uint64   //kernelvet:owner cluster
+	loadRollbacks uint64   //kernelvet:owner cluster
+	loadRemote    uint64   //kernelvet:owner cluster
+	sendDst       []LPID   //kernelvet:owner cluster
+	sendCnt       []uint64 //kernelvet:owner cluster
+	sendCur       int      //kernelvet:owner cluster
 
 	// ctx is the reusable handler context (one live Execute per LP at a
 	// time, so a single context per LP suffices).
-	ctx Context
+	ctx Context //kernelvet:owner cluster
 }
 
 // bundle is one processed timestamp: the events consumed, the state before
@@ -193,6 +195,8 @@ func (lp *lpRuntime) nextEventID() uint64 {
 
 // nextTime returns the receive time of the earliest live pending event, or
 // TimeInfinity. It lazily discards annihilated events from the heap top.
+//
+//kernelvet:noalloc
 func (lp *lpRuntime) nextTime() Time {
 	for len(lp.pending) > 0 {
 		top := lp.pending[0]
@@ -231,7 +235,11 @@ func (lp *lpRuntime) annihilate(anti Event) {
 // rollback undoes every processed bundle with time >= t: the LP state is
 // restored to just before the earliest such bundle, the bundles' input
 // events return to the pending queue, and their sends are cancelled
-// (immediately under aggressive cancellation, lazily otherwise).
+// (immediately under aggressive cancellation, lazily otherwise). Rollback
+// must replay identically on every run, or diverged replicas commit
+// different states.
+//
+//kernelvet:deterministic
 func (lp *lpRuntime) rollback(t Time) {
 	if t <= lp.committedThrough {
 		// GVT guarantees no message (positive or anti) arrives at or below
@@ -307,7 +315,11 @@ func (lp *lpRuntime) rollback(t Time) {
 }
 
 // executeNext pops the earliest bundle and runs the handler. It returns the
-// number of events consumed (0 when the LP had no live work).
+// number of events consumed (0 when the LP had no live work). The bundle
+// order (recvTime, sender, ID) is the kernel's determinism contract, so
+// nothing on this path may consult wall clocks or unordered iteration.
+//
+//kernelvet:deterministic
 func (lp *lpRuntime) executeNext() int {
 	t := lp.nextTime()
 	if t == TimeInfinity {
@@ -366,6 +378,8 @@ func (lp *lpRuntime) send(ev Event) {
 // noteSend accumulates one send into the LP's row of the send matrix. The
 // probe starts at the slot after the previous match, so cyclic fanout emit
 // patterns hit on the first comparison; a new destination appends once.
+//
+//kernelvet:noalloc
 func (lp *lpRuntime) noteSend(dst LPID, remote bool) {
 	if remote {
 		lp.loadRemote++
@@ -394,6 +408,8 @@ func (lp *lpRuntime) noteSend(dst LPID, remote bool) {
 // identical to a rolled-back send from the same bundle time are suppressed
 // (the original event is still valid at the receiver) and unmatched old
 // sends are annihilated.
+//
+//kernelvet:noalloc
 func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 	if !lp.cluster.kernel.cfg.LazyCancellation {
 		for i := range sent {
@@ -409,6 +425,7 @@ func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 		return
 	}
 	if cap(lp.matchScratch) < len(old) {
+		//kernelvet:allow noalloc amortized: the scratch grows to the LP's peak fanout once and is reused
 		lp.matchScratch = make([]bool, len(old))
 	}
 	matched := lp.matchScratch[:len(old)]
@@ -448,6 +465,8 @@ func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 // takeOldSends removes and returns the rolled-back sends recorded for
 // bundle time t, if any. The removal is a single in-place copy-down, not a
 // splice per element.
+//
+//kernelvet:noalloc
 func (lp *lpRuntime) takeOldSends(t Time) []Event {
 	for i := range lp.oldSends {
 		if lp.oldSends[i].time == t {
@@ -469,6 +488,8 @@ func (lp *lpRuntime) takeOldSends(t Time) []Event {
 // `next`, because execution has provably advanced past any chance of
 // regenerating it (for executeNext, `next` is the bundle about to run; for
 // fossil collection it is GVT). The scan is a single in-place filter.
+//
+//kernelvet:noalloc
 func (lp *lpRuntime) flushOldSends(next Time) {
 	if len(lp.oldSends) == 0 {
 		return
@@ -518,6 +539,9 @@ func (lp *lpRuntime) minPendingCancel() Time {
 // Freed bundles return their event slices to the cluster pool and the
 // processed history is compacted in place, so steady-state fossil
 // collection allocates nothing.
+//
+//kernelvet:deterministic
+//kernelvet:noalloc
 func (lp *lpRuntime) fossilCollect(gvt Time) uint64 {
 	lp.flushOldSends(gvt)
 	idx := sort.Search(len(lp.processed), func(i int) bool { return lp.processed[i].time >= gvt })

@@ -1,0 +1,27 @@
+package timewarp
+
+import "testing"
+
+// TestPublishedProgressSeededIdle pins the published-progress seed: before a
+// cluster goroutine publishes anything, the kernel-wide progress floor must
+// read TimeInfinity (idle), not zero — a zero floor makes every early send
+// look urgent and defeats batching during startup. The seeding store in New
+// was once a plain write on a field otherwise accessed only through
+// sync/atomic (found by the atomics analyzer); this test keeps the seed's
+// value observable through the same atomic read path the kernel uses.
+func TestPublishedProgressSeededIdle(t *testing.T) {
+	a := &pingLP{peer: 1, limit: 1, delay: 1, start: true}
+	b := &pingLP{peer: 0, limit: 1, delay: 1}
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}}, []Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.progressFloor(); got != TimeInfinity {
+		t.Fatalf("fresh kernel progressFloor() = %d, want TimeInfinity", got)
+	}
+	for i := range k.published {
+		if got := k.published[i].t; got != TimeInfinity {
+			t.Fatalf("published[%d] seeded to %d, want TimeInfinity", i, got)
+		}
+	}
+}

@@ -15,6 +15,10 @@ type routeTable struct {
 	epoch int64
 }
 
+// newRouteTable runs during kernel construction, before any cluster
+// goroutine exists, so the seeding writes below need no atomics.
+//
+//kernelvet:single-threaded
 func newRouteTable(clusterOf []int) *routeTable {
 	rt := &routeTable{of: make([]int32, len(clusterOf))}
 	for lp, c := range clusterOf {

@@ -153,6 +153,8 @@ type outbox struct {
 // lowers the outbox minimum: an unchanged minimum was already compared at
 // the previous stage, and maybeFlush re-checks every non-empty outbox once
 // per main-loop iteration as the destination advances.
+//
+//kernelvet:noalloc
 func (c *cluster) stageRemote(dst int, ev Event) {
 	ob := &c.out[dst]
 	if len(ob.buf) == 0 {
@@ -178,6 +180,8 @@ func (c *cluster) stageRemote(dst int, ev Event) {
 // batch unaccounted; a rejected push (destination mailbox full) takes the
 // charge back and leaves the events in the outbox, where localMin still
 // covers them. Returns whether the outbox is now empty.
+//
+//kernelvet:allow determinism the wall clock models the wire's delivery deadline only, never simulation state
 func (c *cluster) flushDst(dst int) bool {
 	ob := &c.out[dst]
 	n := len(ob.buf)
