@@ -3,17 +3,20 @@
 //
 //	go run ./cmd/kernelvet ./...
 //	go run ./cmd/kernelvet -run atomics,ownership ./internal/timewarp
+//	go run ./cmd/kernelvet -json ./... > findings.json
 //
 // It loads the named packages (default ./...), runs every analyzer —
-// directives, atomics, ownership, determinism, noalloc — and prints findings
-// as file:line:col: message (analyzer). Exit status is 1 if anything was
-// found, 2 on usage or load errors, 0 when clean.
+// directives, atomics, ownership, determinism, noalloc, transitbalance,
+// guardedby, poollife, wiresafe — and prints findings as
+// file:line:col: message (analyzer), or as a JSON array with -json. Exit
+// status is 1 if anything was found, 2 on usage or load errors, 0 when clean.
 //
 // The analyzers are driven by the //kernelvet: annotation vocabulary; see
 // the repository README and the internal/analyzers packages for the rules.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +26,12 @@ import (
 	"repro/internal/analyzers/atomics"
 	"repro/internal/analyzers/determinism"
 	"repro/internal/analyzers/directives"
+	"repro/internal/analyzers/guardedby"
 	"repro/internal/analyzers/noalloc"
 	"repro/internal/analyzers/ownership"
+	"repro/internal/analyzers/poollife"
+	"repro/internal/analyzers/transitbalance"
+	"repro/internal/analyzers/wiresafe"
 )
 
 var all = []*analysis.Analyzer{
@@ -33,6 +40,10 @@ var all = []*analysis.Analyzer{
 	ownership.Analyzer,
 	determinism.Analyzer,
 	noalloc.Analyzer,
+	transitbalance.Analyzer,
+	guardedby.Analyzer,
+	poollife.Analyzer,
+	wiresafe.Analyzer,
 }
 
 func main() {
@@ -43,11 +54,12 @@ func run() int {
 	flag.Usage = usage
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	jsonFlag := flag.Bool("json", false, "print findings as a JSON array instead of plain text")
 	flag.Parse()
 
 	if *listFlag {
 		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -77,13 +89,47 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "kernelvet:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonFlag {
+		if err := printJSON(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "kernelvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the stable machine-readable shape of one finding; tools
+// (and the CI problem matcher, which parses the plain-text form) rely on
+// these field names staying put.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Analyzer string `json:"analyzer"`
+}
+
+func printJSON(findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+			Analyzer: f.Analyzer,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
@@ -107,7 +153,7 @@ func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: kernelvet [-run a,b] [-list] [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "usage: kernelvet [-run a,b] [-list] [-json] [packages]\n\n")
 	fmt.Fprintf(os.Stderr, "Runs the kernel-invariant analyzers over the packages (default ./...).\n\nFlags:\n")
 	flag.PrintDefaults()
 }

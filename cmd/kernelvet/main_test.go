@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysis"
+)
+
+// BenchmarkKernelvet measures a full analyzer sweep over the repository —
+// the cost every CI run and pre-commit hook pays. The first iteration pays
+// `go list -export` (or hits its disk cache, see analysis.listPackages);
+// subsequent iterations measure parsing, type checking and the analyzers.
+func BenchmarkKernelvet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Load("../..", "./...")
+		if err != nil {
+			b.Fatalf("loading module packages: %v", err)
+		}
+		findings, err := analysis.RunAnalyzers(res, all)
+		if err != nil {
+			b.Fatalf("running analyzers: %v", err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("kernelvet not clean: %s", findings[0])
+		}
+	}
+}

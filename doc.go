@@ -43,17 +43,25 @@
 //     collection;
 //   - internal/analyzers: the kernel-invariant analyzer suite behind
 //     cmd/kernelvet — a self-contained go/analysis-style framework
-//     (loader, call graph, annotation parser, analysistest harness) and
-//     five analyzers driven by the //kernelvet: vocabulary: atomics
+//     (cached loader, call graph, intraprocedural CFG with a generic
+//     dataflow worklist engine, annotation parser, analysistest harness)
+//     and nine analyzers driven by the //kernelvet: vocabulary: atomics
 //     (fields accessed via sync/atomic anywhere must be atomic
 //     everywhere), ownership (//kernelvet:owner fields only touched from
 //     their //kernelvet:goroutine domain's call tree), determinism
 //     (//kernelvet:deterministic call trees free of wall clocks, global
 //     rand, map iteration, select, and goroutine spawns), noalloc
 //     (//kernelvet:noalloc functions cross-checked against the
-//     compiler's escape analysis), and directives (the vocabulary
-//     itself: placement, arity, reason-bearing allows). CI runs
-//     `go run ./cmd/kernelvet ./...` and the selftest package keeps
+//     compiler's escape analysis), directives (the vocabulary itself:
+//     placement, arity, reason-bearing allows), and four path-sensitive
+//     checks: transitbalance (every //kernelvet:charge of the GVT
+//     in-transit counter reaches exactly one discharge or carrier on all
+//     paths), guardedby (lock-set analysis of //kernelvet:guarded-by
+//     fields, plus lock-order consistency), poollife (pooled objects are
+//     not used after put, put at most once, and never leak at a return),
+//     and wiresafe (//kernelvet:wire types stay flat for a future real
+//     transport). CI runs `go run ./cmd/kernelvet ./...` (with -json and
+//     a GitHub problem matcher available) and the selftest package keeps
 //     `go test ./...` equivalent to it;
 //   - internal/smoketest: the `go build && run` harness behind the cmd/
 //     and examples/ entry-point smoke tests;

@@ -17,6 +17,13 @@
 //   - There are no Facts or Requires; each analyzer recomputes the shared
 //     helpers (annotations, call graph) it needs. The helpers are cheap
 //     relative to type checking.
+//
+// Beyond the driver, the package holds the shared machinery the analyzers
+// build on: the cached go list loader (load.go), the //kernelvet: annotation
+// parser (annot.go), a package-local call graph (callgraph.go), and — for the
+// path-sensitive analyzers — an intraprocedural, statement-granular control
+// flow graph (cfg.go) with a generic forward-dataflow worklist engine
+// (dataflow.go).
 package analysis
 
 import (

@@ -32,6 +32,39 @@ import (
 //	                               that analyzer there; the reason is
 //	                               mandatory by convention and should say why
 //	                               the invariant still holds.
+//
+// The flow-sensitive vocabulary (PR 7 analyzers):
+//
+//	//kernelvet:charge <name>      on a statement (trailing, or the line
+//	                               above): the statement creates one <name>
+//	                               obligation — e.g. an in-transit count
+//	                               increment. Every path from it to a normal
+//	                               return must discharge or hand off the
+//	                               obligation (transitbalance analyzer).
+//	//kernelvet:discharge <name>   on a statement: releases one <name>
+//	                               obligation. A discharge with no
+//	                               intraprocedural charge outstanding releases
+//	                               an obligation charged elsewhere and is not
+//	                               checked.
+//	//kernelvet:carrier <name>     on a statement: the outstanding <name>
+//	                               obligation is handed to a carrier data
+//	                               structure (a pushed batch, a migration
+//	                               payload, a delayed-batch header) that now
+//	                               owns its discharge.
+//	//kernelvet:guarded-by <mutex> on a struct field: every access must happen
+//	                               with the named sibling mutex field held on
+//	                               the same receiver (guardedby analyzer).
+//	//kernelvet:wire               on a type declaration: the type must be
+//	                               flat — recursively free of pointers,
+//	                               slices, maps, chans, funcs, interfaces and
+//	                               strings — so it can cross a serialized
+//	                               transport boundary by plain copy (wiresafe
+//	                               analyzer).
+//	//kernelvet:pool-get           on a method: it hands out a pooled object.
+//	//kernelvet:pool-put           on a method: it returns a pooled object;
+//	                               objects must not be used after it, put at
+//	                               most once, and not leak on early returns
+//	                               (poollife analyzer).
 const (
 	VerbOwner          = "owner"
 	VerbGoroutine      = "goroutine"
@@ -39,6 +72,13 @@ const (
 	VerbNoalloc        = "noalloc"
 	VerbSingleThreaded = "single-threaded"
 	VerbAllow          = "allow"
+	VerbCharge         = "charge"
+	VerbDischarge      = "discharge"
+	VerbCarrier        = "carrier"
+	VerbGuardedBy      = "guarded-by"
+	VerbWire           = "wire"
+	VerbPoolGet        = "pool-get"
+	VerbPoolPut        = "pool-put"
 )
 
 // DirectivePrefix starts every kernelvet annotation comment.
@@ -75,6 +115,23 @@ func ParseDirective(c *ast.Comment) (d Directive, ok bool) {
 	return Directive{Verb: fields[0], Args: fields[1:], Pos: c.Pos()}, true
 }
 
+// FieldGuard is one //kernelvet:guarded-by annotation: Field may only be
+// accessed while the sibling mutex field named MutexName is held on the same
+// receiver. Mutex is the resolved sibling, or nil when no sibling with that
+// name exists (the guardedby analyzer reports that at Pos).
+type FieldGuard struct {
+	Field     *types.Var
+	MutexName string
+	Mutex     *types.Var
+	Pos       token.Pos
+}
+
+// WireType is one //kernelvet:wire annotation on a type declaration.
+type WireType struct {
+	Obj *types.TypeName
+	Pos token.Pos
+}
+
 // Annotations is the package's parsed kernelvet vocabulary, shared by the
 // analyzers.
 type Annotations struct {
@@ -82,6 +139,14 @@ type Annotations struct {
 	Funcs map[*types.Func][]Directive
 	// FieldOwner maps an annotated struct field to its owning domain.
 	FieldOwner map[*types.Var]string
+	// Guards lists the //kernelvet:guarded-by field annotations.
+	Guards []FieldGuard
+	// WireTypes lists the //kernelvet:wire type annotations.
+	WireTypes []WireType
+	// BalanceSites lists the charge/discharge/carrier directives in file
+	// order; the transitbalance analyzer anchors them to statements by
+	// position.
+	BalanceSites []Directive
 	// lineAllows records //kernelvet:allow suppressions by file and line:
 	// a trailing allow covers its own line, a standalone allow comment
 	// covers the following line.
@@ -97,18 +162,22 @@ func ParseAnnotations(pass *Pass) *Annotations {
 	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if fn == nil {
-				continue
-			}
-			for _, c := range fd.Doc.List {
-				if d, ok := ParseDirective(c); ok {
-					a.Funcs[fn] = append(a.Funcs[fn], d)
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Doc == nil {
+					continue
 				}
+				fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				for _, c := range decl.Doc.List {
+					if d, ok := ParseDirective(c); ok {
+						a.Funcs[fn] = append(a.Funcs[fn], d)
+					}
+				}
+			case *ast.GenDecl:
+				a.parseTypeDecl(pass, decl)
 			}
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -123,12 +192,24 @@ func ParseAnnotations(pass *Pass) *Annotations {
 					}
 					for _, c := range group.List {
 						d, ok := ParseDirective(c)
-						if !ok || d.Verb != VerbOwner || len(d.Args) != 1 {
+						if !ok {
 							continue
 						}
-						for _, name := range field.Names {
-							if fv, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
-								a.FieldOwner[fv] = d.Args[0]
+						switch {
+						case d.Verb == VerbOwner && len(d.Args) == 1:
+							for _, name := range field.Names {
+								if fv, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+									a.FieldOwner[fv] = d.Args[0]
+								}
+							}
+						case d.Verb == VerbGuardedBy && len(d.Args) == 1:
+							mu := siblingField(pass, st, d.Args[0])
+							for _, name := range field.Names {
+								if fv, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+									a.Guards = append(a.Guards, FieldGuard{
+										Field: fv, MutexName: d.Args[0], Mutex: mu, Pos: d.Pos,
+									})
+								}
 							}
 						}
 					}
@@ -139,27 +220,84 @@ func ParseAnnotations(pass *Pass) *Annotations {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
 				d, ok := ParseDirective(c)
-				if !ok || d.Verb != VerbAllow || len(d.Args) == 0 {
+				if !ok {
 					continue
 				}
-				pos := pass.Fset.Position(c.Pos())
-				lines := a.lineAllows[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					a.lineAllows[pos.Filename] = lines
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set := lines[line]
-					if set == nil {
-						set = make(map[string]bool)
-						lines[line] = set
+				switch d.Verb {
+				case VerbAllow:
+					if len(d.Args) == 0 {
+						continue
 					}
-					set[d.Args[0]] = true
+					pos := pass.Fset.Position(c.Pos())
+					lines := a.lineAllows[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						a.lineAllows[pos.Filename] = lines
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := lines[line]
+						if set == nil {
+							set = make(map[string]bool)
+							lines[line] = set
+						}
+						set[d.Args[0]] = true
+					}
+				case VerbCharge, VerbDischarge, VerbCarrier:
+					if len(d.Args) == 1 {
+						a.BalanceSites = append(a.BalanceSites, d)
+					}
 				}
 			}
 		}
 	}
 	return a
+}
+
+// parseTypeDecl collects //kernelvet:wire directives from a type declaration:
+// the GenDecl doc (the common `type X struct` form) applies to a sole spec,
+// and per-spec docs/comments cover grouped declarations.
+func (a *Annotations) parseTypeDecl(pass *Pass, decl *ast.GenDecl) {
+	if decl.Tok != token.TYPE {
+		return
+	}
+	collect := func(group *ast.CommentGroup, spec *ast.TypeSpec) {
+		if group == nil || spec == nil {
+			return
+		}
+		for _, c := range group.List {
+			d, ok := ParseDirective(c)
+			if !ok || d.Verb != VerbWire {
+				continue
+			}
+			if tn, ok := pass.TypesInfo.Defs[spec.Name].(*types.TypeName); ok {
+				a.WireTypes = append(a.WireTypes, WireType{Obj: tn, Pos: d.Pos})
+			}
+		}
+	}
+	if len(decl.Specs) == 1 {
+		spec, _ := decl.Specs[0].(*ast.TypeSpec)
+		collect(decl.Doc, spec)
+	}
+	for _, s := range decl.Specs {
+		if spec, ok := s.(*ast.TypeSpec); ok {
+			collect(spec.Doc, spec)
+			collect(spec.Comment, spec)
+		}
+	}
+}
+
+// siblingField resolves a field of st by name, for guarded-by mutex lookup.
+func siblingField(pass *Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				if fv, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+					return fv
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // FuncDirective returns fn's directive with the given verb, if any.

@@ -30,10 +30,15 @@ func (n *FuncNode) Name() string {
 	return "function literal"
 }
 
-// CallGraph is the package-local static call graph. Dynamic calls (interface
-// methods, func-typed fields and variables) are not resolved: the kernel's
-// checked invariants all sit on concrete call paths, and an unresolved edge
-// can only make the analyzers miss, never misreport.
+// CallGraph is the package-local static call graph. Calls through interface
+// methods and func-typed fields are not resolved — the kernel's checked
+// invariants all sit on concrete call paths — but *references* to declared
+// functions and methods (a method value like `c.run` passed as an argument,
+// stored in a variable, or deferred through a wrapper) produce conservative
+// Calls edges from the referencing function: a referenced function may be
+// invoked wherever its value flows, and the referencing goroutine is the
+// closest sound anchor the package-local graph has. Deferred calls run on
+// their function's own goroutine and are ordinary Calls edges.
 type CallGraph struct {
 	ByObj map[*types.Func]*FuncNode
 	ByLit map[*ast.FuncLit]*FuncNode
@@ -78,11 +83,40 @@ func BuildCallGraph(pass *Pass) *CallGraph {
 }
 
 // walk records cur's edges, descending into nested literals with their own
-// nodes.
+// nodes. Besides direct calls (including deferred ones — ast.Inspect descends
+// into DeferStmt like any statement), it records a conservative Calls edge for
+// every *reference* to a declared function or method outside call position: a
+// method value stored or passed as an argument may be invoked anywhere its
+// value flows, so the referencing function adopts it as a possible callee.
 func (g *CallGraph) walk(pass *Pass, cur *FuncNode, body ast.Node) {
+	// First pass: mark expressions in direct call position (and the
+	// identifiers composing them) so the reference scan below doesn't
+	// double-count each call's own Fun.
+	funPos := make(map[ast.Node]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
+			return n == body
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			funPos[fun] = true
+			switch fun := fun.(type) {
+			case *ast.SelectorExpr:
+				funPos[fun.Sel] = true
+			case *ast.IndexExpr:
+				funPos[fun.X] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n == body {
+				return true
+			}
 			lit := &FuncNode{Lit: n, Body: n.Body}
 			g.ByLit[n] = lit
 			g.Nodes = append(g.Nodes, lit)
@@ -94,9 +128,47 @@ func (g *CallGraph) walk(pass *Pass, cur *FuncNode, body ast.Node) {
 			return false
 		case *ast.CallExpr:
 			g.addCall(pass, cur, n)
+		case *ast.SelectorExpr:
+			// Method value (v.m) or qualified reference (pkg.F) used as a
+			// value. Mark the Sel so the Ident case doesn't re-add it.
+			if funPos[n] {
+				return true
+			}
+			if fn := selectedFunc(pass.TypesInfo, n); fn != nil {
+				funPos[n.Sel] = true
+				g.addRef(cur, fn)
+			}
+		case *ast.Ident:
+			if funPos[n] {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[n].(*types.Func); ok {
+				g.addRef(cur, fn)
+			}
 		}
 		return true
 	})
+}
+
+// selectedFunc resolves a non-call selector expression to a function object:
+// method values through the selection, package-qualified functions and method
+// expressions through Uses.
+func selectedFunc(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := info.Selections[sel]; ok {
+		fn, _ := s.Obj().(*types.Func)
+		return fn
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// addRef records a conservative same-goroutine edge to a referenced function.
+func (g *CallGraph) addRef(cur *FuncNode, fn *types.Func) {
+	if node, ok := g.ByObj[fn]; ok {
+		cur.Calls = append(cur.Calls, node)
+		return
+	}
+	cur.External = append(cur.External, fn)
 }
 
 // addGo records a go statement: the launched function becomes a GoLaunches

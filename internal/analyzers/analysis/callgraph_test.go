@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// loadCallGraph type-checks the cg fixture and builds its call graph.
+func loadCallGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	res, err := Load("testdata", "./src/cg")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if len(res.Analyzed) != 1 {
+		t.Fatalf("got %d analyzed packages, want 1", len(res.Analyzed))
+	}
+	pkg := res.Analyzed[0]
+	pass := &Pass{
+		Fset:      res.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Dir:       pkg.Dir,
+		Report:    func(Diagnostic) {},
+	}
+	return BuildCallGraph(pass)
+}
+
+// nodeNamed finds a declared function's node by name.
+func nodeNamed(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for obj, node := range g.ByObj {
+		if obj.Name() == name {
+			return node
+		}
+	}
+	t.Fatalf("no node for %q", name)
+	return nil
+}
+
+func callEdges(from *FuncNode, to *FuncNode) int {
+	n := 0
+	for _, c := range from.Calls {
+		if c == to {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := loadCallGraph(t)
+	target := nodeNamed(t, g, "target")
+	m := nodeNamed(t, g, "m")
+	run := nodeNamed(t, g, "run")
+
+	// A direct call produces exactly one edge: the reference scan must not
+	// double-count the call's own Fun.
+	if n := callEdges(nodeNamed(t, g, "direct"), target); n != 1 {
+		t.Errorf("direct→target: %d call edges, want 1", n)
+	}
+
+	// Deferred calls are ordinary same-goroutine edges.
+	if callEdges(nodeNamed(t, g, "deferred"), target) == 0 {
+		t.Error("deferred→target edge missing: defer statements must be traversed")
+	}
+
+	// A method value (s.m with no call) is a conservative edge.
+	if callEdges(nodeNamed(t, g, "methodValue"), m) == 0 {
+		t.Error("methodValue→S.m edge missing: method-value references must be recorded")
+	}
+
+	// Passing a function as an argument yields both the direct edge to the
+	// wrapper and a conservative edge to the value.
+	funcArg := nodeNamed(t, g, "funcArg")
+	if callEdges(funcArg, run) != 1 {
+		t.Error("funcArg→run direct edge missing or duplicated")
+	}
+	if callEdges(funcArg, target) == 0 {
+		t.Error("funcArg→target edge missing: function values passed as arguments must be recorded")
+	}
+
+	// go target() is a launch, never a same-goroutine call.
+	launcher := nodeNamed(t, g, "launcher")
+	if callEdges(launcher, target) != 0 {
+		t.Error("launcher→target must not be a Calls edge")
+	}
+	launched := false
+	for _, n := range launcher.GoLaunches {
+		if n == target {
+			launched = true
+		}
+	}
+	if !launched {
+		t.Error("launcher→target GoLaunches edge missing")
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import "go/ast"
+
+// dataflow.go is the shared worklist engine under the flow-sensitive
+// analyzers: a forward, iterate-to-fixpoint solver over a BuildCFG graph. The
+// lattice is supplied by the client as four functions over an opaque state
+// type; the engine owns only the iteration order and convergence test.
+//
+// States are treated as immutable values by the engine: Transfer and Join
+// receive a Clone of any state the engine retains, so clients may mutate
+// their inputs freely (the analyzers' states are small maps).
+type Dataflow[S any] struct {
+	// Init is the state on entry to the function.
+	Init S
+	// Transfer applies one node's effect. It may mutate and return its
+	// argument.
+	Transfer func(S, ast.Node) S
+	// Join merges two states where paths meet. It may mutate and return its
+	// first argument.
+	Join func(S, S) S
+	// Equal is the convergence test.
+	Equal func(S, S) bool
+	// Clone deep-copies a state.
+	Clone func(S) S
+}
+
+// Solve runs the analysis to fixpoint and returns the state at entry to each
+// reachable block. Blocks absent from the result were never reached (detached
+// unreachable code, or an empty select's aftermath). Termination relies on
+// the client's lattice having finite height — every analyzer here uses small
+// finite maps, and a non-converging lattice is a client bug the engine caps
+// with a generous iteration budget rather than hanging the build.
+func (d *Dataflow[S]) Solve(g *CFG) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = d.Clone(d.Init)
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	// Budget: each edge can only be re-traversed once per lattice level; the
+	// analyzer states are tiny, so this cap is never hit in practice and
+	// exists purely to turn an impossible livelock into a finished (if
+	// incomplete) analysis.
+	budget := 64 * (len(g.Blocks) + 1) * (len(g.Blocks) + 1)
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		s := d.FlowThrough(d.Clone(in[b]), b, nil)
+		for _, succ := range b.Succs {
+			old, reached := in[succ]
+			var next S
+			if !reached {
+				next = d.Clone(s)
+			} else {
+				next = d.Join(d.Clone(old), s)
+			}
+			if !reached || !d.Equal(next, old) {
+				in[succ] = next
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// FlowThrough replays one block from state s, invoking visit (if non-nil)
+// with the state in force *before* each node, and returns the block's out
+// state. Analyzers use it with a visit callback for the reporting pass after
+// Solve has converged.
+func (d *Dataflow[S]) FlowThrough(s S, b *Block, visit func(S, ast.Node)) S {
+	for _, n := range b.Nodes {
+		if visit != nil {
+			visit(s, n)
+		}
+		s = d.Transfer(s, n)
+	}
+	return s
+}
+
+// Report runs the converged solution through every reachable block, calling
+// visit with the in-force state before each node. The common tail of every
+// flow-sensitive analyzer.
+func (d *Dataflow[S]) Report(g *CFG, in map[*Block]S, visit func(S, ast.Node)) {
+	for _, b := range g.Blocks {
+		s, reached := in[b]
+		if !reached {
+			continue
+		}
+		d.FlowThrough(d.Clone(s), b, visit)
+	}
+}

@@ -1,0 +1,40 @@
+// Package cg is the call-graph regression fixture: functions that are
+// deferred, taken as method values, or passed as arguments must produce
+// edges from the referencing function.
+package cg
+
+type S struct{ n int }
+
+func (s S) m() int { return s.n }
+
+func target() {}
+
+func run(f func()) { f() }
+
+// direct has a plain call edge to target.
+func direct() { target() }
+
+// deferred defers target; the edge must still appear as an ordinary call.
+func deferred() {
+	defer target()
+}
+
+// methodValue stores a method value; the graph must record a conservative
+// edge to S.m even though no call appears here.
+func methodValue(s S) func() int {
+	g := s.m
+	return g
+}
+
+// funcArg passes target as a value into run: one direct edge to run, one
+// conservative edge to target.
+func funcArg() {
+	run(target)
+}
+
+// launcher starts target on a new goroutine: a GoLaunches edge, not a call.
+func launcher() {
+	go target()
+}
+
+var _ = []interface{}{direct, deferred, methodValue, funcArg, launcher}

@@ -11,15 +11,26 @@
 //	deterministic             no args, in a function doc comment
 //	noalloc                   no args, in a function doc comment
 //	single-threaded           no args, in a function doc comment
+//	charge <name>             exactly one arg, on or above a statement
+//	discharge <name>          exactly one arg, on or above a statement
+//	carrier <name>            exactly one arg, on or above a statement
+//	guarded-by <mutexField>   exactly one arg, on a struct field
+//	wire                      no args, in a type declaration's doc comment
+//	pool-get                  no args, in a function doc comment
+//	pool-put                  no args, in a function doc comment
 //	allow <analyzer> <reason> in a function doc comment or on/above the
-//	                          offending line; the analyzer must be one of
-//	                          atomics, ownership, determinism, noalloc, and
-//	                          the reason is mandatory
+//	                          offending line; the analyzer must be a known
+//	                          analyzer name and the reason is mandatory
+//
+// The balance verbs (charge, discharge, carrier) name the transit counter
+// they act on; the name ties charge sites to the discharge/carrier sites the
+// transitbalance analyzer must pair them with, so it is mandatory.
 package directives
 
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"sort"
 	"strings"
 
@@ -35,10 +46,14 @@ var Analyzer = &analysis.Analyzer{
 
 // Allowable are the analyzer names //kernelvet:allow accepts.
 var Allowable = map[string]bool{
-	"atomics":     true,
-	"ownership":   true,
-	"determinism": true,
-	"noalloc":     true,
+	"atomics":        true,
+	"ownership":      true,
+	"determinism":    true,
+	"noalloc":        true,
+	"transitbalance": true,
+	"guardedby":      true,
+	"poollife":       true,
+	"wiresafe":       true,
 }
 
 // placement describes where a directive comment physically sits.
@@ -48,6 +63,7 @@ const (
 	placeOther placement = iota // free-standing or trailing a statement
 	placeFuncDoc
 	placeField
+	placeTypeDoc
 )
 
 func run(pass *analysis.Pass) error {
@@ -78,8 +94,25 @@ func classify(file *ast.File) map[*ast.Comment]placement {
 		}
 	}
 	for _, decl := range file.Decls {
-		if fd, ok := decl.(*ast.FuncDecl); ok {
-			mark(fd.Doc, placeFuncDoc)
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			mark(decl.Doc, placeFuncDoc)
+		case *ast.GenDecl:
+			if decl.Tok != token.TYPE {
+				continue
+			}
+			// The decl-level doc names a specific type only for an ungrouped
+			// declaration; in a group it is ambiguous and the annotation
+			// parser ignores it, so leave it placeOther to get it flagged.
+			if len(decl.Specs) == 1 {
+				mark(decl.Doc, placeTypeDoc)
+			}
+			for _, spec := range decl.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok {
+					mark(ts.Doc, placeTypeDoc)
+					mark(ts.Comment, placeTypeDoc)
+				}
+			}
 		}
 	}
 	ast.Inspect(file, func(n ast.Node) bool {
@@ -114,6 +147,30 @@ func check(pass *analysis.Pass, d analysis.Directive, place placement) {
 			return
 		}
 		requireArgs(pass, d, 0, d.Verb)
+	case analysis.VerbCharge, analysis.VerbDischarge, analysis.VerbCarrier:
+		if place != placeOther {
+			pass.Reportf(d.Pos, "kernelvet:%s belongs on or above the statement it annotates", d.Verb)
+			return
+		}
+		requireArgs(pass, d, 1, d.Verb+" <name>")
+	case analysis.VerbGuardedBy:
+		if place != placeField {
+			pass.Reportf(d.Pos, "kernelvet:guarded-by belongs on a struct field")
+			return
+		}
+		requireArgs(pass, d, 1, "guarded-by <mutexField>")
+	case analysis.VerbWire:
+		if place != placeTypeDoc {
+			pass.Reportf(d.Pos, "kernelvet:wire belongs in a type declaration's doc comment")
+			return
+		}
+		requireArgs(pass, d, 0, d.Verb)
+	case analysis.VerbPoolGet, analysis.VerbPoolPut:
+		if place != placeFuncDoc {
+			pass.Reportf(d.Pos, "kernelvet:%s belongs in a function doc comment", d.Verb)
+			return
+		}
+		requireArgs(pass, d, 0, d.Verb)
 	case analysis.VerbAllow:
 		if place == placeField {
 			pass.Reportf(d.Pos, "kernelvet:allow belongs in a function doc comment or on the offending line, not on a struct field")
@@ -127,7 +184,7 @@ func check(pass *analysis.Pass, d analysis.Directive, place placement) {
 			pass.Reportf(d.Pos, "kernelvet:allow %s needs a reason explaining why the invariant still holds", d.Args[0])
 		}
 	default:
-		pass.Reportf(d.Pos, "unknown kernelvet directive %q (known: owner, goroutine, deterministic, noalloc, single-threaded, allow)", d.Verb)
+		pass.Reportf(d.Pos, "unknown kernelvet directive %q (known: owner, goroutine, deterministic, noalloc, single-threaded, charge, discharge, carrier, guarded-by, wire, pool-get, pool-put, allow)", d.Verb)
 	}
 }
 

@@ -32,9 +32,64 @@ func misGoroutine() {}
 
 func misPlaced() {
 	//kernelvet:deterministic // want `kernelvet:deterministic belongs in a function doc comment`
-	x := 1 //kernelvet:allow spellcheck because // want `kernelvet:allow needs an analyzer name \(one of atomics, determinism, noalloc, ownership\)`
+	x := 1 //kernelvet:allow spellcheck because // want `kernelvet:allow needs an analyzer name \(one of atomics, determinism, guardedby, noalloc, ownership, poollife, transitbalance, wiresafe\)`
 	y := 2 //kernelvet:allow atomics // want `kernelvet:allow atomics needs a reason`
 	_, _ = x, y
+}
+
+type guarded struct {
+	mu  int
+	a   int //kernelvet:guarded-by mu
+	bad int //kernelvet:guarded-by // want `kernelvet:guarded-by takes exactly one argument`
+}
+
+// misGuard puts guarded-by where no field exists.
+//
+//kernelvet:guarded-by mu // want `kernelvet:guarded-by belongs on a struct field`
+func misGuard() {}
+
+// flat is a well-formed wire type.
+//
+//kernelvet:wire
+type flat struct{ v int32 }
+
+// misWireArgs gives wire an argument.
+//
+//kernelvet:wire v // want `kernelvet:wire takes 0 arguments`
+type misWireArgs struct{ v int32 }
+
+// misWire puts wire in a function doc comment.
+//
+//kernelvet:wire // want `kernelvet:wire belongs in a type declaration's doc comment`
+func misWire() {}
+
+// getBuf is a well-formed pool accessor pair member.
+//
+//kernelvet:pool-get
+func getBuf() []byte { return nil }
+
+//kernelvet:pool-put
+func putBuf([]byte) {}
+
+func balanceSites(ok bool) {
+	//kernelvet:charge red
+	x := 1
+	if ok {
+		x++ //kernelvet:discharge red
+	} else {
+		x-- //kernelvet:carrier red
+	}
+	//kernelvet:charge // want `kernelvet:charge takes exactly one argument`
+	_ = x
+}
+
+// misCharge puts a balance verb in a function doc comment.
+//
+//kernelvet:discharge red // want `kernelvet:discharge belongs on or above the statement it annotates`
+func misCharge() {}
+
+type misChargeField struct {
+	n int //kernelvet:carrier red // want `kernelvet:carrier belongs on or above the statement it annotates`
 }
 
 // wellFormed exercises every valid spelling; nothing below is reported.
@@ -48,4 +103,6 @@ func wellFormed() {
 	_ = 3 //kernelvet:allow noalloc amortized growth
 }
 
-var _ = [...]interface{}{misOwner, misVerb, misArgs, misGoroutine, misPlaced, wellFormed}
+var _ = [...]interface{}{misOwner, misVerb, misArgs, misGoroutine, misPlaced, wellFormed,
+	misGuard, misWire, getBuf, putBuf, balanceSites, misCharge,
+	guarded{}, flat{}, misWireArgs{}, misChargeField{}}

@@ -1,0 +1,279 @@
+// Package guardedby implements the kernelvet lock-discipline analyzer.
+//
+// Rule: a struct field annotated //kernelvet:guarded-by <mutexField> may only
+// be accessed while the named sibling mutex is held on the same receiver. The
+// analysis is a forward must-hold lock-set dataflow over each function's CFG:
+// a mutex enters the set at a Lock/RLock call and leaves it at Unlock/RUnlock;
+// where paths meet, the sets intersect (the lock must be held on *every* path
+// into the access). A deferred Unlock runs at function exit, so it does not
+// remove the lock mid-body — the usual Lock-then-defer-Unlock idiom keeps the
+// set populated for the rest of the function.
+//
+// Lock identity is syntactic: the mutex field variable plus the printed
+// receiver expression, so `m.mu.Lock()` guards accesses spelled through the
+// same `m`. Aliasing the receiver defeats the match and reports a false
+// positive — the kernel spells guarded accesses directly, and a fixture
+// demonstrates the supported shapes.
+//
+// The analyzer also watches lock acquisition order: acquiring mutex B while
+// holding mutex A records the edge A→B, and a package containing both A→B and
+// B→A is reported at both sites (the classic deadlock shape). Edges between
+// two instances of the *same* mutex field (e.g. two mailboxes' mu) are not
+// checked — instance order cannot be validated statically.
+//
+// Functions annotated //kernelvet:single-threaded are exempt (construction
+// and post-shutdown, when no other goroutine can observe the fields), and
+// //kernelvet:allow guardedby <reason> suppresses a site.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyzers/analysis"
+)
+
+const name = "guardedby"
+
+// Analyzer is the lock-discipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "//kernelvet:guarded-by fields must be accessed with their mutex held, in a consistent order",
+	Run:  run,
+}
+
+// lockKey identifies one held mutex: the mutex variable (a struct field or a
+// package/local var) plus the printed receiver path it was locked through.
+type lockKey struct {
+	mu   *types.Var
+	recv string
+}
+
+// lockSet is the must-hold state: every key is held on all paths reaching the
+// program point.
+type lockSet map[lockKey]bool
+
+// orderEdge is a recorded acquisition: to was locked while from was held.
+type orderEdge struct {
+	from, to *types.Var
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ParseAnnotations(pass)
+	if len(ann.Guards) == 0 {
+		return nil
+	}
+	guards := make(map[*types.Var]analysis.FieldGuard, len(ann.Guards))
+	for _, g := range ann.Guards {
+		if g.Mutex == nil {
+			pass.Reportf(g.Pos, "kernelvet:guarded-by names %s, but the struct has no such sibling field", g.MutexName)
+			continue
+		}
+		guards[g.Field] = g
+	}
+
+	order := make(map[orderEdge]token.Pos)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn != nil {
+				if _, st := ann.FuncDirective(fn, analysis.VerbSingleThreaded); st {
+					continue
+				}
+			}
+			checkBody(pass, ann, fn, fd.Body, guards, order)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A literal runs with its own (unknown) lock context:
+					// start from the empty must-hold set.
+					checkBody(pass, ann, fn, lit.Body, guards, order)
+				}
+				return true
+			})
+		}
+	}
+
+	// Inconsistent acquisition order: both directions recorded between two
+	// distinct mutexes.
+	edges := make([]orderEdge, 0, len(order))
+	for e := range order {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		pi, pj := order[edges[i]], order[edges[j]]
+		return pi < pj
+	})
+	for _, e := range edges {
+		rev := orderEdge{from: e.to, to: e.from}
+		if revPos, ok := order[rev]; ok && e.from != e.to {
+			pass.Reportf(order[e], "lock %s acquired while %s is held, but the opposite order occurs at %s",
+				e.to.Name(), e.from.Name(), pass.Fset.Position(revPos))
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, ann *analysis.Annotations, fn *types.Func, body *ast.BlockStmt, guards map[*types.Var]analysis.FieldGuard, order map[orderEdge]token.Pos) {
+	g := analysis.BuildCFG(body)
+	d := &analysis.Dataflow[lockSet]{
+		Init: lockSet{},
+		Transfer: func(s lockSet, n ast.Node) lockSet {
+			applyLockOps(pass, s, n, nil)
+			return s
+		},
+		Join: func(a, b lockSet) lockSet {
+			for k := range a {
+				if !b[k] {
+					delete(a, k)
+				}
+			}
+			return a
+		},
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s lockSet) lockSet {
+			c := make(lockSet, len(s))
+			for k := range s {
+				c[k] = true
+			}
+			return c
+		},
+	}
+	in := d.Solve(g)
+	d.Report(g, in, func(s lockSet, n ast.Node) {
+		// Replay the node's lock operations incrementally so an access after
+		// a Lock in the same node sees the updated set, and record order
+		// edges from the exact held-set at each acquisition.
+		cur := d.Clone(s)
+		analysis.InspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if applyOneLockOp(pass, cur, n, call, order) {
+					return false // don't scan the lock receiver as an access
+				}
+			}
+			if sel, ok := m.(*ast.SelectorExpr); ok {
+				checkAccess(pass, ann, fn, cur, sel, guards)
+			}
+			return true
+		})
+	})
+}
+
+// applyLockOps applies every Lock/Unlock call inside node to the set.
+func applyLockOps(pass *analysis.Pass, s lockSet, node ast.Node, order map[orderEdge]token.Pos) {
+	analysis.InspectShallow(node, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if applyOneLockOp(pass, s, node, call, order) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// applyOneLockOp interprets one call as a mutex operation, returning whether
+// it was one. A deferred Unlock (the enclosing node is a DeferStmt) runs at
+// function exit and leaves the mid-body set untouched.
+func applyOneLockOp(pass *analysis.Pass, s lockSet, node ast.Node, call *ast.CallExpr, order map[orderEdge]token.Pos) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	verb := sel.Sel.Name
+	switch verb {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	key, ok := lockKeyOf(pass, sel.X)
+	if !ok {
+		return false
+	}
+	_, deferred := node.(*ast.DeferStmt)
+	switch verb {
+	case "Lock", "RLock":
+		if order != nil {
+			for held := range s {
+				if held.mu != key.mu {
+					order[orderEdge{from: held.mu, to: key.mu}] = call.Pos()
+				}
+			}
+		}
+		s[key] = true
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(s, key)
+		}
+	}
+	return true
+}
+
+// lockKeyOf resolves the expression a Lock method was called on to a mutex
+// identity: a sync.Mutex/RWMutex-typed field selector (key: field var +
+// printed receiver) or a plain variable (key: var + empty receiver).
+func lockKeyOf(pass *analysis.Pass, expr ast.Expr) (lockKey, bool) {
+	switch expr := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[expr.Sel].(*types.Var); ok && v.IsField() && isMutex(v.Type()) {
+			return lockKey{mu: v, recv: types.ExprString(expr.X)}, true
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[expr].(*types.Var); ok && isMutex(v.Type()) {
+			return lockKey{mu: v}, true
+		}
+	}
+	return lockKey{}, false
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (or a pointer to
+// one).
+func isMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkAccess reports a guarded-field access whose mutex is not in the
+// must-hold set under the same receiver.
+func checkAccess(pass *analysis.Pass, ann *analysis.Annotations, fn *types.Func, s lockSet, sel *ast.SelectorExpr, guards map[*types.Var]analysis.FieldGuard) {
+	fv, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !fv.IsField() {
+		return
+	}
+	guard, ok := guards[fv]
+	if !ok {
+		return
+	}
+	key := lockKey{mu: guard.Mutex, recv: types.ExprString(sel.X)}
+	if s[key] {
+		return
+	}
+	if ann.AllowsAt(pass.Fset, sel.Pos(), fn, name) {
+		return
+	}
+	pass.Reportf(sel.Pos(), "field %s accessed without holding %s.%s", fv.Name(), key.recv, guard.MutexName)
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/guardedby"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "a")
+}

@@ -1,0 +1,115 @@
+// Package a is the guardedby fixture: fields guarded by sibling mutexes,
+// accessed with and without the lock, plus an acquisition-order cycle.
+package a
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	buf []int //kernelvet:guarded-by mu
+	n   int   //kernelvet:guarded-by mu
+}
+
+func locked(b *box) {
+	b.mu.Lock()
+	b.buf = append(b.buf, 1)
+	b.n++
+	b.mu.Unlock()
+}
+
+// deferredUnlock keeps the lock held to the end of the function.
+func deferredUnlock(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+func unlocked(b *box) int {
+	return b.n // want `field n accessed without holding b.mu`
+}
+
+func afterUnlock(b *box) {
+	b.mu.Lock()
+	b.buf = b.buf[:0]
+	b.mu.Unlock()
+	b.n = 0 // want `field n accessed without holding b.mu`
+}
+
+// onePathOnly holds the lock on only one of the joining paths; must-hold
+// intersection flags the access.
+func onePathOnly(b *box, ok bool) {
+	if ok {
+		b.mu.Lock()
+	}
+	b.n++ // want `field n accessed without holding b.mu`
+	if ok {
+		b.mu.Unlock()
+	}
+}
+
+// wrongReceiver holds one instance's mutex while touching another instance.
+func wrongReceiver(a, b *box) {
+	a.mu.Lock()
+	a.n = 1
+	b.n = 1 // want `field n accessed without holding b.mu`
+	a.mu.Unlock()
+}
+
+// inLiteral runs later, outside the creating function's lock context.
+func inLiteral(b *box) func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() {
+		b.n++ // want `field n accessed without holding b.mu`
+	}
+}
+
+// literalLocks is the clean version: the literal takes the lock itself.
+func literalLocks(b *box) func() {
+	return func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+}
+
+//kernelvet:single-threaded
+func newBox() *box {
+	b := &box{}
+	b.n = 1
+	return b
+}
+
+func allowed(b *box) int {
+	return len(b.buf) //kernelvet:allow guardedby diagnostic-only racy read of the length
+}
+
+type pair struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	a   int //kernelvet:guarded-by muA
+	b   int //kernelvet:guarded-by muB
+}
+
+func lockAB(p *pair) {
+	p.muA.Lock()
+	p.muB.Lock() // want `lock muB acquired while muA is held, but the opposite order occurs at `
+	p.a, p.b = 1, 1
+	p.muB.Unlock()
+	p.muA.Unlock()
+}
+
+func lockBA(p *pair) {
+	p.muB.Lock()
+	p.muA.Lock() // want `lock muA acquired while muB is held, but the opposite order occurs at `
+	p.a, p.b = 2, 2
+	p.muA.Unlock()
+	p.muB.Unlock()
+}
+
+type orphan struct {
+	x int //kernelvet:guarded-by missing // want `kernelvet:guarded-by names missing, but the struct has no such sibling field`
+}
+
+var _ = []interface{}{locked, deferredUnlock, unlocked, afterUnlock, onePathOnly,
+	wrongReceiver, inLiteral, literalLocks, newBox, allowed, lockAB, lockBA, orphan{}}

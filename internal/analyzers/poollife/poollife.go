@@ -1,0 +1,414 @@
+// Package poollife implements the kernelvet pooled-object lifecycle analyzer.
+//
+// Rule: a local variable bound to the result of a //kernelvet:pool-get method
+// must, on every path to a normal function exit, be released exactly once —
+// passed to a //kernelvet:pool-put method — or escape into a longer-lived
+// structure that takes over ownership (stored in a field, appended, returned,
+// passed to any other function). After the put the variable is dead: using it
+// again replays recycled memory, and putting it again corrupts the pool.
+//
+// The analysis is a forward dataflow over the function's CFG. Each tracked
+// variable carries the set of its possible states {live, released}, joined by
+// union where paths meet:
+//
+//   - any use of a possibly-released variable is a use-after-put;
+//   - a put of a possibly-released variable is a double put;
+//   - a return (or fall-off-the-end) with a possibly-live variable is a leak.
+//
+// Escapes drop the variable from the state entirely — ownership moved, and
+// both the leak and the use-after-put obligations move with it. Reassigning
+// the variable likewise ends tracking of the old object (the assignment is
+// itself a leak if the old object was still live — reported at the
+// assignment). Paths into panic are not checked, matching transitbalance.
+//
+// //kernelvet:allow poollife <reason> suppresses a site.
+package poollife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyzers/analysis"
+)
+
+const name = "poollife"
+
+// Analyzer is the pooled-object lifecycle analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "pooled objects must not be used after put, put at most once, and not leak on early returns",
+	Run:  run,
+}
+
+// Possible-state bits of one tracked variable.
+const (
+	stLive     = 1 << iota // holds a pooled object not yet put
+	stReleased             // was passed to pool-put
+)
+
+// poolState maps each tracked variable to the union of its possible states.
+// Absent variables are untracked: never pooled, or ownership escaped.
+type poolState map[*types.Var]uint8
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ParseAnnotations(pass)
+	gets, puts := poolFuncs(ann)
+	if len(gets) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			checkBody(pass, ann, fn, fd.Body, gets, puts)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, ann, fn, lit.Body, gets, puts)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// poolFuncs collects the annotated pool entry points.
+func poolFuncs(ann *analysis.Annotations) (gets, puts map[*types.Func]bool) {
+	gets = make(map[*types.Func]bool)
+	puts = make(map[*types.Func]bool)
+	for fn, ds := range ann.Funcs {
+		for _, d := range ds {
+			switch d.Verb {
+			case analysis.VerbPoolGet:
+				gets[fn] = true
+			case analysis.VerbPoolPut:
+				puts[fn] = true
+			}
+		}
+	}
+	return gets, puts
+}
+
+func checkBody(pass *analysis.Pass, ann *analysis.Annotations, fn *types.Func, body *ast.BlockStmt, gets, puts map[*types.Func]bool) {
+	// getPositions records where each tracked variable was bound, for
+	// fall-off-the-end leak reports.
+	getPositions := make(map[*types.Var]token.Pos)
+	d := &analysis.Dataflow[poolState]{
+		Init: poolState{},
+		Transfer: func(s poolState, n ast.Node) poolState {
+			applyNode(pass, s, n, gets, puts, getPositions, nil)
+			return s
+		},
+		Join: func(a, b poolState) poolState {
+			for v := range a {
+				if m, ok := b[v]; ok {
+					a[v] |= m
+				} else {
+					delete(a, v) // escaped on one path: ownership unclear, stop tracking
+				}
+			}
+			return a
+		},
+		Equal: func(a, b poolState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for v, m := range a {
+				if b[v] != m {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s poolState) poolState {
+			c := make(poolState, len(s))
+			for v, m := range s {
+				c[v] = m
+			}
+			return c
+		},
+	}
+	g := analysis.BuildCFG(body)
+	in := d.Solve(g)
+
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !ann.AllowsAt(pass.Fset, pos, fn, name) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	d.Report(g, in, func(s poolState, n ast.Node) {
+		applyNode(pass, d.Clone(s), n, gets, puts, getPositions, report)
+	})
+	// Leaks: a block edging into Exit with a possibly-live variable.
+	for _, b := range g.Blocks {
+		s, reached := in[b]
+		if !reached || !edgesTo(b, g.Exit) {
+			continue
+		}
+		out := d.FlowThrough(d.Clone(s), b, nil)
+		for _, v := range sortedVars(out) {
+			if out[v]&stLive == 0 {
+				continue
+			}
+			if ret := lastReturn(b); ret != nil {
+				report(ret.Pos(), "pooled object %s may leak at this return (no put or handoff on some path)", v.Name())
+			} else {
+				report(getPositions[v], "pooled object %s may reach the end of the function without put or handoff", v.Name())
+			}
+		}
+	}
+}
+
+// applyNode interprets one CFG node: pool bindings, puts, escapes, and uses,
+// in source order. With a non-nil report it also emits diagnostics against
+// the incrementally updated state.
+func applyNode(pass *analysis.Pass, s poolState, node ast.Node, gets, puts map[*types.Func]bool, getPositions map[*types.Var]token.Pos, report func(token.Pos, string, ...interface{})) {
+	// A deferred call runs at function exit, not here: its put must not mark
+	// the object released mid-body. Treating the deferred call as an
+	// ownership handoff (the generic escape path below) keeps both the
+	// use-after-put and the leak check honest.
+	if _, ok := node.(*ast.DeferStmt); ok {
+		applyExpr(pass, s, node, gets, nil, report)
+		return
+	}
+	// Assignments binding pool-get results (or re-binding tracked variables)
+	// are handled structurally; everything else is scanned for puts, escapes
+	// and uses.
+	if assign, ok := node.(*ast.AssignStmt); ok && len(assign.Lhs) == len(assign.Rhs) {
+		for i, rhs := range assign.Rhs {
+			target := lhsVar(pass, assign.Lhs[i])
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isPoolCall(pass, call, gets) {
+				applyExpr(pass, s, rhs, gets, puts, report)
+				if target != nil {
+					if report != nil && s[target]&stLive != 0 {
+						report(assign.Pos(), "pooled object %s overwritten while still live (leak)", target.Name())
+					}
+					s[target] = stLive
+					getPositions[target] = assign.Pos()
+				}
+				// An unbound result escapes into whatever holds it.
+				continue
+			}
+			applyExpr(pass, s, rhs, gets, puts, report)
+			if target != nil {
+				if report != nil && s[target]&stLive != 0 {
+					report(assign.Pos(), "pooled object %s overwritten while still live (leak)", target.Name())
+				}
+				delete(s, target)
+			} else if v := lhsVar(pass, rhs); v != nil {
+				// Stored through a compound lvalue (field, index): the
+				// structure owns it now.
+				delete(s, v)
+			}
+		}
+		// Left-hand sides other than plain identifiers (fields, indexes) are
+		// themselves uses; scan them.
+		for _, lhs := range assign.Lhs {
+			if lhsVar(pass, lhs) == nil {
+				applyExpr(pass, s, lhs, gets, puts, report)
+			}
+		}
+		return
+	}
+	applyExpr(pass, s, node, gets, puts, report)
+}
+
+// applyExpr scans an expression (or statement) subtree for pool puts, uses of
+// tracked variables, and escapes. With a nil puts map, put calls are treated
+// as ordinary calls (the deferred-call path).
+func applyExpr(pass *analysis.Pass, s poolState, node ast.Node, gets, puts map[*types.Func]bool, report func(token.Pos, string, ...interface{})) {
+	if node == nil {
+		return
+	}
+	analysis.InspectShallow(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeOf(pass.TypesInfo, call)
+		if callee == nil || !puts[callee] {
+			// Tracked variables passed to any other call escape: the callee
+			// may retain them. Handled by the generic use scan below, which
+			// sees their identifiers; escape semantics are applied there.
+			return true
+		}
+		// A pool-put call: its plain-identifier arguments transition
+		// live→released.
+		for _, arg := range call.Args {
+			v := lhsVar(pass, arg)
+			if v == nil {
+				applyExpr(pass, s, arg, gets, puts, report)
+				continue
+			}
+			m, tracked := s[v]
+			if !tracked {
+				continue
+			}
+			if report != nil && m&stReleased != 0 {
+				report(arg.Pos(), "pooled object %s put again (already put on some path)", v.Name())
+			}
+			s[v] = stReleased
+		}
+		return false
+	})
+	// Generic use scan: any identifier of a tracked variable outside the put
+	// positions handled above.
+	analysis.InspectShallow(node, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := analysis.CalleeOf(pass.TypesInfo, call); callee != nil && puts[callee] {
+				return false // put args handled structurally above
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		m, tracked := s[v]
+		if !tracked {
+			return true
+		}
+		if report != nil && m&stReleased != 0 {
+			report(id.Pos(), "pooled object %s used after put", v.Name())
+		}
+		if m&stLive != 0 && escapes(pass, id, node) {
+			delete(s, v)
+		}
+		return true
+	})
+}
+
+// escapes reports whether this occurrence of a live tracked variable hands
+// ownership elsewhere: used as a call argument (any call — the callee may
+// retain it), returned, sent, appended to, stored through a non-identifier
+// lvalue, or aliased. Reads that cannot retain the object — selectors, index
+// reads, len/cap — do not escape.
+func escapes(pass *analysis.Pass, id *ast.Ident, root ast.Node) bool {
+	path := pathTo(root, id)
+	for i := len(path) - 2; i >= 0; i-- {
+		parent := path[i]
+		child := path[i+1]
+		switch p := parent.(type) {
+		case *ast.CallExpr:
+			if p.Fun == child {
+				return false // calling a method on it is a use, not an escape
+			}
+			// len/cap/println-style builtins only read.
+			if fi := funIdent(p); fi != nil {
+				if _, ok := pass.TypesInfo.Uses[fi].(*types.Builtin); ok {
+					switch fi.Name {
+					case "len", "cap", "print", "println":
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if p.X == child {
+				continue // reading/writing a field is a use of the object itself
+			}
+		case *ast.IndexExpr:
+			continue
+		case *ast.SliceExpr:
+			continue
+		case *ast.StarExpr, *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			return true // &v aliases it
+		case *ast.ReturnStmt, *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+			return true
+		case *ast.AssignStmt:
+			// Appearing on an RHS whose statement was not a recognized
+			// binding: the value is stored somewhere else.
+			for _, r := range p.Rhs {
+				if r == child {
+					return true
+				}
+			}
+			return false
+		default:
+			continue
+		}
+	}
+	return false
+}
+
+// pathTo returns the chain of nodes from root down to target (inclusive).
+func pathTo(root, target ast.Node) []ast.Node {
+	var path, found []ast.Node
+	analysis.InspectShallow(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			path = path[:len(path)-1]
+			return false
+		}
+		path = append(path, n)
+		if n == target {
+			found = append([]ast.Node(nil), path...)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func funIdent(call *ast.CallExpr) *ast.Ident {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	return id
+}
+
+// isPoolCall reports whether call resolves to an annotated pool-get method.
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, gets map[*types.Func]bool) bool {
+	callee := analysis.CalleeOf(pass.TypesInfo, call)
+	return callee != nil && gets[callee]
+}
+
+// lhsVar resolves a plain-identifier expression to its variable (nil for
+// blank, fields, or anything compound).
+func lhsVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func edgesTo(b, sink *analysis.Block) bool {
+	for _, s := range b.Succs {
+		if s == sink {
+			return true
+		}
+	}
+	return false
+}
+
+func lastReturn(b *analysis.Block) *ast.ReturnStmt {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	ret, _ := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	return ret
+}
+
+func sortedVars(s poolState) []*types.Var {
+	vars := make([]*types.Var, 0, len(s))
+	for v := range s {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	return vars
+}

@@ -1,0 +1,12 @@
+package poollife_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/poollife"
+)
+
+func TestPoollife(t *testing.T) {
+	analysistest.Run(t, "testdata", poollife.Analyzer, "a")
+}

@@ -1,0 +1,112 @@
+// Package a is the poollife fixture: a buffer pool with annotated get/put,
+// exercised by clean lifecycles, leaks, double puts, and uses after put.
+package a
+
+type pool struct{ free [][]byte }
+
+// get hands out a recycled buffer (or nil; callers append).
+//
+//kernelvet:pool-get
+func (p *pool) get() []byte {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+// put recycles a buffer's backing array.
+//
+//kernelvet:pool-put
+func (p *pool) put(b []byte) {
+	p.free = append(p.free, b[:0])
+}
+
+type holder struct{ buf []byte }
+
+func clean(p *pool) int {
+	b := p.get()
+	b = append(b, 1)
+	n := len(b)
+	p.put(b)
+	return n
+}
+
+func useAfterPut(p *pool) int {
+	b := p.get()
+	p.put(b)
+	return len(b) // want `pooled object b used after put`
+}
+
+func doublePut(p *pool, ok bool) {
+	b := p.get()
+	if ok {
+		p.put(b)
+	}
+	p.put(b) // want `pooled object b put again \(already put on some path\)`
+}
+
+func earlyReturnLeak(p *pool, ok bool) {
+	b := p.get()
+	if !ok {
+		return // want `pooled object b may leak at this return`
+	}
+	p.put(b)
+}
+
+func overwriteLeak(p *pool) {
+	b := p.get()
+	b = p.get() // want `pooled object b overwritten while still live \(leak\)`
+	p.put(b)
+}
+
+// escapeReturn hands ownership to the caller.
+func escapeReturn(p *pool) []byte {
+	b := p.get()
+	return b
+}
+
+// escapeStore hands ownership to a longer-lived structure.
+func escapeStore(p *pool, h *holder) {
+	b := p.get()
+	h.buf = b
+}
+
+// escapeAppend hands ownership to a slice of buffers.
+func escapeAppend(p *pool, sink *[][]byte) {
+	b := p.get()
+	*sink = append(*sink, b)
+}
+
+// stashDirect never binds the result at all.
+func stashDirect(p *pool, h *holder) {
+	h.buf = p.get()
+}
+
+// deferredPut releases at function exit; the mid-body use is fine.
+func deferredPut(p *pool) int {
+	b := p.get()
+	defer p.put(b)
+	return len(b)
+}
+
+// panicky aborts the run; the lifecycle is not checked into a panic.
+func panicky(p *pool, ok bool) {
+	b := p.get()
+	if !ok {
+		panic("boom")
+	}
+	p.put(b)
+}
+
+func allowedLeak(p *pool, ok bool) {
+	b := p.get()
+	if !ok {
+		return //kernelvet:allow poollife fixture: the harness reclaims the whole pool
+	}
+	p.put(b)
+}
+
+var _ = []interface{}{clean, useAfterPut, doublePut, earlyReturnLeak, overwriteLeak,
+	escapeReturn, escapeStore, escapeAppend, stashDirect, deferredPut, panicky, allowedLeak}

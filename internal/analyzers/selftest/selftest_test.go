@@ -12,8 +12,12 @@ import (
 	"repro/internal/analyzers/atomics"
 	"repro/internal/analyzers/determinism"
 	"repro/internal/analyzers/directives"
+	"repro/internal/analyzers/guardedby"
 	"repro/internal/analyzers/noalloc"
 	"repro/internal/analyzers/ownership"
+	"repro/internal/analyzers/poollife"
+	"repro/internal/analyzers/transitbalance"
+	"repro/internal/analyzers/wiresafe"
 )
 
 func TestRepositoryIsKernelvetClean(t *testing.T) {
@@ -34,6 +38,10 @@ func TestRepositoryIsKernelvetClean(t *testing.T) {
 		ownership.Analyzer,
 		determinism.Analyzer,
 		noalloc.Analyzer,
+		transitbalance.Analyzer,
+		guardedby.Analyzer,
+		poollife.Analyzer,
+		wiresafe.Analyzer,
 	}
 	findings, err := analysis.RunAnalyzers(res, analyzers)
 	if err != nil {

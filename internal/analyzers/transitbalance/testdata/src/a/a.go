@@ -1,0 +1,99 @@
+// Package a is the transitbalance fixture: charge/discharge/carrier
+// annotations on helper calls, with leaks, double releases, and the balanced
+// shapes the kernel's transport uses.
+package a
+
+var n int
+
+func charge()    { n++ }
+func discharge() { n-- }
+func handoff()   { n += 0 }
+
+// balanced is the trivial clean shape.
+func balanced() {
+	charge()    //kernelvet:charge tokens
+	discharge() //kernelvet:discharge tokens
+}
+
+// flushShape mirrors flushDst: charge up front, take the charge back when the
+// push is refused, hand it to the batch when it is accepted.
+func flushShape(ok bool) bool {
+	charge() //kernelvet:charge tokens
+	if !ok {
+		discharge() //kernelvet:discharge tokens
+		return false
+	}
+	handoff() //kernelvet:carrier tokens
+	return true
+}
+
+// earlyReturnLeak forgets the take-back on the error path.
+func earlyReturnLeak(ok bool) bool {
+	charge() //kernelvet:charge tokens
+	if !ok {
+		return false // want `charge of tokens may be outstanding at this return`
+	}
+	discharge() //kernelvet:discharge tokens
+	return true
+}
+
+// leakThroughContinue only leaks on the continue path: every straight-line
+// iteration is balanced, so a flow-insensitive check would pass it.
+func leakThroughContinue(xs []int) {
+	for _, x := range xs {
+		charge() //kernelvet:charge tokens // want `charge of tokens may reach the end of the function without discharge or carrier`
+		if x < 0 {
+			continue
+		}
+		discharge() //kernelvet:discharge tokens
+	}
+}
+
+// loopBalanced charges and releases inside the loop body on every path.
+func loopBalanced(xs []int) {
+	for range xs {
+		charge()    //kernelvet:charge tokens
+		discharge() //kernelvet:discharge tokens
+	}
+}
+
+// doubleDischarge releases the same charge twice on the fallthrough path.
+func doubleDischarge(ok bool) {
+	charge() //kernelvet:charge tokens
+	if ok {
+		discharge() //kernelvet:discharge tokens
+	}
+	discharge() //kernelvet:discharge tokens // want `discharge of tokens with no outstanding charge on some path`
+}
+
+// carrierAfterDischarge hands off a charge that was already taken back.
+func carrierAfterDischarge() {
+	charge()    //kernelvet:charge tokens
+	discharge() //kernelvet:discharge tokens
+	handoff()   //kernelvet:carrier tokens // want `carrier handoff of tokens with no outstanding charge on some path`
+}
+
+// receiverSide releases an obligation charged in another function (the
+// receiver half of the transport protocol): standalone discharges are
+// documentation, not checked.
+func receiverSide() {
+	discharge() //kernelvet:discharge tokens
+}
+
+// panicPath aborts the run; protocol balance is not checked into a panic.
+func panicPath(ok bool) {
+	charge() //kernelvet:charge tokens
+	if !ok {
+		panic("abort")
+	}
+	discharge() //kernelvet:discharge tokens
+}
+
+// allowedLeak is suppressed by a line-level allow on the charge site.
+func allowedLeak() {
+	//kernelvet:allow transitbalance fixture: the obligation is released out of band
+	charge() //kernelvet:charge tokens
+}
+
+var _ = []interface{}{balanced, flushShape, earlyReturnLeak, leakThroughContinue,
+	loopBalanced, doubleDischarge, carrierAfterDischarge, receiverSide, panicPath, allowedLeak}

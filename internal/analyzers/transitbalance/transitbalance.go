@@ -1,0 +1,317 @@
+// Package transitbalance implements the kernelvet charge/discharge analyzer.
+//
+// Rule: in any function containing a //kernelvet:charge <name> site, every
+// control-flow path from the charge to a normal function exit must release the
+// obligation exactly once — through a //kernelvet:discharge <name> site (the
+// counter is decremented back) or a //kernelvet:carrier <name> site (a data
+// structure such as a pushed batch or migration payload now owns the
+// discharge). The kernel's GVT correctness argument rests on this: a transit
+// charge leaked on one error path wedges the two-cut protocol forever, and a
+// double discharge lets a cut close while a batch is still in flight.
+//
+// The analysis is a forward dataflow over the function's CFG. The state per
+// obligation name is the *set of possible outstanding balances* (a bitmask of
+// 0..3, saturating at ≥3), joined by union where paths meet. Diagnostics:
+//
+//   - a return (or fall-off-the-end) reachable with a possible balance > 0 is
+//     a leak;
+//   - a discharge or carrier reachable with possible balance 0 is a double
+//     release.
+//
+// Paths into panic are not checked — a panicking run aborts the simulation,
+// so protocol balance is moot there. Functions with no charge of a name are
+// not checked for it: a standalone discharge releases an obligation charged
+// elsewhere (the receiver side of a batch) and is documentation, not a
+// checked contract. The analysis is intraprocedural by design: the charge and
+// its releases must be visible in one function, which is exactly the
+// discipline the kernel's transit sites follow.
+package transitbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyzers/analysis"
+)
+
+const name = "transitbalance"
+
+// Analyzer is the charge/discharge balance analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "every //kernelvet:charge must reach exactly one discharge or carrier on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ParseAnnotations(pass)
+	if len(ann.BalanceSites) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			for _, body := range functionBodies(fd) {
+				checkBody(pass, ann, fn, body)
+			}
+		}
+	}
+	return nil
+}
+
+// functionBodies returns fd's own body plus the bodies of nested function
+// literals, innermost bodies excluded from their parents: each literal has its
+// own CFG, matching the call graph.
+func functionBodies(fd *ast.FuncDecl) []*ast.BlockStmt {
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// siteOp is one balance directive anchored to a CFG node.
+type siteOp struct {
+	verb string
+	name string
+	pos  token.Pos
+}
+
+// balState maps an obligation name to the bitmask of its possible outstanding
+// balances: bit i set means balance i is possible on some path (bit 3 = ≥3,
+// saturating so charge loops converge).
+type balState map[string]uint8
+
+func checkBody(pass *analysis.Pass, ann *analysis.Annotations, fn *types.Func, body *ast.BlockStmt) {
+	sites := sitesWithin(pass, ann, body)
+	if len(sites) == 0 {
+		return
+	}
+	g := analysis.BuildCFG(body)
+	anchors, charged := anchorSites(pass, g, sites)
+	if len(charged) == 0 {
+		return // only standalone discharges/carriers: nothing to check
+	}
+
+	d := &analysis.Dataflow[balState]{
+		Init: initState(charged),
+		Transfer: func(s balState, n ast.Node) balState {
+			for _, op := range anchors[n] {
+				m, tracked := s[op.name]
+				if !tracked {
+					continue
+				}
+				switch op.verb {
+				case analysis.VerbCharge:
+					m <<= 1
+					if m&^0x0F != 0 {
+						m = (m | 0x08) & 0x0F
+					}
+				case analysis.VerbDischarge, analysis.VerbCarrier:
+					// A release with balance 0 is reported in the visit pass;
+					// keep bit 0 so the state stays meaningful past it.
+					m = (m >> 1) | (m & 1)
+				}
+				s[op.name] = m
+			}
+			return s
+		},
+		Join: func(a, b balState) balState {
+			for k, v := range b {
+				a[k] |= v
+			}
+			return a
+		},
+		Equal: func(a, b balState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s balState) balState {
+			c := make(balState, len(s))
+			for k, v := range s {
+				c[k] = v
+			}
+			return c
+		},
+	}
+	in := d.Solve(g)
+
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !ann.AllowsAt(pass.Fset, pos, fn, name) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	// Double releases: a discharge/carrier reachable with possible balance 0.
+	d.Report(g, in, func(s balState, n ast.Node) {
+		for _, op := range anchors[n] {
+			m, tracked := s[op.name]
+			if !tracked || m&1 == 0 {
+				continue
+			}
+			switch op.verb {
+			case analysis.VerbDischarge:
+				report(op.pos, "discharge of %s with no outstanding charge on some path (double discharge?)", op.name)
+			case analysis.VerbCarrier:
+				report(op.pos, "carrier handoff of %s with no outstanding charge on some path", op.name)
+			}
+		}
+	})
+	// Leaks: a block edging into Exit whose out-state still holds a possible
+	// positive balance. Report at the return statement when there is one; a
+	// fall-off-the-end path reports at the charge site itself.
+	for _, b := range g.Blocks {
+		s, reached := in[b]
+		if !reached || !edgesTo(b, g.Exit) {
+			continue
+		}
+		out := d.FlowThrough(d.Clone(s), b, nil)
+		for _, nm := range sortedNames(out) {
+			if out[nm]&^1 == 0 {
+				continue
+			}
+			if ret := lastReturn(b); ret != nil {
+				report(ret.Pos(), "charge of %s may be outstanding at this return (missing discharge or carrier on some path)", nm)
+			} else {
+				report(charged[nm], "charge of %s may reach the end of the function without discharge or carrier", nm)
+			}
+		}
+	}
+}
+
+// sitesWithin returns the balance directives physically inside body, excluding
+// those inside nested function literals (they anchor in the literal's own
+// pass).
+func sitesWithin(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockStmt) []analysis.Directive {
+	var nested []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			nested = append(nested, lit.Body)
+			return false
+		}
+		return true
+	})
+	var sites []analysis.Directive
+	for _, d := range ann.BalanceSites {
+		if d.Pos < body.Pos() || d.Pos > body.End() {
+			continue
+		}
+		inner := false
+		for _, nb := range nested {
+			if d.Pos >= nb.Pos() && d.Pos <= nb.End() {
+				inner = true
+				break
+			}
+		}
+		if !inner {
+			sites = append(sites, d)
+		}
+	}
+	return sites
+}
+
+// anchorSites attaches each directive to the CFG node it annotates: a
+// trailing directive anchors to the node spanning its line, a standalone
+// comment to the first node starting on the following line. charged maps each
+// name with at least one charge to its first charge position.
+func anchorSites(pass *analysis.Pass, g *analysis.CFG, sites []analysis.Directive) (map[ast.Node][]siteOp, map[string]token.Pos) {
+	type span struct {
+		node       ast.Node
+		start, end int
+	}
+	var spans []span
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			spans = append(spans, span{
+				node:  n,
+				start: pass.Fset.Position(n.Pos()).Line,
+				end:   pass.Fset.Position(n.End()).Line,
+			})
+		}
+	}
+	anchors := make(map[ast.Node][]siteOp)
+	charged := make(map[string]token.Pos)
+	for _, d := range sites {
+		line := pass.Fset.Position(d.Pos).Line
+		var best *span
+		for i := range spans {
+			sp := &spans[i]
+			if sp.start <= line && line <= sp.end {
+				if best == nil || sp.end-sp.start < best.end-best.start {
+					best = sp
+				}
+			}
+		}
+		if best == nil {
+			for i := range spans {
+				sp := &spans[i]
+				if sp.start == line+1 {
+					if best == nil || sp.end-sp.start < best.end-best.start {
+						best = sp
+					}
+				}
+			}
+		}
+		if best == nil {
+			pass.Reportf(d.Pos, "kernelvet:%s %s does not attach to a statement", d.Verb, d.Args[0])
+			continue
+		}
+		op := siteOp{verb: d.Verb, name: d.Args[0], pos: d.Pos}
+		anchors[best.node] = append(anchors[best.node], op)
+		if d.Verb == analysis.VerbCharge {
+			if _, seen := charged[op.name]; !seen {
+				charged[op.name] = d.Pos
+			}
+		}
+	}
+	return anchors, charged
+}
+
+func initState(charged map[string]token.Pos) balState {
+	s := make(balState, len(charged))
+	for nm := range charged {
+		s[nm] = 1 // balance 0
+	}
+	return s
+}
+
+func edgesTo(b, sink *analysis.Block) bool {
+	for _, s := range b.Succs {
+		if s == sink {
+			return true
+		}
+	}
+	return false
+}
+
+func lastReturn(b *analysis.Block) *ast.ReturnStmt {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	ret, _ := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	return ret
+}
+
+func sortedNames(s balState) []string {
+	names := make([]string, 0, len(s))
+	for nm := range s {
+		names = append(names, nm)
+	}
+	sort.Strings(names)
+	return names
+}

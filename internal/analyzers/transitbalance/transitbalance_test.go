@@ -1,0 +1,12 @@
+package transitbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/transitbalance"
+)
+
+func TestTransitbalance(t *testing.T) {
+	analysistest.Run(t, "testdata", transitbalance.Analyzer, "a")
+}

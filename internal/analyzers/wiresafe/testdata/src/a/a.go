@@ -1,0 +1,59 @@
+// Package a is the wiresafe fixture: flat and non-flat annotated types.
+package a
+
+type id int32
+
+type stamp struct {
+	sec  int64
+	nsec int32
+}
+
+// header is flat: sized scalars, a named scalar, a nested struct, an array.
+//
+//kernelvet:wire
+type header struct {
+	n     int32
+	color uint8
+	due   stamp
+	tags  [4]id
+	ok    bool
+}
+
+// pointered smuggles a pointer through a nested struct.
+//
+//kernelvet:wire // want `wire type pointered is not flat: pointered.inner.p is a pointer`
+type pointered struct {
+	n     int32
+	inner struct{ p *int32 }
+}
+
+//kernelvet:wire // want `wire type sliced is not flat: sliced.buf is a slice`
+type sliced struct {
+	buf []byte
+}
+
+//kernelvet:wire // want `wire type stringy is not flat: stringy.name is a string`
+type stringy struct {
+	name string
+}
+
+//kernelvet:wire // want `wire type platform is not flat: platform.n is platform-sized int`
+type platform struct {
+	n int
+}
+
+//kernelvet:wire // want `wire type chatty is not flat: chatty.c is a channel`
+type chatty struct {
+	c chan int
+}
+
+// grouped declarations carry per-spec directives.
+type (
+	//kernelvet:wire
+	flatAlias struct{ v uint16 }
+
+	//kernelvet:wire // want `wire type mapped is not flat: mapped.m is a map`
+	mapped struct{ m map[int32]int32 }
+)
+
+var _ = []interface{}{header{}, pointered{}, sliced{}, stringy{}, platform{}, chatty{}, flatAlias{}, mapped{}}

@@ -1,0 +1,92 @@
+// Package wiresafe implements the kernelvet wire-flatness analyzer.
+//
+// Rule: a type annotated //kernelvet:wire must be flat — recursively built
+// from fixed-size scalars only (sized integers, floats, complex numbers,
+// booleans, arrays and structs of the same). Pointers, slices, maps, chans,
+// funcs, interfaces and strings are rejected, as are the platform-sized
+// int/uint/uintptr. A flat value crosses a process or machine boundary by
+// plain copy with no retained aliasing, which is the static precondition for
+// serializing the batch transport onto a real wire (ROADMAP direction 1):
+// anything the analyzer accepts can be encoded with encoding/binary today.
+//
+// The check is structural over go/types, so it sees through named types and
+// embedded fields; a cycle (impossible without pointers, but cheap to guard)
+// terminates as unsafe at the back-edge.
+package wiresafe
+
+import (
+	"fmt"
+	"go/types"
+
+	"repro/internal/analyzers/analysis"
+)
+
+const name = "wiresafe"
+
+// Analyzer is the wire-flatness analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "//kernelvet:wire types must be flat: fixed-size scalars, arrays and structs only",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ann := analysis.ParseAnnotations(pass)
+	for _, wt := range ann.WireTypes {
+		seen := make(map[types.Type]bool)
+		if path, bad := flaw(wt.Obj.Type(), wt.Obj.Name(), seen); bad != "" {
+			pass.Reportf(wt.Pos, "wire type %s is not flat: %s is %s", wt.Obj.Name(), path, bad)
+		}
+	}
+	return nil
+}
+
+// flaw returns the first non-flat component of t (empty when flat): the path
+// to it from the annotated root and a description of the offending type.
+func flaw(t types.Type, path string, seen map[types.Type]bool) (string, string) {
+	if seen[t] {
+		return path, "recursive (cannot be flat)"
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool,
+			types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+			types.Float32, types.Float64, types.Complex64, types.Complex128:
+			return "", ""
+		case types.Int, types.Uint, types.Uintptr:
+			return path, fmt.Sprintf("platform-sized %s (use a sized integer)", u.Name())
+		case types.String:
+			return path, "a string (header points into shared memory)"
+		default:
+			return path, u.Name()
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p, bad := flaw(f.Type(), path+"."+f.Name(), seen); bad != "" {
+				return p, bad
+			}
+		}
+		return "", ""
+	case *types.Array:
+		return flaw(u.Elem(), path+"[…]", seen)
+	case *types.Pointer:
+		return path, "a pointer"
+	case *types.Slice:
+		return path, "a slice (header points into shared memory)"
+	case *types.Map:
+		return path, "a map"
+	case *types.Chan:
+		return path, "a channel"
+	case *types.Signature:
+		return path, "a func value"
+	case *types.Interface:
+		return path, "an interface"
+	default:
+		return path, fmt.Sprintf("unsupported (%s)", u)
+	}
+}

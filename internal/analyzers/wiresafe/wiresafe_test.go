@@ -1,0 +1,12 @@
+package wiresafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers/analysistest"
+	"repro/internal/analyzers/wiresafe"
+)
+
+func TestWiresafe(t *testing.T) {
+	analysistest.Run(t, "testdata", wiresafe.Analyzer, "a")
+}

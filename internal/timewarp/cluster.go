@@ -74,6 +74,8 @@ type eventPool struct {
 const maxPooledEventCap = 1024
 
 // get returns a recycled zero-length slice, or nil (callers append).
+//
+//kernelvet:pool-get
 func (p *eventPool) get() []Event {
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
@@ -86,6 +88,8 @@ func (p *eventPool) get() []Event {
 
 // put recycles a slice's backing array. The pool is bounded in count and in
 // per-slice capacity so a rollback burst cannot pin memory forever.
+//
+//kernelvet:pool-put
 func (p *eventPool) put(s []Event) {
 	if cap(s) == 0 || cap(s) > maxPooledEventCap || len(p.free) >= 256 {
 		return
@@ -167,10 +171,10 @@ type cluster struct {
 	// checkMigrate.
 	migMu       sync.Mutex
 	migFlag     int32
-	migOrders   []migOrder
-	migIn       []migPayload
-	migScratchO []migOrder
-	migScratchP []migPayload
+	migOrders   []migOrder   //kernelvet:guarded-by migMu
+	migIn       []migPayload //kernelvet:guarded-by migMu
+	migScratchO []migOrder   //kernelvet:guarded-by migMu
+	migScratchP []migPayload //kernelvet:guarded-by migMu
 }
 
 // route delivers an event to its destination LP's current home cluster (per

@@ -105,7 +105,7 @@ func (c *cluster) migrateOut(o migOrder) {
 	if min < c.redMin {
 		c.redMin = min
 	}
-	atomic.AddInt64(&k.transit[color].n, 1)
+	atomic.AddInt64(&k.transit[color].n, 1) //kernelvet:charge transit
 	// Route first, then drop ownership: after this store new sends go to the
 	// destination, while events already queued here are forwarded by the
 	// owned-check in deliver. The opposite order would strand forwarded
@@ -116,6 +116,8 @@ func (c *cluster) migrateOut(o migOrder) {
 	c.stats.Migrations++
 	target := k.clusters[o.to]
 	target.migMu.Lock()
+	// The queued payload now owns the charge; migrateIn releases it.
+	//kernelvet:carrier transit
 	target.migIn = append(target.migIn, migPayload{lp: lp, color: color})
 	atomic.StoreInt32(&target.migFlag, 1)
 	target.migMu.Unlock()
@@ -130,7 +132,7 @@ func (c *cluster) migrateIn(p migPayload) {
 	lp.cluster = c
 	c.owned[lp.id] = true
 	c.lps = append(c.lps, lp)
-	atomic.AddInt64(&c.kernel.transit[p.color].n, -1)
+	atomic.AddInt64(&c.kernel.transit[p.color].n, -1) //kernelvet:discharge transit
 	// schedT tracked an entry in the old home's heap (now unreachable
 	// garbage, skipped there by the owned check); reset it before
 	// scheduling here or the gate could suppress the adopting push.

@@ -57,7 +57,11 @@ const flushBatch = 64
 
 // batchHdr describes one pushed batch: its length, the GVT round color its
 // transit charge sits under, and the modeled-wire delivery deadline (zero
-// when no latency is configured).
+// when no latency is configured). It is flat (wire-safe) so a future real
+// transport can move it between machines by plain copy; kernelvet enforces
+// that no pointer-bearing field sneaks in.
+//
+//kernelvet:wire
 type batchHdr struct {
 	n       int32
 	color   uint8
@@ -71,9 +75,9 @@ type batchHdr struct {
 // as a bitmask; notify (capacity 1) wakes a consumer blocked in waitMail.
 type mailbox struct {
 	mu    sync.Mutex
-	in    []Event
-	hdrIn []batchHdr
-	ctrl  uint8
+	in    []Event    //kernelvet:guarded-by mu
+	hdrIn []batchHdr //kernelvet:guarded-by mu
+	ctrl  uint8      //kernelvet:guarded-by mu
 	// flag is 1 whenever events or control bits are queued; the consumer
 	// polls it with one atomic load per main-loop iteration instead of
 	// taking the mutex to find an empty queue.
@@ -193,16 +197,19 @@ func (c *cluster) flushDst(dst int) bool {
 	if ob.min < c.redMin {
 		c.redMin = ob.min
 	}
-	atomic.AddInt64(&k.transit[color].n, int64(n))
+	atomic.AddInt64(&k.transit[color].n, int64(n)) //kernelvet:charge transit
 	hdr := batchHdr{n: int32(n), color: color}
 	if lat := k.cfg.NetLatency; lat > 0 {
 		hdr.dueNano = time.Now().UnixNano() + int64(lat)
 	}
 	if !k.clusters[dst].mail.push(ob.buf, hdr, k.cfg.InboxSize) {
-		atomic.AddInt64(&k.transit[color].n, -int64(n))
+		atomic.AddInt64(&k.transit[color].n, -int64(n)) //kernelvet:discharge transit
 		ob.wantFlush = true
 		return false
 	}
+	// The push succeeded: the batch in the destination mailbox now owns the
+	// charge (released whole by drainMail or deliverDue on the receiver).
+	//kernelvet:carrier transit
 	k.busy(k.cfg.NetSendBusy * n)
 	ob.buf = ob.buf[:0]
 	ob.min = TimeInfinity
@@ -282,7 +289,7 @@ func (c *cluster) deliverDue(force bool) int {
 			break
 		}
 		b := c.delayed.pop()
-		atomic.AddInt64(&c.kernel.transit[b.color].n, -int64(len(b.buf)))
+		atomic.AddInt64(&c.kernel.transit[b.color].n, -int64(len(b.buf))) //kernelvet:discharge transit
 		c.kernel.busy(c.kernel.cfg.NetRecvBusy * len(b.buf))
 		for i := range b.buf {
 			c.deliver(b.buf[i])
@@ -315,12 +322,15 @@ func (c *cluster) drainMail() int {
 		b := ev[off : off+int(h.n)]
 		off += int(h.n)
 		if h.dueNano > now {
+			// The parked batch keeps the sender's charge until delivered.
+			//kernelvet:carrier transit
 			c.delayed.push(delayedBatch{due: h.dueNano, color: h.color, buf: append(c.evPool.get(), b...)})
 			continue
 		}
 		// Release the whole batch's transit charge with one atomic; the
 		// events are covered from here on by this goroutine's own localMin
 		// (they are all delivered below, before any GVT probe runs here).
+		//kernelvet:discharge transit
 		atomic.AddInt64(&k.transit[h.color].n, -int64(h.n))
 		k.busy(k.cfg.NetRecvBusy * int(h.n))
 		for i := range b {
@@ -350,7 +360,7 @@ func (c *cluster) drainAllInit() int {
 	for _, h := range hdr {
 		b := ev[off : off+int(h.n)]
 		off += int(h.n)
-		atomic.AddInt64(&c.kernel.transit[h.color].n, -int64(h.n))
+		atomic.AddInt64(&c.kernel.transit[h.color].n, -int64(h.n)) //kernelvet:discharge transit
 		for i := range b {
 			c.deliver(b[i])
 		}
