@@ -11,12 +11,25 @@
 // -dynamic enables GVT-synchronized LP migration on top of the chosen
 // initial partition (the routing table then adapts to the observed load).
 // The run is verified against the sequential oracle unless -noverify is set.
+//
+// One simulation can also run as several OS processes connected by TCP:
+// start n copies with identical flags plus -node i/n and the same -peers
+// list, one listen address per node. Each process hosts the clusters
+// assigned to its node index, all other traffic crosses the sockets, and
+// every process verifies the gathered global totals against the oracle:
+//
+//	parsim -bench s5378 -nodes 4 -node 0/2 -peers 127.0.0.1:9101,127.0.0.1:9102 &
+//	parsim -bench s5378 -nodes 4 -node 1/2 -peers 127.0.0.1:9101,127.0.0.1:9102
+//
+// -dynamic works across processes too (gate state is migrated over the
+// wire), because the logic-gate handlers implement timewarp.StateCodec.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/circuit"
@@ -24,6 +37,7 @@ import (
 	"repro/internal/logicsim"
 	"repro/internal/partition"
 	"repro/internal/seqsim"
+	"repro/internal/timewarp"
 )
 
 func main() {
@@ -43,8 +57,20 @@ func main() {
 		dynamic     = flag.Bool("dynamic", false, "dynamic load balancing: GVT-synchronized LP migration")
 		rebalPeriod = flag.Int("rebalance-period", 4, "GVT-advancing rounds between rebalance decisions (with -dynamic)")
 		imbalance   = flag.Float64("imbalance", 1.1, "min max/mean committed-load ratio before migrating (with -dynamic)")
+		nodeSpec    = flag.String("node", "", "multi-process run: this process's index as i/n (requires -peers)")
+		peers       = flag.String("peers", "", "multi-process run: comma-separated host:port listen addresses, one per node")
 	)
 	flag.Parse()
+
+	var tr *timewarp.TCPTransport
+	if *nodeSpec != "" || *peers != "" {
+		var err error
+		tr, err = buildTransport(*nodeSpec, *peers)
+		if err != nil {
+			fail(err)
+		}
+		defer tr.Close()
+	}
 
 	c, err := loadCircuit(*bench, *scale, flag.Arg(0))
 	if err != nil {
@@ -78,15 +104,31 @@ func main() {
 	if !*hotspot {
 		cfg.HotspotFraction = 0
 	}
+	if tr != nil {
+		cfg.Transport = tr
+	}
 	start := time.Now()
 	res, err := logicsim.Run(c, a, cfg)
 	if err != nil {
 		fail(err)
 	}
 	wall := time.Since(start)
+
+	// In a multi-process run every node holds only its own share of the
+	// counters; gather the order-independent global totals so each process
+	// prints and verifies the same result.
+	committed, history := res.CommittedEvents, res.OutputHistory
+	if tr != nil {
+		totals, err := tr.GatherSum([]uint64{res.CommittedEvents, res.OutputHistory})
+		if err != nil {
+			fail(err)
+		}
+		committed, history = totals[0], totals[1]
+		fmt.Printf("node %s: %d committed events locally\n", *nodeSpec, res.CommittedEvents)
+	}
 	fmt.Printf("parallel run: %s wall, %d committed events (%.0f events/ms)\n",
-		wall.Round(time.Millisecond), res.CommittedEvents,
-		float64(res.CommittedEvents)/float64(wall.Milliseconds()+1))
+		wall.Round(time.Millisecond), committed,
+		float64(committed)/float64(wall.Milliseconds()+1))
 	s := res.Stats
 	fmt.Printf("  processed=%d rolledback=%d rollbacks=%d efficiency=%.1f%%\n",
 		s.EventsProcessed, s.EventsRolledBack, s.Rollbacks,
@@ -110,12 +152,28 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if res.CommittedEvents != want.Events || res.OutputHistory != want.OutputHistory {
+		if committed != want.Events || history != want.OutputHistory {
 			fail(fmt.Errorf("verification FAILED: committed=%d/%d history=%#x/%#x",
-				res.CommittedEvents, want.Events, res.OutputHistory, want.OutputHistory))
+				committed, want.Events, history, want.OutputHistory))
 		}
 		fmt.Println("verified against the sequential oracle")
 	}
+}
+
+// buildTransport parses -node i/n plus the -peers list into a TCP transport.
+func buildTransport(nodeSpec, peers string) (*timewarp.TCPTransport, error) {
+	if nodeSpec == "" || peers == "" {
+		return nil, fmt.Errorf("-node and -peers must be used together")
+	}
+	var i, n int
+	if c, err := fmt.Sscanf(nodeSpec, "%d/%d", &i, &n); err != nil || c != 2 {
+		return nil, fmt.Errorf("bad -node %q, want i/n (e.g. 0/2)", nodeSpec)
+	}
+	addrs := strings.Split(peers, ",")
+	if len(addrs) != n {
+		return nil, fmt.Errorf("-node %s names %d nodes but -peers lists %d addresses", nodeSpec, n, len(addrs))
+	}
+	return timewarp.NewTCPTransport(timewarp.TCPOptions{Node: i, Peers: addrs})
 }
 
 func loadCircuit(bench string, scale float64, path string) (*circuit.Circuit, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"testing"
 
 	"repro/internal/smoketest"
@@ -30,4 +31,29 @@ func TestParsimDynamicSmoke(t *testing.T) {
 		"rebalance-rounds=",
 		"verified against the sequential oracle",
 	)
+}
+
+// TestParsimMultiProcessSmoke runs one simulation as two OS processes
+// joined over TCP loopback. Both processes must gather the same global
+// committed total and independently verify it against the oracle.
+func TestParsimMultiProcessSmoke(t *testing.T) {
+	outs := smoketest.RunCluster(t, 2,
+		[]string{"-bench", "s5378", "-scale", "0.05", "-nodes", "2", "-cycles", "2", "-grain", "0"},
+		"parallel run:",
+		"committed events locally",
+		"verified against the sequential oracle",
+	)
+	re := regexp.MustCompile(`parallel run: .* wall, (\d+) committed events`)
+	var global string
+	for i, out := range outs {
+		m := re.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("node %d: no global total in output:\n%s", i, out)
+		}
+		if global == "" {
+			global = m[1]
+		} else if m[1] != global {
+			t.Errorf("node %d gathered %s committed events, node 0 gathered %s", i, m[1], global)
+		}
+	}
 }

@@ -37,9 +37,15 @@
 //     rebalancing snapshots per-LP load (EWMA-smoothed across rounds) in
 //     an extra control wave and migrates LPs at observed-GVT advance, with
 //     stale-route forwarding and batch-like transit accounting of the
-//     migration payload keeping every cut sound. Event queues use
-//     non-boxing heaps, scheduler pushes are deduplicated per LP, and
-//     bundle/event slices are pooled across rollback and fossil
+//     migration payload keeping every cut sound. The communication seam
+//     is a pluggable Transport: the in-memory default wires mailboxes
+//     directly, while NewTCPTransport runs one simulation as N OS
+//     processes exchanging length-prefixed binary frames (events, GVT
+//     waves, load reports, routes, and — for handlers implementing
+//     StateCodec — migration state) over a loopback-or-LAN mesh, with
+//     the two-cut transit invariant held across the sockets. Event
+//     queues use non-boxing heaps, scheduler pushes are deduplicated per
+//     LP, and bundle/event slices are pooled across rollback and fossil
 //     collection;
 //   - internal/analyzers: the kernel-invariant analyzer suite behind
 //     cmd/kernelvet — a self-contained go/analysis-style framework
@@ -59,8 +65,8 @@
 //     paths), guardedby (lock-set analysis of //kernelvet:guarded-by
 //     fields, plus lock-order consistency), poollife (pooled objects are
 //     not used after put, put at most once, and never leak at a return),
-//     and wiresafe (//kernelvet:wire types stay flat for a future real
-//     transport). CI runs `go run ./cmd/kernelvet ./...` (with -json and
+//     and wiresafe (//kernelvet:wire types stay flat, which is what lets
+//     the TCP transport serialize them with plain copies). CI runs `go run ./cmd/kernelvet ./...` (with -json and
 //     a GitHub problem matcher available) and the selftest package keeps
 //     `go test ./...` equivalent to it;
 //   - internal/smoketest: the `go build && run` harness behind the cmd/

@@ -63,6 +63,21 @@ type misWireArgs struct{ v int32 }
 //kernelvet:wire // want `kernelvet:wire belongs in a type declaration's doc comment`
 func misWire() {}
 
+// Grouped frame-struct declarations (the kernel's TCP wire set is declared
+// this way) carry per-spec wire directives; both placements are valid.
+type (
+	//kernelvet:wire
+	frameHdr struct{ typ uint8 }
+
+	//kernelvet:wire
+	frameBody struct{ n int32 }
+)
+
+// misWireVar puts wire on a variable declaration.
+//
+//kernelvet:wire // want `kernelvet:wire belongs in a type declaration's doc comment`
+var wireBuf int32
+
 // getBuf is a well-formed pool accessor pair member.
 //
 //kernelvet:pool-get
@@ -105,4 +120,4 @@ func wellFormed() {
 
 var _ = [...]interface{}{misOwner, misVerb, misArgs, misGoroutine, misPlaced, wellFormed,
 	misGuard, misWire, getBuf, putBuf, balanceSites, misCharge,
-	guarded{}, flat{}, misWireArgs{}, misChargeField{}}
+	guarded{}, flat{}, misWireArgs{}, misChargeField{}, frameHdr{}, frameBody{}, wireBuf}

@@ -56,4 +56,57 @@ type (
 	mapped struct{ m map[int32]int32 }
 )
 
-var _ = []interface{}{header{}, pointered{}, sliced{}, stringy{}, platform{}, chatty{}, flatAlias{}, mapped{}}
+// The shapes below mirror the kernel's TCP frame structs: named scalar
+// aliases standing in for Time/LPID, control bits, and per-LP headers.
+
+type simTime int64
+
+// coordLike is the GVT coordinator state as it crosses the socket: named
+// int64 alias, round counters, a done flag, and a control-bit byte.
+//
+//kernelvet:wire
+type coordLike struct {
+	round, reportRound uint64
+	gvt                simTime
+	done               bool
+	bits               uint8
+}
+
+// lpHdrLike embeds a flat wire struct (analyzer must see through the
+// embedding) and adds sized counts like the migration payload header.
+//
+//kernelvet:wire
+type lpHdrLike struct {
+	coordLike
+	lp       id
+	nPending int32
+	stateLen int32
+}
+
+// handled smuggles a callback into a frame struct.
+//
+//kernelvet:wire // want `wire type handled is not flat: handled.fn is a func`
+type handled struct {
+	lp id
+	fn func()
+}
+
+// faced smuggles an interface (e.g. a Handler) into a frame struct.
+//
+//kernelvet:wire // want `wire type faced is not flat: faced.h is an interface`
+type faced struct {
+	h interface{ Do() }
+}
+
+type hiddenInt int
+
+// aliasedPlatform hides a platform-sized int behind a named alias; the
+// structural walk must still reject it.
+//
+//kernelvet:wire // want `wire type aliasedPlatform is not flat: aliasedPlatform.n is platform-sized int`
+type aliasedPlatform struct {
+	n hiddenInt
+}
+
+var _ = []interface{}{header{}, pointered{}, sliced{}, stringy{}, platform{}, chatty{}, flatAlias{}, mapped{},
+	coordLike{}, lpHdrLike{}, handled{}, faced{}, aliasedPlatform{}}

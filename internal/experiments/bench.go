@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logicsim"
 	"repro/internal/partition"
+	"repro/internal/timewarp"
 )
 
 // BenchResult is one machine-readable benchmark scenario: Go-benchmark
@@ -28,6 +29,10 @@ type BenchResult struct {
 	// scenarios (zero otherwise).
 	CommittedEvents       uint64  `json:"committed_events,omitempty"`
 	CommittedEventsPerSec float64 `json:"committed_events_per_sec,omitempty"`
+	// Kernel holds the full Time Warp counters of one representative run
+	// for simulation scenarios (omitted otherwise), serialized through
+	// timewarp.RunStats' own JSON schema.
+	Kernel *timewarp.RunStats `json:"run_stats,omitempty"`
 }
 
 // BenchReport is the file cmd/experiments -json writes: one point of the
@@ -112,11 +117,13 @@ func RunBenchJSON(o Options, w io.Writer) error {
 		return err
 	}
 	uniformCfg := o.simConfig()
-	committed, r, err := benchSim(c, a, uniformCfg)
+	committed, stats, r, err := benchSim(c, a, uniformCfg)
 	if err != nil {
 		return err
 	}
-	rep.Results = append(rep.Results, benchResult("timewarp/static/uniform/k=4", r, committed))
+	br := benchResult("timewarp/static/uniform/k=4", r, committed)
+	br.Kernel = stats
+	rep.Results = append(rep.Results, br)
 
 	// Hotspot workload: static vs dynamic — the trajectory of the study's
 	// headline comparison.
@@ -125,11 +132,13 @@ func RunBenchJSON(o Options, w io.Writer) error {
 		if dynamic {
 			name = "timewarp/dynamic/hotspot/k=4"
 		}
-		committed, r, err := benchSim(c, a, dynamicConfig(o, dynamic))
+		committed, stats, r, err := benchSim(c, a, dynamicConfig(o, dynamic))
 		if err != nil {
 			return err
 		}
-		rep.Results = append(rep.Results, benchResult(name, r, committed))
+		br := benchResult(name, r, committed)
+		br.Kernel = stats
+		rep.Results = append(rep.Results, br)
 	}
 
 	enc := json.NewEncoder(w)
@@ -139,9 +148,10 @@ func RunBenchJSON(o Options, w io.Writer) error {
 
 // benchSim benchmarks one parallel simulation configuration and returns its
 // committed-event count (identical across iterations by the determinism
-// invariant; verified here).
-func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (uint64, testing.BenchmarkResult, error) {
+// invariant; verified here) plus the kernel counters of the last run.
+func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (uint64, *timewarp.RunStats, testing.BenchmarkResult, error) {
 	var committed uint64
+	var stats timewarp.RunStats
 	var simErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -151,6 +161,7 @@ func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (
 				simErr = err
 				b.Fatal(err)
 			}
+			stats = res.Stats
 			if committed == 0 {
 				committed = res.CommittedEvents
 			} else if res.CommittedEvents != committed {
@@ -159,7 +170,7 @@ func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (
 			}
 		}
 	})
-	return committed, r, simErr
+	return committed, &stats, r, simErr
 }
 
 // benchRuntimeGraph builds a unit-activity chain runtime graph of n LPs.

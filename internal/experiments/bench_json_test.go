@@ -3,6 +3,9 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -49,6 +52,88 @@ func TestRunBenchJSON(t *testing.T) {
 	for _, r := range rep.Results {
 		if r.Name == "timewarp/static/uniform/k=4" && (r.CommittedEvents == 0 || r.CommittedEventsPerSec <= 0) {
 			t.Errorf("simulation scenario missing throughput: %+v", r)
+		}
+		if strings.HasPrefix(r.Name, "timewarp/") {
+			if r.Kernel == nil || r.Kernel.EventsCommitted == 0 {
+				t.Errorf("%s: run_stats block missing or empty: %+v", r.Name, r.Kernel)
+			}
+		} else if r.Kernel != nil {
+			t.Errorf("%s: unexpected run_stats on a non-simulation scenario", r.Name)
+		}
+	}
+}
+
+// TestBenchJSONSchemaGolden pins the -json schema to the checked-in
+// results/BENCH_5.json artifact: every key the golden file has must still
+// be emitted under the same name (top level and per scenario), and the
+// only additions allowed over the golden schema are the run_stats blocks.
+// Renaming or dropping a key breaks the trajectory tooling that diffs
+// BENCH_*.json artifacts across CI runs; this test catches it first.
+func TestBenchJSONSchemaGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness")
+	}
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "results", "BENCH_5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden map[string]json.RawMessage
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := RunBenchJSON(tinyOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("generated report does not decode: %v", err)
+	}
+	for key := range golden {
+		if _, ok := got[key]; !ok {
+			t.Errorf("top-level key %q from the golden schema is gone", key)
+		}
+	}
+	for key := range got {
+		if _, ok := golden[key]; !ok {
+			t.Errorf("unexpected new top-level key %q", key)
+		}
+	}
+
+	type rawResult map[string]json.RawMessage
+	decodeResults := func(raw json.RawMessage) map[string]rawResult {
+		var list []rawResult
+		if err := json.Unmarshal(raw, &list); err != nil {
+			t.Fatalf("results do not decode: %v", err)
+		}
+		byName := make(map[string]rawResult, len(list))
+		for _, r := range list {
+			var name string
+			if err := json.Unmarshal(r["name"], &name); err != nil {
+				t.Fatalf("scenario name does not decode: %v", err)
+			}
+			byName[name] = r
+		}
+		return byName
+	}
+	goldenResults := decodeResults(golden["results"])
+	gotResults := decodeResults(got["results"])
+	allowedNew := map[string]bool{"run_stats": true}
+	for name, gr := range goldenResults {
+		cur, ok := gotResults[name]
+		if !ok {
+			t.Errorf("scenario %q from the golden schema is gone", name)
+			continue
+		}
+		for key := range gr {
+			if _, ok := cur[key]; !ok {
+				t.Errorf("scenario %q: key %q from the golden schema is gone", name, key)
+			}
+		}
+		for key := range cur {
+			if _, inGolden := gr[key]; !inGolden && !allowedNew[key] {
+				t.Errorf("scenario %q: unexpected new key %q", name, key)
+			}
 		}
 	}
 }

@@ -2,10 +2,15 @@ package logicsim
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/partition"
 	"repro/internal/seqsim"
+	"repro/internal/timewarp"
 )
 
 // TestDeterminismMatrix is the end-to-end determinism suite for the
@@ -67,5 +72,144 @@ func TestDeterminismMatrix(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// runTCPPair runs one simulation as two in-process "nodes" over TCP loopback,
+// each hosting one of the two clusters, and merges their results: committed
+// counts and the order-independent output history add, and each gate's final
+// value comes from the single node that hosted it (Result.Local).
+func runTCPPair(t *testing.T, c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, uint64) {
+	t.Helper()
+	const n = 2
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	results := make([]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := timewarp.NewTCPTransport(timewarp.TCPOptions{
+				Node: i, Peers: addrs, Listener: lns[i], DialTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer tr.Close()
+			nodeCfg := cfg
+			nodeCfg.Transport = tr
+			results[i], errs[i] = Run(c, a, nodeCfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+
+	merged := Result{
+		OutputValues: make([]circuit.Value, len(c.Outputs)),
+		FinalValues:  make([]circuit.Value, c.NumGates()),
+		Local:        make([]bool, c.NumGates()),
+	}
+	var migrations uint64
+	for _, r := range results {
+		merged.CommittedEvents += r.CommittedEvents
+		merged.OutputHistory += r.OutputHistory
+		migrations += r.Stats.Migrations
+	}
+	for id := 0; id < c.NumGates(); id++ {
+		owners := 0
+		for _, r := range results {
+			if r.Local[id] {
+				owners++
+				merged.FinalValues[id] = r.FinalValues[id]
+				merged.Local[id] = true
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("gate %d reported by %d nodes, want exactly 1", id, owners)
+		}
+	}
+	for i, id := range c.Outputs {
+		merged.OutputValues[i] = merged.FinalValues[id]
+	}
+	return merged, migrations
+}
+
+// TestDeterminismTCPLoopback is the multi-process column of the determinism
+// matrix: the same circuit at two clusters, distributed over two OS-level
+// kernel instances connected by TCP loopback, must commit bit-identically to
+// the sequential oracle (and therefore to the in-memory kernel, which the
+// matrix above holds to the same oracle). The dynamic rows additionally force
+// gate migration between the processes, so StateCodec payloads cross the
+// socket and are still invisible in committed results.
+func TestDeterminismTCPLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Name: "det280", Inputs: 8, Gates: 280, Outputs: 6, FlipFlops: 22, Seed: 31,
+	})
+	cfg := seqsim.Config{Cycles: 10, StimulusSeed: 77}
+	want, err := seqsim.Run(c, cfg)
+	if err != nil {
+		t.Fatalf("seqsim: %v", err)
+	}
+	a, err := partition.Cone{}.Partition(c, 2)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	var totalMigrations uint64
+	for _, lazy := range []bool{false, true} {
+		for _, dynamic := range []bool{false, true} {
+			t.Run(fmt.Sprintf("lazy=%v/dynamic=%v", lazy, dynamic), func(t *testing.T) {
+				runCfg := Config{
+					Cycles:           cfg.Cycles,
+					StimulusSeed:     cfg.StimulusSeed,
+					LazyCancellation: lazy,
+				}
+				if dynamic {
+					runCfg.DynamicRebalance = true
+					runCfg.GVTPeriodEvents = 128
+					runCfg.RebalancePeriodRounds = 1
+					runCfg.RebalanceImbalance = 1.0
+				}
+				got, migrations := runTCPPair(t, c, a, runCfg)
+				totalMigrations += migrations
+				if got.CommittedEvents != want.Events {
+					t.Errorf("committed events = %d, sequential = %d", got.CommittedEvents, want.Events)
+				}
+				if got.OutputHistory != want.OutputHistory {
+					t.Errorf("output history = %#x, sequential = %#x", got.OutputHistory, want.OutputHistory)
+				}
+				for i := range want.OutputValues {
+					if got.OutputValues[i] != want.OutputValues[i] {
+						t.Errorf("output %d = %v, sequential = %v", i, got.OutputValues[i], want.OutputValues[i])
+					}
+				}
+				for id := range want.FinalValues {
+					if got.FinalValues[id] != want.FinalValues[id] {
+						t.Errorf("gate %d final = %v, sequential = %v", id, got.FinalValues[id], want.FinalValues[id])
+						break
+					}
+				}
+			})
+		}
+	}
+	if totalMigrations == 0 {
+		t.Error("no gate migrated between processes across the dynamic rows")
 	}
 }

@@ -70,13 +70,21 @@ type Config struct {
 	OptimismCycles float64
 
 	// GVTPeriodEvents, LazyCancellation, NetSendBusy, NetRecvBusy,
-	// NetLatency and InboxSize pass through to the Time Warp kernel.
+	// NetLatency, InboxSize and FlushBatch pass through to the Time Warp
+	// kernel (the Net* fields land in timewarp.NetConfig).
 	GVTPeriodEvents  int
 	LazyCancellation bool
 	NetSendBusy      int
 	NetRecvBusy      int
 	NetLatency       time.Duration
 	InboxSize        int
+	FlushBatch       int
+
+	// Transport selects the kernel's communication fabric: nil runs every
+	// cluster in this process (the in-memory transport); a
+	// timewarp.NewTCPTransport spreads the clusters over N OS processes, of
+	// which this one hosts a share (see Result.Local).
+	Transport timewarp.Transport
 }
 
 func (cfg *Config) setDefaults(c *circuit.Circuit) error {
@@ -113,13 +121,24 @@ func (cfg *Config) setDefaults(c *circuit.Circuit) error {
 type Result struct {
 	// CommittedEvents is the number of application events committed; it
 	// must equal the Events count of a sequential run with the same Config.
+	// Under a multi-process transport it covers only the clusters this
+	// process hosted — sum it across nodes.
 	CommittedEvents uint64
-	// OutputValues and OutputHistory mirror seqsim.Result.
+	// OutputValues and OutputHistory mirror seqsim.Result. Multi-process
+	// runs report only locally-hosted gates (see Local); OutputHistory is an
+	// order-independent sum, so adding the nodes' values reconstructs the
+	// single-process figure exactly.
 	OutputValues  []circuit.Value
 	OutputHistory uint64
-	// FinalValues is the final output value of every gate.
+	// FinalValues is the final output value of every gate this process
+	// hosted; entries for remote gates are circuit.X.
 	FinalValues []circuit.Value
-	// Stats carries the kernel counters (rollbacks, messages, GVT rounds).
+	// Local reports, per gate, whether this process hosted the gate when the
+	// run finished (always true on a single node). Callers merging
+	// multi-process results use it to pick exactly one owner per gate.
+	Local []bool
+	// Stats carries the kernel counters (rollbacks, messages, GVT rounds)
+	// for the clusters this process hosted.
 	Stats timewarp.RunStats
 }
 
@@ -330,6 +349,50 @@ func (lp *gateLP) RecycleState(snap interface{}) {
 	lp.snapFree = append(lp.snapFree, s)
 }
 
+// EncodeState implements timewarp.StateCodec, making gates migratable across
+// a multi-process transport: the mutable simulation state is exactly
+// gateState (input pins, output, flip-flop latch, history signature) — the
+// rest of gateLP is immutable tables every replica builds identically from
+// the circuit.
+func (lp *gateLP) EncodeState(buf []byte) ([]byte, error) {
+	if len(lp.st.inputs) > 255 {
+		return nil, fmt.Errorf("logicsim: gate %d has %d pins, wire limit 255", lp.id, len(lp.st.inputs))
+	}
+	buf = append(buf, byte(len(lp.st.inputs)))
+	for _, v := range lp.st.inputs {
+		buf = append(buf, byte(v))
+	}
+	buf = append(buf, byte(lp.st.out), byte(lp.st.ff))
+	h := lp.st.hist
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(h>>(8*i)))
+	}
+	return buf, nil
+}
+
+// DecodeState implements timewarp.StateCodec.
+func (lp *gateLP) DecodeState(data []byte) error {
+	if len(data) < 1 {
+		return fmt.Errorf("logicsim: gate state truncated")
+	}
+	n := int(data[0])
+	if n != len(lp.st.inputs) || len(data) != 1+n+2+8 {
+		return fmt.Errorf("logicsim: gate state for %d pins, have %d (len %d)", n, len(lp.st.inputs), len(data))
+	}
+	data = data[1:]
+	for i := 0; i < n; i++ {
+		lp.st.inputs[i] = circuit.Value(data[i])
+	}
+	lp.st.out = circuit.Value(data[n])
+	lp.st.ff = circuit.Value(data[n+1])
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h |= uint64(data[n+2+i]) << (8 * i)
+	}
+	lp.st.hist = h
+	return nil
+}
+
 // rebalancer adapts the kernel's load snapshots to core.Rebalance: it turns
 // the observed send matrix into a partition.RuntimeGraph, refines the
 // current assignment, and hands the result back as the new routing. Buffers
@@ -431,19 +494,23 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 		OptimismWindow:   window,
 		GVTPeriodEvents:  cfg.GVTPeriodEvents,
 		LazyCancellation: cfg.LazyCancellation,
-		NetSendBusy:      cfg.NetSendBusy,
-		NetRecvBusy:      cfg.NetRecvBusy,
-		NetLatency:       cfg.NetLatency,
-		InboxSize:        cfg.InboxSize,
+		Net: timewarp.NetConfig{
+			Transport:  cfg.Transport,
+			SendBusy:   cfg.NetSendBusy,
+			RecvBusy:   cfg.NetRecvBusy,
+			Latency:    cfg.NetLatency,
+			InboxSize:  cfg.InboxSize,
+			FlushBatch: cfg.FlushBatch,
+		},
 	}
 	if cfg.DynamicRebalance && a.K > 1 {
 		rb := &rebalancer{
 			imbalance: cfg.RebalanceImbalance,
 			seed:      cfg.RebalanceSeed,
 		}
-		twCfg.Rebalance = rb.rebalance
-		twCfg.RebalancePeriodRounds = cfg.RebalancePeriodRounds
-		twCfg.LoadSmoothing = cfg.LoadSmoothing
+		twCfg.Dynamic.Rebalance = rb.rebalance
+		twCfg.Dynamic.PeriodRounds = cfg.RebalancePeriodRounds
+		twCfg.Dynamic.LoadSmoothing = cfg.LoadSmoothing
 	}
 	kernel, err := timewarp.New(twCfg, handlers)
 	if err != nil {
@@ -458,14 +525,23 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 		CommittedEvents: stats.EventsCommitted,
 		OutputValues:    make([]circuit.Value, len(c.Outputs)),
 		FinalValues:     make([]circuit.Value, c.NumGates()),
+		Local:           make([]bool, c.NumGates()),
 		Stats:           stats,
 	}
+	// Report only the gates this process hosts at the end of the run: a
+	// remote gate's handler here is either an untouched replica or a stale
+	// pre-migration copy, and exactly one node reports each gate.
 	for id, lp := range lps {
+		res.FinalValues[id] = circuit.X
+		if !kernel.LocalLP(timewarp.LPID(id)) {
+			continue
+		}
+		res.Local[id] = true
 		res.FinalValues[id] = lp.st.out
 		res.OutputHistory += lp.st.hist
 	}
 	for i, id := range c.Outputs {
-		res.OutputValues[i] = lps[id].st.out
+		res.OutputValues[i] = res.FinalValues[id]
 	}
 	return res, nil
 }

@@ -5,10 +5,13 @@ package smoketest
 
 import (
 	"context"
+	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -49,4 +52,71 @@ func Run(t *testing.T, args []string, want ...string) string {
 		}
 	}
 	return text
+}
+
+// RunCluster builds the current main package once and launches it as n
+// concurrent OS processes forming one TCP-connected simulation: each
+// process gets the shared args plus "-node i/n -peers <list>", with the
+// peer list drawn from freshly released loopback ports. Every process
+// must exit cleanly and print every want substring; the combined outputs
+// are returned, indexed by node.
+func RunCluster(t *testing.T, n int, args []string, want ...string) []string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("smoke test skipped in -short mode")
+	}
+	pkgDir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	scratch := t.TempDir()
+	bin := filepath.Join(scratch, "smoke.bin")
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, ".")
+	build.Dir = pkgDir
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\noutput:\n%s", err, out)
+	}
+	// Pick n free loopback ports by binding and immediately releasing
+	// them. The window between release and the child's Listen is a race
+	// in principle, but colliding with an unrelated bind on loopback in
+	// that window is vanishingly unlikely and only fails the smoke test.
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	peers := strings.Join(addrs, ",")
+	outs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nodeArgs := append(append([]string(nil), args...),
+				"-node", fmt.Sprintf("%d/%d", i, n), "-peers", peers)
+			cmd := exec.CommandContext(ctx, bin, nodeArgs...)
+			cmd.Dir = scratch
+			out, err := cmd.CombinedOutput()
+			outs[i], errs[i] = string(out), err
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %s %v failed: %v\noutput:\n%s", i, bin, args, errs[i], outs[i])
+		}
+		for _, w := range want {
+			if !strings.Contains(outs[i], w) {
+				t.Errorf("node %d output missing %q:\n%s", i, w, outs[i])
+			}
+		}
+	}
+	return outs
 }

@@ -10,26 +10,26 @@ import (
 type ClusterStats struct {
 	// EventsProcessed counts every event executed, including executions
 	// later undone by rollback.
-	EventsProcessed uint64
+	EventsProcessed uint64 `json:"events_processed"`
 	// EventsCommitted counts events made permanent by fossil collection.
-	EventsCommitted uint64
+	EventsCommitted uint64 `json:"events_committed"`
 	// EventsRolledBack counts event executions undone by rollbacks.
-	EventsRolledBack uint64
+	EventsRolledBack uint64 `json:"events_rolled_back"`
 	// Rollbacks counts rollback episodes.
-	Rollbacks uint64
+	Rollbacks uint64 `json:"rollbacks"`
 	// RemoteMessages counts positive application messages sent to other
 	// clusters (the paper's "Number of Application Messages").
-	RemoteMessages uint64
+	RemoteMessages uint64 `json:"remote_messages"`
 	// LocalMessages counts positive messages delivered inside the cluster.
-	LocalMessages uint64
+	LocalMessages uint64 `json:"local_messages"`
 	// AntiMessages counts anti-messages sent (to any destination).
-	AntiMessages uint64
+	AntiMessages uint64 `json:"anti_messages"`
 	// Migrations counts LPs this cluster packed and handed to a new home
 	// under dynamic rebalancing.
-	Migrations uint64
+	Migrations uint64 `json:"migrations"`
 	// ForwardedMessages counts events that arrived under a stale routing
 	// epoch and were forwarded to the receiver's current home.
-	ForwardedMessages uint64
+	ForwardedMessages uint64 `json:"forwarded_messages"`
 }
 
 func (s *ClusterStats) add(o ClusterStats) {
@@ -118,6 +118,22 @@ type cluster struct {
 	// out holds the per-destination outboxes of not-yet-flushed remote
 	// events (out[c.id] stays empty; local messages use localQ).
 	out []outbox //kernelvet:owner cluster
+	// flushBatch caches NetConfig.FlushBatch for the per-event stageRemote
+	// path.
+	flushBatch int
+
+	// sentCum/recvCum are cumulative per-color transit counters, maintained
+	// only under a multi-process transport (kernel.remote): sentCum[p]
+	// counts every event this cluster ever flushed under parity p, recvCum
+	// every event it released from its mailbox or delayed heap. Unlike the
+	// kernel's transit deltas they never decrease (a refused flush takes
+	// its increment back on the same goroutine before anyone reads it), so
+	// the coordinator can evaluate the wave-1 drain over stale mirrors:
+	// once a cluster acked the cut it is red and its white sentCum is
+	// final, and a lagging recvCum mirror only undercounts — the probe can
+	// conclude "drained" late, never early.
+	sentCum [2]paddedCount
+	recvCum [2]paddedCount
 
 	// localQ queues intra-cluster deliveries. Local messages are never
 	// delivered synchronously from inside LP operations: a rollback that
@@ -275,10 +291,13 @@ func (c *cluster) checkGVT() {
 	k := c.kernel
 	if r := atomic.LoadInt64(&k.round); r > c.color {
 		// Wave 1 cut: turn red. Batches flushed from here on carry the new
-		// color; redMin starts tracking their minimum receive time.
+		// color; redMin starts tracking their minimum receive time. The ack
+		// pins this cluster's white sentCum: it is issued after the color
+		// flip on this same goroutine, so no later flush can raise the
+		// white count the coordinator reads.
 		c.color = r
 		c.redMin = TimeInfinity
-		atomic.AddInt32(&k.cutAcks, 1)
+		k.tr.ackCut(c)
 	}
 	if r := atomic.LoadInt64(&k.reportRound); r == c.color && c.reportedRound < r {
 		// Wave 2: every pre-cut batch is accounted for (the white transit
@@ -293,8 +312,7 @@ func (c *cluster) checkGVT() {
 		if c.redMin < m {
 			m = c.redMin
 		}
-		atomic.StoreInt64(&k.reports[c.id].t, m)
-		atomic.AddInt32(&k.reportAcks, 1)
+		k.tr.report(c, m)
 		// Participating in a round resets the request period, preserving
 		// the one-round-per-GVTPeriodEvents cadence across the fleet.
 		c.eventsSinceGVT = 0
@@ -305,7 +323,7 @@ func (c *cluster) checkGVT() {
 		// reads the buffer only after every cluster acked.
 		c.loadSeen = r
 		c.captureLoad()
-		atomic.AddInt32(&k.loadAcks, 1)
+		k.tr.ackLoad(c)
 	}
 }
 
@@ -407,7 +425,7 @@ func (c *cluster) run() {
 		if len(c.sched) > 0 {
 			next = c.sched[0].t
 		}
-		k.publishProgress(c.id, next)
+		k.tr.publish(c, next)
 		switch {
 		case n > 0 || moved > 0:
 			c.idleLoops = 0

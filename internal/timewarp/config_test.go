@@ -1,26 +1,35 @@
 package timewarp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
 
 // TestSetDefaultsValidation exercises every rejection path of Config
-// validation directly (TestConfigErrors covers the New() wrapper).
+// validation directly (TestConfigErrors covers the New() wrapper). Each error
+// must both match its sentinel (errors.Is) and name the offending value.
 func TestSetDefaultsValidation(t *testing.T) {
 	cases := []struct {
-		name    string
-		cfg     Config
-		numLPs  int
-		wantErr string
+		name     string
+		cfg      Config
+		numLPs   int
+		sentinel error
+		wantErr  string
 	}{
-		{"zero clusters", Config{NumClusters: 0, ClusterOf: []int{0, 0}}, 2, "at least one cluster"},
-		{"negative clusters", Config{NumClusters: -3, ClusterOf: []int{0, 0}}, 2, "at least one cluster"},
-		{"short ClusterOf", Config{NumClusters: 2, ClusterOf: []int{0}}, 2, "covers 1 LPs"},
-		{"long ClusterOf", Config{NumClusters: 2, ClusterOf: []int{0, 1, 0}}, 2, "covers 3 LPs"},
-		{"nil ClusterOf", Config{NumClusters: 1}, 2, "covers 0 LPs"},
-		{"cluster id too large", Config{NumClusters: 2, ClusterOf: []int{0, 2}}, 2, "assigned to cluster 2"},
-		{"negative cluster id", Config{NumClusters: 2, ClusterOf: []int{-1, 0}}, 2, "assigned to cluster -1"},
+		{"zero clusters", Config{NumClusters: 0, ClusterOf: []int{0, 0}}, 2, ErrBadClusters, "at least one cluster"},
+		{"negative clusters", Config{NumClusters: -3, ClusterOf: []int{0, 0}}, 2, ErrBadClusters, "at least one cluster"},
+		{"short ClusterOf", Config{NumClusters: 2, ClusterOf: []int{0}}, 2, ErrBadAssignment, "covers 1 LPs"},
+		{"long ClusterOf", Config{NumClusters: 2, ClusterOf: []int{0, 1, 0}}, 2, ErrBadAssignment, "covers 3 LPs"},
+		{"nil ClusterOf", Config{NumClusters: 1}, 2, ErrBadAssignment, "covers 0 LPs"},
+		{"cluster id too large", Config{NumClusters: 2, ClusterOf: []int{0, 2}}, 2, ErrBadAssignment, "assigned to cluster 2"},
+		{"negative cluster id", Config{NumClusters: 2, ClusterOf: []int{-1, 0}}, 2, ErrBadAssignment, "assigned to cluster -1"},
+		{"negative FlushBatch", Config{NumClusters: 1, ClusterOf: []int{0},
+			Net: NetConfig{FlushBatch: -1}}, 1, ErrBadFlushBatch, "at least 1"},
+		{"smoothing above 1", Config{NumClusters: 1, ClusterOf: []int{0},
+			Dynamic: DynamicConfig{LoadSmoothing: 1.5}}, 1, ErrBadSmoothing, "1.5"},
+		{"negative smoothing", Config{NumClusters: 1, ClusterOf: []int{0},
+			Dynamic: DynamicConfig{LoadSmoothing: -0.25}}, 1, ErrBadSmoothing, "-0.25"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -28,10 +37,31 @@ func TestSetDefaultsValidation(t *testing.T) {
 			if err == nil {
 				t.Fatalf("config accepted: %+v", tc.cfg)
 			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Errorf("error %q does not wrap sentinel %q", err, tc.sentinel)
+			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestValidateExported: the exported Validate checks entry ranges and knob
+// domains without knowing the LP count, so callers can vet a configuration
+// before they have handlers.
+func TestValidateExported(t *testing.T) {
+	good := Config{NumClusters: 2, ClusterOf: []int{0, 1, 1}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := Config{NumClusters: 2, ClusterOf: []int{0, 3}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("out-of-range assignment: got %v, want ErrBadAssignment", err)
+	}
+	// Validate must not mutate: zero-valued tunables stay zero.
+	if good.Net.FlushBatch != 0 || good.Net.InboxSize != 0 {
+		t.Errorf("Validate mutated defaults: %+v", good.Net)
 	}
 }
 
@@ -45,33 +75,41 @@ func TestSetDefaultsApplied(t *testing.T) {
 	if cfg.GVTPeriodEvents != 4096 {
 		t.Errorf("GVTPeriodEvents default = %d, want 4096", cfg.GVTPeriodEvents)
 	}
-	if cfg.InboxSize != 8192 {
-		t.Errorf("InboxSize default = %d, want 8192", cfg.InboxSize)
+	if cfg.Net.InboxSize != 8192 {
+		t.Errorf("InboxSize default = %d, want 8192", cfg.Net.InboxSize)
 	}
-	if cfg.RebalancePeriodRounds != 4 {
-		t.Errorf("RebalancePeriodRounds default = %d, want 4", cfg.RebalancePeriodRounds)
+	if cfg.Net.FlushBatch != 64 {
+		t.Errorf("FlushBatch default = %d, want 64", cfg.Net.FlushBatch)
+	}
+	if cfg.Dynamic.PeriodRounds != 4 {
+		t.Errorf("Dynamic.PeriodRounds default = %d, want 4", cfg.Dynamic.PeriodRounds)
 	}
 
 	cfg = Config{
 		NumClusters: 1, ClusterOf: []int{0, 0},
-		GVTPeriodEvents: 7, InboxSize: 3, RebalancePeriodRounds: 9,
+		GVTPeriodEvents: 7,
+		Net:             NetConfig{InboxSize: 3, FlushBatch: 2},
+		Dynamic:         DynamicConfig{PeriodRounds: 9},
 	}
 	if err := cfg.setDefaults(2); err != nil {
 		t.Fatal(err)
 	}
-	if cfg.GVTPeriodEvents != 7 || cfg.InboxSize != 3 || cfg.RebalancePeriodRounds != 9 {
+	if cfg.GVTPeriodEvents != 7 || cfg.Net.InboxSize != 3 || cfg.Net.FlushBatch != 2 || cfg.Dynamic.PeriodRounds != 9 {
 		t.Errorf("explicit values overwritten: %+v", cfg)
 	}
 
-	// Negative tunables are treated as unset, like zero.
+	// Negative tunables without a validation rule are treated as unset, like
+	// zero (FlushBatch instead has a hard floor of 1, tested above).
 	cfg = Config{
 		NumClusters: 1, ClusterOf: []int{0},
-		GVTPeriodEvents: -1, InboxSize: -1, RebalancePeriodRounds: -1,
+		GVTPeriodEvents: -1,
+		Net:             NetConfig{InboxSize: -1},
+		Dynamic:         DynamicConfig{PeriodRounds: -1},
 	}
 	if err := cfg.setDefaults(1); err != nil {
 		t.Fatal(err)
 	}
-	if cfg.GVTPeriodEvents != 4096 || cfg.InboxSize != 8192 || cfg.RebalancePeriodRounds != 4 {
+	if cfg.GVTPeriodEvents != 4096 || cfg.Net.InboxSize != 8192 || cfg.Dynamic.PeriodRounds != 4 {
 		t.Errorf("negative tunables not defaulted: %+v", cfg)
 	}
 }

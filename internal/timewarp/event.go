@@ -17,6 +17,24 @@
 // queue on the owning goroutine. See transport.go for the full policy and
 // its GVT-soundness argument.
 //
+// The communication seam between clusters is an explicit Transport. The
+// default in-memory transport wires mailboxes and GVT atomics directly and
+// is what a single-process run uses; NewTCPTransport instead splits one
+// simulation across several OS processes. Every process runs the same
+// kernel over the same configuration, hosts the contiguous share of
+// clusters assigned to its node index, and exchanges length-prefixed binary
+// frames (wire.go) carrying event batches, GVT control waves, load reports,
+// route announcements and migration payloads over a full mesh of TCP
+// connections. The two-cut transit invariant spans the sockets: a batch's
+// in-transit charge is released only when its frame has been decoded into
+// the receiver's mailbox, and the cut waves carry pinned per-color
+// sent/received counters so a cut closes only after every frame under it
+// has landed. Handlers that additionally implement StateCodec can migrate
+// between processes (their state crosses in the same frames); a
+// configuration that enables Rebalance on a multi-process transport without
+// full StateCodec coverage is rejected at New. See transport_api.go for the
+// seam and transport_tcp.go for the mesh.
+//
 // GVT (global virtual time) is computed by an asynchronous Mattern-style
 // two-cut protocol rather than a stop-the-world barrier: every *batch* is
 // stamped with its sender's round color and counted (by length) in a
@@ -75,9 +93,13 @@ const (
 )
 
 // Event is a timestamped message between LPs. Events are value types: the
-// kernel copies them freely between queues and clusters. Transport metadata
-// (GVT round color, modeled-wire deadline) lives on the batch, not the
-// event — see batchHdr in transport.go.
+// kernel copies them freely between queues and clusters, and the TCP
+// transport moves them between processes by plain copy (wire.go) — the
+// //kernelvet:wire annotation has the analyzers enforce the flatness that
+// relies on. Transport metadata (GVT round color, modeled-wire deadline)
+// lives on the batch, not the event — see batchHdr in transport.go.
+//
+//kernelvet:wire
 type Event struct {
 	// ID is unique among all events of a run; an anti-message carries the
 	// ID of the positive message it annihilates.

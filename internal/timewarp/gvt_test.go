@@ -43,7 +43,7 @@ func TestTransitCountsDrainToZero(t *testing.T) {
 		k, err := New(Config{
 			NumClusters: 2, ClusterOf: []int{0, 1},
 			GVTPeriodEvents: 32, LazyCancellation: lazy,
-			NetLatency: 50 * time.Microsecond,
+			Net: NetConfig{Latency: 50 * time.Microsecond},
 		}, []Handler{v, s})
 		if err != nil {
 			t.Fatal(err)
@@ -86,7 +86,7 @@ func TestGVTStressEightClusters(t *testing.T) {
 			ClusterOf:        clusterOf,
 			GVTPeriodEvents:  64,
 			LazyCancellation: true,
-			NetLatency:       100 * time.Microsecond,
+			Net:              NetConfig{Latency: 100 * time.Microsecond},
 		}, handlers)
 		if err != nil {
 			t.Fatal(err)

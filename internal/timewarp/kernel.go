@@ -1,119 +1,34 @@
 package timewarp
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Config parameterizes a Time Warp run.
-type Config struct {
-	// NumClusters is the number of simulation nodes (goroutines). Each
-	// models one workstation-level parallel process of the paper's setup.
-	NumClusters int
-	// ClusterOf maps every LP (by index) to its cluster; this is the
-	// partition assignment under study.
-	ClusterOf []int
-	// GVTPeriodEvents requests a GVT round after a cluster has executed
-	// this many events since it last took part in a round. Default 4096.
-	GVTPeriodEvents int
-	// LazyCancellation enables lazy cancellation: rolled-back sends are
-	// annihilated only if re-execution fails to regenerate them. The
-	// default is aggressive cancellation, as in WARPED's default.
-	LazyCancellation bool
-	// NetSendBusy / NetRecvBusy burn this many iterations of CPU work per
-	// inter-cluster message at the sender / receiver, modeling the per-
-	// message protocol overhead of the paper's fast-ethernet LAN. The cost
-	// is charged per event at batch flush/delivery time (one busy call of
-	// n×cost per batch). Zero disables the model.
-	NetSendBusy int
-	NetRecvBusy int
-	// NetLatency is the modeled one-way wall-clock delivery delay of an
-	// inter-cluster batch. Events become visible to the receiving cluster
-	// only after this delay, reproducing the straggler dynamics of a
-	// LAN-connected Time Warp. A GVT round's cut cannot close while such a
-	// batch is on the modeled wire (it keeps its transit charge until
-	// delivered), so GVT latency grows with NetLatency exactly as on a
-	// real LAN, but clusters keep executing while the cut waits. Zero
-	// disables the model.
-	NetLatency time.Duration
-	// InboxSize is the per-cluster mailbox capacity in events: a batch
-	// flush is refused (and retried by the sender) while the destination
-	// holds this many undrained events, except that an empty mailbox
-	// accepts any single batch so progress never deadlocks on a capacity
-	// smaller than one batch. Default 8192.
-	InboxSize int
-	// OptimismWindow bounds optimistic execution: a cluster does not
-	// execute bundles beyond GVT + OptimismWindow virtual time units,
-	// which caps how far lightly-communicating nodes drift ahead (and so
-	// how deep stragglers cut). Zero leaves optimism unbounded, Time
-	// Warp's default.
-	OptimismWindow Time
-	// Rebalance, when non-nil, enables dynamic load balancing: every
-	// RebalancePeriodRounds GVT rounds in which GVT advanced, the kernel
-	// collects a LoadSnapshot (per-LP committed events, rollbacks, remote
-	// sends, and the observed send matrix since the previous snapshot) and
-	// calls this function from the coordinator's goroutine. A non-nil
-	// return is the new LP→cluster assignment; LPs whose entry changed are
-	// migrated via the GVT-synchronized protocol in migrate.go. Returning
-	// nil declines (e.g. the imbalance is below a caller threshold). The
-	// snapshot's slices are reused by the kernel and must not be retained.
-	Rebalance func(*LoadSnapshot) []int
-	// RebalancePeriodRounds is the number of GVT-advancing rounds between
-	// load snapshots when Rebalance is set. Default 4.
-	RebalancePeriodRounds int
-	// LoadSmoothing is the EWMA coefficient applied to the per-LP load
-	// counters across load rounds: the snapshot's smoothed view is
-	// s ← LoadSmoothing·window + (1−LoadSmoothing)·s, seeded with the
-	// first window. 1 disables smoothing (each round sees only its own
-	// window); smaller values remember more history, so the rebalancer
-	// tracks persistent hotspots instead of chasing one-window transients.
-	// Zero defaults to 0.5; values outside (0, 1] are rejected.
-	LoadSmoothing float64
-}
-
-func (cfg *Config) setDefaults(numLPs int) error {
-	if cfg.NumClusters < 1 {
-		return fmt.Errorf("timewarp: need at least one cluster, got %d", cfg.NumClusters)
-	}
-	if len(cfg.ClusterOf) != numLPs {
-		return fmt.Errorf("timewarp: ClusterOf covers %d LPs, have %d", len(cfg.ClusterOf), numLPs)
-	}
-	for lp, c := range cfg.ClusterOf {
-		if c < 0 || c >= cfg.NumClusters {
-			return fmt.Errorf("timewarp: LP %d assigned to cluster %d, want [0,%d)", lp, c, cfg.NumClusters)
-		}
-	}
-	if cfg.GVTPeriodEvents <= 0 {
-		cfg.GVTPeriodEvents = 4096
-	}
-	if cfg.InboxSize <= 0 {
-		cfg.InboxSize = 8192
-	}
-	if cfg.RebalancePeriodRounds <= 0 {
-		cfg.RebalancePeriodRounds = 4
-	}
-	if cfg.LoadSmoothing == 0 {
-		cfg.LoadSmoothing = 0.5
-	}
-	if cfg.LoadSmoothing < 0 || cfg.LoadSmoothing > 1 {
-		return fmt.Errorf("timewarp: LoadSmoothing %v outside (0, 1]", cfg.LoadSmoothing)
-	}
-	return nil
-}
-
-// RunStats aggregates the statistics of a completed run.
+// RunStats aggregates the statistics of a completed run. Under a
+// multi-process transport each node's RunStats covers the clusters it
+// hosted; PerCluster entries for remote clusters are zero.
 type RunStats struct {
 	ClusterStats
-	PerCluster []ClusterStats
-	GVTRounds  int
+	PerCluster []ClusterStats `json:"per_cluster"`
+	GVTRounds  int            `json:"gvt_rounds"`
 	// RebalanceRounds counts completed load-collection rounds (dynamic
 	// rebalancing only); RouteEpoch counts routing-table rewrites.
-	RebalanceRounds int
-	RouteEpoch      int64
-	FinalGVT        Time
-	WallTime        time.Duration
+	RebalanceRounds int           `json:"rebalance_rounds"`
+	RouteEpoch      int64         `json:"route_epoch"`
+	FinalGVT        Time          `json:"final_gvt"`
+	WallTime        time.Duration `json:"wall_time_ns"`
+}
+
+// WriteJSON writes the stats as indented JSON.
+func (s *RunStats) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 // Coordinator phases of the asynchronous GVT round (kernel.phase; owned by
@@ -152,18 +67,35 @@ const (
 //     been flushed (see transport.go). When all reports are in,
 //     GVT = min(reports).
 //
+// Every cross-cluster interaction above goes through the Transport seam
+// (transport_api.go). Under the in-memory transport the kernel below is the
+// whole story; under TCPTransport the same state machine runs with the
+// round/report atomics replicated onto every node by frame traffic, and the
+// wave-1 drain condition evaluated over cumulative per-cluster counters
+// (cluster.sentCum/recvCum) instead of the shared transit deltas.
+//
 // Fossil collection is not a round step: each cluster commits history on
 // its own schedule whenever it observes the published GVT advance.
 // Termination is GVT = TimeInfinity (no pending work, nothing in transit).
 type Kernel struct {
 	cfg      Config
+	tr       Transport
 	lps      []*lpRuntime
 	clusters []*cluster
+	// local lists the clusters hosted by this process (all of them under
+	// the in-memory transport); only these run goroutines.
+	local []*cluster
+	// remote is true when the transport spans more than one process; it
+	// gates the cumulative transit counters the distributed GVT drain uses.
+	remote bool
 	// routes is the versioned LP→cluster mapping every send consults; it
 	// replaces the frozen ClusterOf copy, and GVT-synchronized migration
 	// rewrites it while the run is live (see route.go and migrate.go).
 	routes *routeTable
 
+	// eventID backs the nextEventID testing helper. It starts at 1<<63 so
+	// hand-minted IDs can never collide with the per-LP blocks (lp.go),
+	// which live below 2^63.
 	eventID     uint64
 	gvtFlag     int32
 	done        int32
@@ -173,12 +105,18 @@ type Kernel struct {
 	// transit counts undelivered remote events (flushed batches in
 	// mailboxes and on the modeled wire) by round parity. Events still in
 	// outboxes or local queues are covered by their owner's GVT report
-	// instead (transport.go).
+	// instead (transport.go). Under a multi-process transport the deltas of
+	// different nodes no longer cancel locally (a batch is charged on one
+	// node and discharged on another), so the coordinator uses the
+	// cumulative per-cluster counters instead; the field keeps its
+	// shared-memory role untouched for the in-memory transport.
 	transit [2]paddedCount
 
 	// Round broadcast state: round and reportRound open the two waves;
 	// cutAcks/reportAcks count cluster responses; reports holds each
-	// cluster's wave-2 minimum.
+	// cluster's wave-2 minimum. Under TCPTransport these atomics are
+	// mirrored on every node (coordinator → coord frames; cluster acks →
+	// ack/report frames applied by node 0's receive goroutines).
 	round       int64
 	reportRound int64
 	cutAcks     int32
@@ -195,7 +133,7 @@ type Kernel struct {
 	edgeFill  []int32      //kernelvet:owner coordinator
 	// ewma holds the smoothed per-LP committed-event load across load
 	// rounds (coordinator-only, allocated and seeded by the first load
-	// round; see Config.LoadSmoothing).
+	// round; see DynamicConfig.LoadSmoothing).
 	ewma []float64 //kernelvet:owner coordinator
 
 	// Coordinator-only round bookkeeping (cluster 0's goroutine).
@@ -211,7 +149,8 @@ type Kernel struct {
 	// senders compare a buffered batch's minimum receive time against the
 	// destination's entry to decide urgent flushes — so throttling and
 	// flushing never force extra GVT rounds. Entries are padded to avoid
-	// false sharing.
+	// false sharing. Under TCPTransport remote entries are mirrors kept
+	// fresh by progress frames.
 	published []paddedTime
 
 	ran bool
@@ -225,10 +164,16 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 	if len(handlers) == 0 {
 		return nil, fmt.Errorf("timewarp: no LPs")
 	}
+	tr := cfg.Net.Transport
+	if tr == nil {
+		tr = &memTransport{}
+	}
 	k := &Kernel{
 		cfg:       cfg,
+		tr:        tr,
 		routes:    newRouteTable(cfg.ClusterOf),
 		reports:   make([]paddedTime, cfg.NumClusters),
+		eventID:   1 << 63,
 		gvt:       -1,
 		prevGVT:   -2,
 		published: make([]paddedTime, cfg.NumClusters),
@@ -246,13 +191,30 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 	k.clusters = make([]*cluster, cfg.NumClusters)
 	for i := range k.clusters {
 		k.clusters[i] = &cluster{
-			kernel:   k,
-			id:       i,
-			mail:     mailbox{notify: make(chan struct{}, 1)},
-			out:      make([]outbox, cfg.NumClusters),
-			redMin:   TimeInfinity,
-			fossilAt: -1,
-			owned:    make([]bool, len(handlers)),
+			kernel:     k,
+			id:         i,
+			mail:       mailbox{notify: make(chan struct{}, 1)},
+			out:        make([]outbox, cfg.NumClusters),
+			flushBatch: cfg.Net.FlushBatch,
+			redMin:     TimeInfinity,
+			fossilAt:   -1,
+			owned:      make([]bool, len(handlers)),
+		}
+	}
+	if err := tr.bind(k); err != nil {
+		return nil, err
+	}
+	k.remote = tr.nodes() > 1
+	for _, c := range k.clusters {
+		if tr.localCluster(c.id) {
+			k.local = append(k.local, c)
+		}
+	}
+	if k.remote && cfg.Dynamic.Rebalance != nil {
+		for i, h := range handlers {
+			if _, ok := h.(StateCodec); !ok {
+				return nil, fmt.Errorf("%w: handler %d (%T)", ErrNeedStateCodec, i, h)
+			}
 		}
 	}
 	k.lps = make([]*lpRuntime, len(handlers))
@@ -263,26 +225,26 @@ func New(cfg Config, handlers []Handler) (*Kernel, error) {
 		c := k.clusters[cfg.ClusterOf[i]]
 		lp := newLPRuntime(LPID(i), h, c)
 		k.lps[i] = lp
-		c.lps = append(c.lps, lp)
-		c.owned[i] = true
+		// Only the hosting process materializes the LP into a cluster's
+		// owned set; on other nodes the runtime exists as the (empty)
+		// adoption target a future migration payload decodes into.
+		if tr.localCluster(c.id) {
+			c.lps = append(c.lps, lp)
+			c.owned[i] = true
+		}
 	}
 	return k, nil
 }
 
-// nextEventID hands out one event ID; tests and tools use it, the hot path
-// goes through lpRuntime.nextEventID's per-LP blocks instead.
+// nextEventID hands out one event ID from the kernel's test range; tests and
+// tools use it, the hot path goes through lpRuntime.nextEventID's per-LP
+// blocks instead.
 func (k *Kernel) nextEventID() uint64 {
 	return atomic.AddUint64(&k.eventID, 1)
 }
 
-// reserveIDs reserves one idBlock of event IDs and returns its exclusive
-// upper bound.
-func (k *Kernel) reserveIDs() uint64 {
-	return atomic.AddUint64(&k.eventID, idBlock)
-}
-
 func (k *Kernel) requestGVT() {
-	atomic.CompareAndSwapInt32(&k.gvtFlag, 0, 1)
+	k.tr.requestGVT()
 }
 
 // requestGVTAfter requests a round only if none completed within the given
@@ -315,6 +277,15 @@ func (k *Kernel) busy(iters int) {
 
 // GVT returns the most recently computed global virtual time.
 func (k *Kernel) GVT() Time { return atomic.LoadInt64(&k.gvt) }
+
+// Nodes returns the number of OS processes cooperating in this run (1 under
+// the in-memory transport).
+func (k *Kernel) Nodes() int { return k.tr.nodes() }
+
+// LocalLP reports whether the LP's current home cluster is hosted by this
+// process. Callers aggregating results across nodes use it to pick exactly
+// one owner per LP after Run returned (routing has converged by then).
+func (k *Kernel) LocalLP(lp LPID) bool { return k.tr.localCluster(k.RouteOf(lp)) }
 
 // paddedTime is a cache-line padded atomic virtual time.
 type paddedTime struct {
@@ -353,38 +324,52 @@ func (k *Kernel) inTransit() int64 {
 	return atomic.LoadInt64(&k.transit[0].n) + atomic.LoadInt64(&k.transit[1].n)
 }
 
-// Run initializes every LP, runs the clusters to completion (GVT = infinity)
-// and returns the aggregated statistics. A kernel can run only once.
+// Run initializes every local LP, runs this process's clusters to completion
+// (GVT = infinity) and returns the aggregated statistics of the clusters it
+// hosted. A kernel can run only once.
 func (k *Kernel) Run() (RunStats, error) {
 	if k.ran {
 		return RunStats{}, fmt.Errorf("timewarp: kernel already ran")
 	}
 	k.ran = true
 
-	// Initialization happens single-threaded: handlers may send initial
-	// events to any LP; they are routed directly into pending queues.
+	// The fabric must be up before handlers run: init-time sends can target
+	// LPs hosted by other processes.
+	if err := k.tr.start(); err != nil {
+		return RunStats{}, err
+	}
+
+	// Initialization happens single-threaded per node: handlers may send
+	// initial events to any LP; they are routed directly into pending
+	// queues (local) or onto the wire (remote).
 	for _, lp := range k.lps {
+		if !k.tr.localCluster(lp.cluster.id) {
+			continue
+		}
 		ctx := &Context{lp: lp, cluster: lp.cluster, now: -1, inInit: true}
 		lp.handler.Init(ctx)
 	}
 	// Initial events must land in LP queues before the clusters start:
-	// flush every outbox and drain every queue until the whole transport is
+	// flush every outbox and drain every queue until the local transport is
 	// quiescent. A flush into a tiny, already-loaded mailbox can be refused
 	// and is simply retried on the next pass, after its consumer drained.
+	// Across processes there is no init barrier: this node settles once its
+	// own buffers drained, and init events still inbound from peers are
+	// handled by the running clusters as ordinary (white round-1) traffic.
 	for {
 		moved := 0
 		buffered := 0
-		for _, c := range k.clusters {
+		for _, c := range k.local {
 			c.flushAll()
 			moved += c.drainLocal() + c.drainAllInit()
 			buffered += c.outboxed() + (len(c.localQ) - c.localHead)
 		}
-		if moved == 0 && buffered == 0 && k.inTransit() == 0 {
+		if moved == 0 && buffered == 0 && k.tr.initQuiet() {
 			break
 		}
 	}
 	// Seed each cluster's scheduler.
-	for _, c := range k.clusters {
+	for _, c := range k.local {
 		for _, lp := range c.lps {
 			c.schedule(lp)
 		}
@@ -392,7 +377,7 @@ func (k *Kernel) Run() (RunStats, error) {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for _, c := range k.clusters {
+	for _, c := range k.local {
 		wg.Add(1)
 		go func(c *cluster) {
 			defer wg.Done()
@@ -401,16 +386,21 @@ func (k *Kernel) Run() (RunStats, error) {
 	}
 	wg.Wait()
 
+	// Settle the fabric before committing final state: under a multi-
+	// process transport this is the FIN barrier that guarantees every
+	// in-flight frame (late migration payloads included) has been applied.
+	err := k.tr.finishRun()
+
 	// A migration payload can be in flight at termination: an LP with no
 	// pending work neither blocks the final cut (its payloadMin is infinity)
 	// nor holds GVT finite, so its destination may exit before adopting it.
 	// Adopt such payloads single-threaded and commit their remaining
 	// history; the clusters' own exit paths already committed everything
 	// they owned.
-	for _, c := range k.clusters {
+	for _, c := range k.local {
 		c.adoptFinalPayloads()
 	}
-	for _, c := range k.clusters {
+	for _, c := range k.local {
 		c.fossilCollect(k.GVT())
 	}
 
@@ -422,11 +412,11 @@ func (k *Kernel) Run() (RunStats, error) {
 		FinalGVT:        k.GVT(),
 		WallTime:        time.Since(start),
 	}
-	for i, c := range k.clusters {
-		stats.PerCluster[i] = c.stats
+	for _, c := range k.local {
+		stats.PerCluster[c.id] = c.stats
 		stats.ClusterStats.add(c.stats)
 	}
-	return stats, nil
+	return stats, err
 }
 
 // coordinate advances the GVT round state machine by at most one step.
@@ -451,20 +441,20 @@ func (k *Kernel) coordinate() {
 		atomic.StoreInt32(&k.reportAcks, 0)
 		atomic.AddInt64(&k.round, 1)
 		k.phase = phaseCut
-		k.broadcastCtrl(ctrlCut)
+		k.tr.broadcastCtrl(ctrlCut)
 	case phaseCut:
 		if atomic.LoadInt32(&k.cutAcks) != int32(len(k.clusters)) {
 			return
 		}
-		// All clusters are red; the previous color's in-transit count can
-		// only shrink. Zero means every pre-cut batch has been delivered.
+		// All clusters are red, so no new white batches can appear; the
+		// transport decides when every pre-cut (white) batch has landed.
 		white := 1 - atomic.LoadInt64(&k.round)&1
-		if atomic.LoadInt64(&k.transit[white].n) != 0 {
+		if !k.tr.whiteDrained(white) {
 			return
 		}
 		atomic.StoreInt64(&k.reportRound, atomic.LoadInt64(&k.round))
 		k.phase = phaseCollect
-		k.broadcastCtrl(ctrlReport)
+		k.tr.broadcastCtrl(ctrlReport)
 	case phaseCollect:
 		if atomic.LoadInt32(&k.reportAcks) != int32(len(k.clusters)) {
 			return
@@ -491,18 +481,16 @@ func (k *Kernel) coordinate() {
 		k.phase = phaseIdle
 		if gvt == TimeInfinity {
 			atomic.StoreInt32(&k.done, 1)
-			// Wake every cluster out of its idle wait so exit is prompt.
-			for i := 1; i < len(k.clusters); i++ {
-				k.clusters[i].mail.wake()
-			}
+			k.tr.noteGVT(true)
 			return
 		}
+		k.tr.noteGVT(false)
 		// Dynamic rebalancing piggybacks on GVT advance: that is the one
 		// point where every LP's committed prefix is unique and fossil
 		// collection has already pruned what a migration would carry.
-		if k.cfg.Rebalance != nil && advanced {
+		if k.cfg.Dynamic.Rebalance != nil && advanced {
 			k.roundsSinceLoad++
-			if k.roundsSinceLoad >= k.cfg.RebalancePeriodRounds {
+			if k.roundsSinceLoad >= k.cfg.Dynamic.PeriodRounds {
 				k.roundsSinceLoad = 0
 				k.startLoadRound()
 			}
@@ -513,17 +501,6 @@ func (k *Kernel) coordinate() {
 		}
 		k.finishLoadRound()
 		k.phase = phaseIdle
-	}
-}
-
-// broadcastCtrl posts one control bit to every other cluster's mailbox as a
-// wakeup. Control bits merge into a bitmask and ignore mailbox capacity, so
-// a broadcast always lands in one pass — no retry bookkeeping. The receiving
-// side is idempotent: control bits carry no data, they only make an idle
-// cluster look at the round atomics promptly.
-func (k *Kernel) broadcastCtrl(kind uint8) {
-	for i := 1; i < len(k.clusters); i++ {
-		k.clusters[i].mail.postCtrl(kind)
 	}
 }
 
@@ -538,7 +515,7 @@ func (k *Kernel) dumpStuck(gvt Time) {
 	var sb []byte
 	add := func(f string, a ...interface{}) { sb = append(sb, []byte(fmt.Sprintf(f, a...))...) }
 	add("timewarp: GVT stuck at %d\n", gvt)
-	for _, c := range k.clusters {
+	for _, c := range k.local {
 		// The mailbox is the one structure with a lock of its own; take it
 		// so at least that read is clean.
 		c.mail.mu.Lock()

@@ -123,7 +123,7 @@ func TestFanOutAcrossClusters(t *testing.T) {
 		handlers[i] = &fanLP{rounds: 0}
 		clusterOf[i] = i % 4
 	}
-	k, err := New(Config{NumClusters: 4, ClusterOf: clusterOf, InboxSize: 8}, handlers)
+	k, err := New(Config{NumClusters: 4, ClusterOf: clusterOf, Net: NetConfig{InboxSize: 8}}, handlers)
 	if err != nil {
 		t.Fatal(err)
 	}

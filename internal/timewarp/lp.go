@@ -35,6 +35,20 @@ type StateRecycler interface {
 	RecycleState(s interface{})
 }
 
+// StateCodec is an optional Handler extension required for LP migration
+// across a multi-process transport: LP state is handler-owned, so the kernel
+// cannot serialize a migration payload without it. EncodeState appends the
+// handler's current simulation state to buf and returns the extended slice;
+// DecodeState replaces the handler's state with a previously encoded one.
+// The encoding is the handler's own (it only ever decodes what it encoded,
+// on a replica built from the same inputs). Kernels whose configuration
+// enables Rebalance on a transport spanning more than one process refuse to
+// build unless every handler implements this (ErrNeedStateCodec).
+type StateCodec interface {
+	EncodeState(buf []byte) ([]byte, error)
+	DecodeState(data []byte) error
+}
+
 // Context is the kernel interface handed to Handler methods.
 type Context struct {
 	lp      *lpRuntime
@@ -102,11 +116,13 @@ type lpRuntime struct {
 	// because schedT <= nextTime can never strand work.
 	schedT Time //kernelvet:owner cluster
 
-	// idNext/idEnd are this LP's current event-ID block, refilled from the
-	// kernel's global counter one idBlock at a time so event creation does
-	// not touch a shared atomic per send. Blocks stay with the LP across
-	// migration, so IDs remain monotonic per sender — the property the
-	// deterministic (recvTime, sender, ID) bundle order relies on.
+	// idNext/idEnd bound this LP's private event-ID space,
+	// [id<<32, (id+1)<<32): IDs are unique across LPs by construction (the
+	// high half is the sender) and monotonic per sender — the property the
+	// deterministic (recvTime, sender, ID) bundle order relies on — with no
+	// shared counter at all, so they stay unique and monotonic across
+	// process boundaries and LP migrations. The kernel's test-only counter
+	// lives above 2^63, outside every LP's space.
 	idNext, idEnd uint64 //kernelvet:owner cluster
 
 	// committedThrough is the latest fossil-collected bundle time; it only
@@ -173,23 +189,22 @@ func newLPRuntime(id LPID, h Handler, c *cluster) *lpRuntime {
 		cancelled: make(map[uint64]struct{}),
 		lvt:       -1,
 		schedT:    TimeInfinity,
+		idNext:    uint64(id) << 32,
+		idEnd:     (uint64(id) + 1) << 32,
 	}
 	lp.recycler, _ = h.(StateRecycler)
 	return lp
 }
 
-// idBlock is the number of event IDs an LP reserves from the kernel's
-// global counter at a time.
-const idBlock = 1024
-
-// nextEventID returns a fresh event ID from the LP's block, reserving a new
-// block when it runs dry (one global atomic per idBlock sends).
+// nextEventID returns a fresh event ID from the LP's private space.
 func (lp *lpRuntime) nextEventID() uint64 {
-	if lp.idNext == lp.idEnd {
-		lp.idEnd = lp.cluster.kernel.reserveIDs()
-		lp.idNext = lp.idEnd - idBlock
-	}
 	lp.idNext++
+	if lp.idNext == lp.idEnd {
+		// 2^32 events from one LP; the simulation sizes this kernel targets
+		// commit orders of magnitude fewer. Overflow would silently break
+		// anti-message matching, so fail loudly instead.
+		panic("timewarp: LP event-ID space exhausted")
+	}
 	return lp.idNext
 }
 

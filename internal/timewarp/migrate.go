@@ -41,8 +41,12 @@ type migOrder struct {
 
 // migPayload is one LP in flight between clusters. color is the transit
 // color the source charged the payload under; the destination releases it.
+// Exactly one of lp (same-process handoff: the live runtime moves by
+// pointer) and wire (multi-process: the runtime's encoded suffix, decoded
+// into the destination's pre-built lpRuntime shell) is set.
 type migPayload struct {
 	lp    *lpRuntime
+	wire  []byte
 	color uint8
 }
 
@@ -84,7 +88,10 @@ func (c *cluster) checkMigrate() {
 	}
 }
 
-// migrateOut packs one LP and hands it to its new home cluster.
+// migrateOut packs one LP and hands it to its new home cluster. A
+// destination hosted by this process receives the live runtime by pointer;
+// a remote destination receives the runtime's encoded suffix (see
+// packPayload) via the transport's payload frame.
 func (c *cluster) migrateOut(o migOrder) {
 	k := c.kernel
 	lp := k.lps[o.lp]
@@ -94,10 +101,20 @@ func (c *cluster) migrateOut(o migOrder) {
 	// Commit the unique prefix here so only the optimistic suffix travels;
 	// the committed counter stays with the collecting cluster.
 	c.stats.EventsCommitted += lp.fossilCollect(k.GVT())
+	p := migPayload{lp: lp}
+	if !k.tr.localCluster(o.to) {
+		// Crossing a process boundary: roll the LP back to its committed
+		// horizon (the optimistic suffix is regenerable by definition) and
+		// encode what remains. The local runtime shell stays behind, empty,
+		// as the adoption target should the LP ever migrate back.
+		p = migPayload{wire: c.packPayload(lp)}
+	}
 	// Account the payload like a message in flight: charge transit under the
 	// current color and bound its earliest work by redMin, so the GVT cuts
-	// that race the handoff stay sound.
+	// that race the handoff stay sound. The fold happens after any wire
+	// rollback so it covers exactly the pending set that travels.
 	color := uint8(c.color & 1)
+	p.color = color
 	min := lp.nextTime()
 	if t := lp.minPendingCancel(); t < min {
 		min = t
@@ -106,33 +123,44 @@ func (c *cluster) migrateOut(o migOrder) {
 		c.redMin = min
 	}
 	atomic.AddInt64(&k.transit[color].n, 1) //kernelvet:charge transit
+	if k.remote {
+		atomic.AddInt64(&c.sentCum[color].n, 1)
+	}
 	// Route first, then drop ownership: after this store new sends go to the
 	// destination, while events already queued here are forwarded by the
 	// owned-check in deliver. The opposite order would strand forwarded
-	// events in a cluster that will never own the LP again.
+	// events in a cluster that will never own the LP again. The route
+	// announcement precedes the payload send on the same ordered lane, so
+	// the destination always learns the route before it can adopt.
 	k.routes.set(o.lp, o.to)
+	k.tr.announceRoute(o.lp, o.to)
 	c.owned[o.lp] = false
+	if p.wire != nil {
+		lp.resetAfterPack()
+	}
 	c.removeLP(lp)
 	c.stats.Migrations++
-	target := k.clusters[o.to]
-	target.migMu.Lock()
-	// The queued payload now owns the charge; migrateIn releases it.
-	//kernelvet:carrier transit
-	target.migIn = append(target.migIn, migPayload{lp: lp, color: color})
-	atomic.StoreInt32(&target.migFlag, 1)
-	target.migMu.Unlock()
-	// Wake the destination in case it is idle-blocked on its mailbox;
-	// control bits ignore capacity, so the nudge always lands.
-	target.mail.postCtrl(ctrlWake)
+	k.tr.sendPayload(o.to, p) //kernelvet:carrier transit
 }
 
 // migrateIn adopts one LP handed to this cluster.
 func (c *cluster) migrateIn(p migPayload) {
 	lp := p.lp
+	if p.wire != nil {
+		var err error
+		if lp, err = c.unpackPayload(p.wire); err != nil {
+			// A payload frame that fails to decode is unrecoverable state
+			// loss, not a skippable message; fail loudly.
+			panic("timewarp: migration payload decode failed: " + err.Error())
+		}
+	}
 	lp.cluster = c
 	c.owned[lp.id] = true
 	c.lps = append(c.lps, lp)
 	atomic.AddInt64(&c.kernel.transit[p.color].n, -1) //kernelvet:discharge transit
+	if c.kernel.remote {
+		atomic.AddInt64(&c.recvCum[p.color].n, 1)
+	}
 	// schedT tracked an entry in the old home's heap (now unreachable
 	// garbage, skipped there by the owned check); reset it before
 	// scheduling here or the gate could suppress the adopting push.
@@ -227,7 +255,7 @@ func (k *Kernel) startLoadRound() {
 	atomic.StoreInt32(&k.loadAcks, 0)
 	atomic.AddInt64(&k.loadRound, 1)
 	k.phase = phaseLoad
-	k.broadcastCtrl(ctrlLoad)
+	k.tr.broadcastCtrl(ctrlLoad)
 }
 
 // finishLoadRound runs after every cluster acked a load round: build the
@@ -239,7 +267,7 @@ func (k *Kernel) finishLoadRound() {
 	k.rebalanceRounds++
 	s := k.buildSnapshot()
 	k.smoothLoad(s)
-	next := k.cfg.Rebalance(s)
+	next := k.cfg.Dynamic.Rebalance(s)
 	if next == nil {
 		return // rebalancer declined (e.g. imbalance below threshold)
 	}
@@ -256,7 +284,7 @@ func (k *Kernel) finishLoadRound() {
 			continue
 		}
 		moved++
-		k.clusters[from].enqueueOrder(migOrder{lp: LPID(lp), to: to})
+		k.tr.sendOrder(from, migOrder{lp: LPID(lp), to: to})
 	}
 	if moved > 0 {
 		k.routes.bump()

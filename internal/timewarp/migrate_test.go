@@ -30,11 +30,13 @@ func TestMigrationPingPong(t *testing.T) {
 	a := &pingLP{peer: 1, limit: 200, delay: 3, start: true}
 	b := &pingLP{peer: 0, limit: 200, delay: 3}
 	k, err := New(Config{
-		NumClusters:           2,
-		ClusterOf:             []int{0, 1},
-		GVTPeriodEvents:       16,
-		Rebalance:             rotatingRebalance(2, 2, &rounds),
-		RebalancePeriodRounds: 1,
+		NumClusters:     2,
+		ClusterOf:       []int{0, 1},
+		GVTPeriodEvents: 16,
+		Dynamic: DynamicConfig{
+			Rebalance:    rotatingRebalance(2, 2, &rounds),
+			PeriodRounds: 1,
+		},
 	}, []Handler{a, b})
 	if err != nil {
 		t.Fatal(err)
@@ -90,13 +92,15 @@ func TestMigrationUnderRollbacks(t *testing.T) {
 			)
 			clusterOf = append(clusterOf, 0, 7, 3, 5)
 			k, err := New(Config{
-				NumClusters:           8,
-				ClusterOf:             clusterOf,
-				GVTPeriodEvents:       48,
-				LazyCancellation:      lazy,
-				NetLatency:            50 * time.Microsecond,
-				Rebalance:             rotatingRebalance(len(handlers), 8, &rounds),
-				RebalancePeriodRounds: 1,
+				NumClusters:      8,
+				ClusterOf:        clusterOf,
+				GVTPeriodEvents:  48,
+				LazyCancellation: lazy,
+				Net:              NetConfig{Latency: 50 * time.Microsecond},
+				Dynamic: DynamicConfig{
+					Rebalance:    rotatingRebalance(len(handlers), 8, &rounds),
+					PeriodRounds: 1,
+				},
 			}, handlers)
 			if err != nil {
 				t.Fatal(err)
@@ -208,9 +212,11 @@ func TestMigrationWithWireLatency(t *testing.T) {
 	b := &pingLP{peer: 0, limit: 1000, delay: 3}
 	k, err := New(Config{
 		NumClusters: 2, ClusterOf: []int{0, 1}, GVTPeriodEvents: 8,
-		NetLatency:            150 * time.Microsecond,
-		Rebalance:             rotatingRebalance(2, 2, &rounds),
-		RebalancePeriodRounds: 1,
+		Net: NetConfig{Latency: 150 * time.Microsecond},
+		Dynamic: DynamicConfig{
+			Rebalance:    rotatingRebalance(2, 2, &rounds),
+			PeriodRounds: 1,
+		},
 	}, []Handler{a, b})
 	if err != nil {
 		t.Fatal(err)
@@ -246,14 +252,16 @@ func TestRebalanceDeclines(t *testing.T) {
 		NumClusters:     2,
 		ClusterOf:       []int{0, 1},
 		GVTPeriodEvents: 16,
-		Rebalance: func(s *LoadSnapshot) []int {
-			atomic.AddInt32(&rounds, 1)
-			if s.NumLPs() != 2 || s.NumClusters != 2 {
-				t.Errorf("snapshot shape: lps=%d clusters=%d", s.NumLPs(), s.NumClusters)
-			}
-			return nil
+		Dynamic: DynamicConfig{
+			Rebalance: func(s *LoadSnapshot) []int {
+				atomic.AddInt32(&rounds, 1)
+				if s.NumLPs() != 2 || s.NumClusters != 2 {
+					t.Errorf("snapshot shape: lps=%d clusters=%d", s.NumLPs(), s.NumClusters)
+				}
+				return nil
+			},
+			PeriodRounds: 1,
 		},
-		RebalancePeriodRounds: 1,
 	}, []Handler{a, b})
 	if err != nil {
 		t.Fatal(err)
@@ -306,11 +314,13 @@ func TestLoadSnapshotCounters(t *testing.T) {
 		&relayLP{next: -1, limit: 120},
 	}
 	k, err := New(Config{
-		NumClusters:           2,
-		ClusterOf:             []int{0, 0, 1},
-		GVTPeriodEvents:       16,
-		Rebalance:             record,
-		RebalancePeriodRounds: 1,
+		NumClusters:     2,
+		ClusterOf:       []int{0, 0, 1},
+		GVTPeriodEvents: 16,
+		Dynamic: DynamicConfig{
+			Rebalance:    record,
+			PeriodRounds: 1,
+		},
 	}, h)
 	if err != nil {
 		t.Fatal(err)

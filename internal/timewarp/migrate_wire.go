@@ -1,0 +1,153 @@
+package timewarp
+
+import "fmt"
+
+// Wire migration: moving an LP between OS processes.
+//
+// A live lpRuntime is full of pointers (heap slices, pooled arrays, handler
+// state), so it cannot travel by copy. Instead the source rolls the LP back
+// to its committed horizon first — the optimistic suffix is regenerable by
+// definition, and rollback emits the anti-messages that retract its sends
+// through the ordinary transport — and then encodes what remains: the pending
+// event set, the lazily-annihilated ID set, the load profile, and the handler
+// state via the StateCodec extension. The destination decodes into the
+// lpRuntime shell it built at construction time (every node builds all LPs;
+// non-local ones stay empty), so adoption needs no allocation decisions at
+// decode time.
+//
+// The rollback-first design trades re-execution of the optimistic suffix for
+// a payload with no aliasing hazards and no state-snapshot encoding (only the
+// *current* handler state travels, not the snapshot stack). Migration is a
+// cold path triggered a handful of times per run; the suffix it discards is
+// exactly the work a straggler could have discarded anyway, so committed
+// results are unaffected.
+
+// packPayload encodes lp for a cross-process migration. Runs on the source
+// cluster's goroutine, after migrateOut fossil-collected the LP to observed
+// GVT. The caller resets the leftover shell (resetAfterPack) once the
+// payload's transit charge and redMin fold are in place.
+func (c *cluster) packPayload(lp *lpRuntime) []byte {
+	if len(lp.processed) > 0 {
+		// Roll back to the earliest uncommitted bundle: legal by the rollback
+		// invariant (fossil collection left only bundles at or above GVT >
+		// committedThrough), and it returns every processed input event to
+		// pending while retracting the suffix's sends.
+		lp.rollback(lp.processed[0].time)
+	}
+	// Rolled-back sends awaiting lazy regeneration cannot travel (they alias
+	// pooled slices) and can never be regenerated here (the LP is leaving):
+	// cancel them all now. The anti-messages flow through the ordinary
+	// transport and are GVT-covered like any other send of this cluster.
+	lp.flushOldSends(TimeInfinity)
+
+	sc, ok := lp.handler.(StateCodec)
+	if !ok {
+		// New refuses Rebalance on a multi-process transport without full
+		// StateCodec coverage, so this is unreachable; fail loudly if a
+		// transport ever routes a wire migration around that check.
+		panic(fmt.Sprintf("timewarp: LP %d handler (%T) lacks StateCodec for wire migration", lp.id, lp.handler))
+	}
+	state, err := sc.EncodeState(nil)
+	if err != nil {
+		panic(fmt.Sprintf("timewarp: LP %d EncodeState failed: %v", lp.id, err))
+	}
+
+	hdr := wireLPHdr{
+		lp:               int32(lp.id),
+		lvt:              lp.lvt,
+		committedThrough: lp.committedThrough,
+		idNext:           lp.idNext,
+		loadCommitted:    lp.loadCommitted,
+		loadRollbacks:    lp.loadRollbacks,
+		loadRemote:       lp.loadRemote,
+		nPending:         int32(len(lp.pending)),
+		nCancelled:       int32(len(lp.cancelled)),
+		nSendRows:        int32(len(lp.sendDst)),
+		stateLen:         int32(len(state)),
+	}
+	b := make([]byte, 0, 96+eventWireSize*len(lp.pending)+8*len(lp.cancelled)+12*len(lp.sendDst)+len(state))
+	b = appendLPHdr(b, hdr)
+	for i := range lp.pending {
+		b = appendEvent(b, &lp.pending[i])
+	}
+	// Map iteration order is runtime-random, but the cancelled set decodes
+	// back into a map consulted only by ID lookup — the encoding order never
+	// reaches execution order, so determinism is preserved.
+	for id := range lp.cancelled {
+		b = appendU64(b, id)
+	}
+	for i, dst := range lp.sendDst {
+		b = appendI32(b, int32(dst))
+		b = appendU64(b, lp.sendCnt[i])
+	}
+	return append(b, state...)
+}
+
+// unpackPayload decodes a wire migration payload into the named LP's local
+// shell. Runs on the destination cluster's goroutine; the caller (migrateIn)
+// takes ownership and schedules the LP afterwards.
+func (c *cluster) unpackPayload(wire []byte) (*lpRuntime, error) {
+	r := &wireReader{b: wire}
+	hdr := r.lpHdr()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if hdr.lp < 0 || int(hdr.lp) >= len(c.kernel.lps) {
+		return nil, fmt.Errorf("timewarp: migration payload names LP %d of %d", hdr.lp, len(c.kernel.lps))
+	}
+	lp := c.kernel.lps[hdr.lp]
+	if len(lp.processed) != 0 || len(lp.pending) != 0 || len(lp.oldSends) != 0 {
+		// The shell must be empty: either never owned here, or reset when it
+		// last migrated away. Anything else means two processes both think
+		// they own the LP.
+		return nil, fmt.Errorf("timewarp: migration payload for LP %d arrived at a non-empty shell", hdr.lp)
+	}
+	if hdr.nPending < 0 || hdr.nCancelled < 0 || hdr.nSendRows < 0 || hdr.stateLen < 0 {
+		return nil, fmt.Errorf("timewarp: migration payload for LP %d has negative section counts", hdr.lp)
+	}
+	lp.lvt = hdr.lvt
+	lp.committedThrough = hdr.committedThrough
+	lp.idNext = hdr.idNext
+	lp.loadCommitted = hdr.loadCommitted
+	lp.loadRollbacks = hdr.loadRollbacks
+	lp.loadRemote = hdr.loadRemote
+	for i := int32(0); i < hdr.nPending; i++ {
+		lp.pending.push(r.event())
+	}
+	for i := int32(0); i < hdr.nCancelled; i++ {
+		lp.cancelled[r.u64()] = struct{}{}
+	}
+	lp.sendDst = lp.sendDst[:0]
+	lp.sendCnt = lp.sendCnt[:0]
+	lp.sendCur = 0
+	for i := int32(0); i < hdr.nSendRows; i++ {
+		lp.sendDst = append(lp.sendDst, LPID(r.i32()))
+		lp.sendCnt = append(lp.sendCnt, r.u64())
+	}
+	state := r.bytes(int(hdr.stateLen))
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if err := lp.handler.(StateCodec).DecodeState(state); err != nil {
+		return nil, fmt.Errorf("timewarp: LP %d DecodeState: %w", hdr.lp, err)
+	}
+	return lp, nil
+}
+
+// resetAfterPack clears the runtime shell packPayload left behind, so a later
+// migration back to this process decodes into a verifiably empty target. The
+// pending events were copied onto the wire (values, no aliases), so only the
+// lengths need clearing; the cancelled map is drained in place.
+func (lp *lpRuntime) resetAfterPack() {
+	lp.pending = lp.pending[:0]
+	for id := range lp.cancelled {
+		delete(lp.cancelled, id)
+	}
+	lp.stagedSends = lp.stagedSends[:0]
+	lp.sendDst = lp.sendDst[:0]
+	lp.sendCnt = lp.sendCnt[:0]
+	lp.sendCur = 0
+	lp.loadCommitted, lp.loadRollbacks, lp.loadRemote = 0, 0, 0
+	lp.lvt = -1
+	lp.schedT = TimeInfinity
+}

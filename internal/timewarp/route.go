@@ -156,7 +156,7 @@ func (k *Kernel) smoothLoad(s *LoadSnapshot) {
 			k.ewma[lp] = float64(c)
 		}
 	} else {
-		alpha := k.cfg.LoadSmoothing
+		alpha := k.cfg.Dynamic.LoadSmoothing
 		for lp, c := range s.Committed {
 			k.ewma[lp] = alpha*float64(c) + (1-alpha)*k.ewma[lp]
 		}

@@ -33,7 +33,7 @@ import (
 //
 // The flush policy bounds how long optimism can be starved by batching:
 //
-//   - size: an outbox at flushBatch events flushes immediately;
+//   - size: an outbox at NetConfig.FlushBatch events flushes immediately;
 //   - urgency: an event below the destination's published progress is (or
 //     soon will be) a straggler there — the outbox flushes at once so the
 //     rollback it triggers is as shallow as possible. An idle destination
@@ -51,15 +51,11 @@ import (
 // which cannot fail on a full mailbox — the control plane is immune to data
 // backpressure, so broadcast needs no retry bookkeeping.
 
-// flushBatch is the outbox size that forces a flush. It bounds both the
-// sender-side buffer and the burst a single push dumps into a mailbox.
-const flushBatch = 64
-
 // batchHdr describes one pushed batch: its length, the GVT round color its
 // transit charge sits under, and the modeled-wire delivery deadline (zero
-// when no latency is configured). It is flat (wire-safe) so a future real
-// transport can move it between machines by plain copy; kernelvet enforces
-// that no pointer-bearing field sneaks in.
+// when no latency is configured). It is flat (wire-safe) so the TCP
+// transport can move it between processes by plain copy (wire.go); kernelvet
+// enforces that no pointer-bearing field sneaks in.
 //
 //kernelvet:wire
 type batchHdr struct {
@@ -174,7 +170,7 @@ func (c *cluster) stageRemote(dst int, ev Event) {
 	// maybeFlush once per main-loop iteration, not per staged event —
 	// re-trying here would reintroduce per-event lock traffic against a
 	// full mailbox, exactly the cost batching removes.
-	if (urgent || len(ob.buf) >= flushBatch) && !ob.wantFlush {
+	if (urgent || len(ob.buf) >= c.flushBatch) && !ob.wantFlush {
 		c.flushDst(dst)
 	}
 }
@@ -199,18 +195,24 @@ func (c *cluster) flushDst(dst int) bool {
 	}
 	atomic.AddInt64(&k.transit[color].n, int64(n)) //kernelvet:charge transit
 	hdr := batchHdr{n: int32(n), color: color}
-	if lat := k.cfg.NetLatency; lat > 0 {
+	if lat := k.cfg.Net.Latency; lat > 0 {
 		hdr.dueNano = time.Now().UnixNano() + int64(lat)
 	}
-	if !k.clusters[dst].mail.push(ob.buf, hdr, k.cfg.InboxSize) {
+	if !k.tr.push(dst, ob.buf, hdr) {
 		atomic.AddInt64(&k.transit[color].n, -int64(n)) //kernelvet:discharge transit
 		ob.wantFlush = true
 		return false
 	}
-	// The push succeeded: the batch in the destination mailbox now owns the
-	// charge (released whole by drainMail or deliverDue on the receiver).
+	// The push succeeded: the batch in the destination mailbox (or on the
+	// wire toward it) now owns the charge (released whole by drainMail or
+	// deliverDue on the receiver).
 	//kernelvet:carrier transit
-	k.busy(k.cfg.NetSendBusy * n)
+	if k.remote {
+		// The cumulative counter the distributed drain probe sums; the
+		// same-goroutine cut ack pins its white component (cluster.go).
+		atomic.AddInt64(&c.sentCum[color].n, int64(n))
+	}
+	k.busy(k.cfg.Net.SendBusy * n)
 	ob.buf = ob.buf[:0]
 	ob.min = TimeInfinity
 	ob.wantFlush = false
@@ -290,7 +292,10 @@ func (c *cluster) deliverDue(force bool) int {
 		}
 		b := c.delayed.pop()
 		atomic.AddInt64(&c.kernel.transit[b.color].n, -int64(len(b.buf))) //kernelvet:discharge transit
-		c.kernel.busy(c.kernel.cfg.NetRecvBusy * len(b.buf))
+		if c.kernel.remote {
+			atomic.AddInt64(&c.recvCum[b.color].n, int64(len(b.buf)))
+		}
+		c.kernel.busy(c.kernel.cfg.Net.RecvBusy * len(b.buf))
 		for i := range b.buf {
 			c.deliver(b.buf[i])
 		}
@@ -314,7 +319,7 @@ func (c *cluster) drainMail() int {
 	c.mailEv, c.mailHdr = ev, hdr
 	k := c.kernel
 	now := int64(0)
-	if k.cfg.NetLatency > 0 {
+	if k.cfg.Net.Latency > 0 {
 		now = time.Now().UnixNano()
 	}
 	off := 0
@@ -332,7 +337,10 @@ func (c *cluster) drainMail() int {
 		// (they are all delivered below, before any GVT probe runs here).
 		//kernelvet:discharge transit
 		atomic.AddInt64(&k.transit[h.color].n, -int64(h.n))
-		k.busy(k.cfg.NetRecvBusy * int(h.n))
+		if k.remote {
+			atomic.AddInt64(&c.recvCum[h.color].n, int64(h.n))
+		}
+		k.busy(k.cfg.Net.RecvBusy * int(h.n))
 		for i := range b {
 			c.deliver(b[i])
 		}
@@ -361,6 +369,9 @@ func (c *cluster) drainAllInit() int {
 		b := ev[off : off+int(h.n)]
 		off += int(h.n)
 		atomic.AddInt64(&c.kernel.transit[h.color].n, -int64(h.n)) //kernelvet:discharge transit
+		if c.kernel.remote {
+			atomic.AddInt64(&c.recvCum[h.color].n, int64(h.n))
+		}
 		for i := range b {
 			c.deliver(b[i])
 		}

@@ -1,0 +1,1084 @@
+package timewarp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPTransport partitions a kernel's clusters over N OS processes ("nodes")
+// connected by a full TCP mesh, one simulation spanning them all.
+//
+// Every node runs the same New(cfg, handlers) with the same configuration —
+// the kernel is replicated, but only the clusters mapped to this node (a
+// contiguous block: cluster c lives on node c*N/NumClusters) get goroutines
+// and own their LPs. Everything the kernel shares through memory under the
+// in-memory transport is either mirrored here by frame traffic (round/report
+// atomics, published progress, the routing table) or replaced by a
+// distributed equivalent (the wave-1 transit drain runs over cumulative
+// per-cluster sent/received counters instead of the shared delta — see
+// cluster.sentCum for the soundness argument).
+//
+// Per peer there is one connection and one outbound lane: a byte buffer of
+// already-encoded frames under a mutex, drained by a writer goroutine
+// (double-buffer swap, like the kernel's mailboxes). Keeping data and control
+// in one FIFO preserves the orderings the protocol relies on — a route
+// announcement precedes its payload, an ackCut precedes any red flush's
+// counter effects — while backpressure applies only to event batches: control
+// frames always append, data frames are refused (flushDst retries) once more
+// than InboxSize events are queued and the lane is non-empty. Progress and
+// counter mirrors are conflated: a dirty flag per peer makes the writer
+// append the freshest values once per drain cycle, so a stalled peer reads
+// one fresh progress frame, not a backlog of stale ones.
+type TCPTransport struct {
+	opt TCPOptions
+	k   *Kernel
+
+	nodeOf []int // cluster id -> hosting node
+	ln     net.Listener
+	peers  []*tcpPeer // by node id; peers[opt.Node] == nil
+
+	// pubState is per-local-cluster conflation memory (owned by that
+	// cluster's goroutine): publish only marks the peers dirty when the
+	// progress or counters actually changed.
+	pubState []tcpPubState
+
+	// sentMirror/recvMirror hold the last received cumulative transit
+	// counters of remote clusters ([cluster][color], atomics). Only the
+	// coordinator's node reads them; sent values are pinned by the cut ack
+	// that carried them, recv values are monotone, so staleness only delays
+	// the drain verdict, never falsifies it.
+	sentMirror [][2]int64
+	recvMirror [][2]int64
+
+	closing int32
+	started bool
+	err     atomic.Value // first fatal error (type error)
+	errOnce sync.Once
+
+	readWG  sync.WaitGroup
+	writeWG sync.WaitGroup
+
+	// FIN barrier state: finSeen[j] marks that node j sent its end-of-run
+	// marker (all its frames before it are applied).
+	finMu   sync.Mutex
+	finSeen []bool
+	finCond *sync.Cond
+
+	// GatherSum rendezvous: on node 0, sumVals collects every node's
+	// contribution; elsewhere sumReply holds node 0's reduced answer.
+	sumMu    sync.Mutex
+	sumCond  *sync.Cond
+	sumVals  [][]uint64
+	sumReply []uint64
+}
+
+// TCPOptions configure NewTCPTransport.
+type TCPOptions struct {
+	// Node is this process's index into Peers.
+	Node int
+	// Peers lists every node's listen address (host:port), index = node id.
+	// All processes must pass identical lists.
+	Peers []string
+	// Listener optionally supplies the pre-bound listener for Peers[Node]
+	// (tests bind port 0 first to learn free ports); nil listens on
+	// Peers[Node].
+	Listener net.Listener
+	// DialTimeout bounds how long start retries dialing each lower-numbered
+	// peer (their listeners may not be up yet). Default 10s.
+	DialTimeout time.Duration
+}
+
+// tcpPubState is one local cluster's conflation memory.
+type tcpPubState struct {
+	lastNext Time
+	lastRecv [2]int64
+}
+
+// tcpPeer is one mesh connection plus its outbound lane.
+type tcpPeer struct {
+	node int
+	conn net.Conn
+	br   *bufio.Reader // handed from the handshake to the read goroutine
+
+	mu sync.Mutex
+	// buf holds encoded frames awaiting the writer (the single FIFO lane);
+	// scratch is the drained buffer handed back at the next swap.
+	buf        []byte //kernelvet:guarded-by mu
+	scratch    []byte //kernelvet:guarded-by mu
+	dataEvents int    //kernelvet:guarded-by mu
+	// writing is 1 while the writer goroutine holds swapped-out frames it
+	// has not flushed yet (initQuiet's drain probe).
+	writing int32
+	// pubDirty asks the writer to append fresh progress/counter mirrors on
+	// its next cycle (conflated: many marks, one frame set).
+	pubDirty int32
+	wake     chan struct{} // cap 1
+	// pubBuf is the writer-owned scratch for conflated mirror frames.
+	pubBuf []byte
+}
+
+func (p *tcpPeer) wakeWriter() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue appends pre-encoded frame bytes to the outbound lane. events > 0
+// subjects the append to data backpressure: refused (false) when the lane
+// already holds data and would exceed capEvents. Control frames pass 0 and
+// always append.
+func (p *tcpPeer) enqueue(frame []byte, events, capEvents int) bool {
+	p.mu.Lock()
+	if events > 0 && p.dataEvents > 0 && p.dataEvents+events > capEvents {
+		p.mu.Unlock()
+		return false
+	}
+	p.buf = append(p.buf, frame...)
+	p.dataEvents += events
+	p.mu.Unlock()
+	p.wakeWriter()
+	return true
+}
+
+// NewTCPTransport builds the multi-process fabric. Pass it via
+// timewarp.Config.Net.Transport (or logicsim.Config.Transport); the kernel
+// binds and starts it. After Run returns, use GatherSum for cross-node
+// reductions, then Close.
+func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
+	if len(opt.Peers) == 0 {
+		return nil, fmt.Errorf("%w: no peers", ErrBadTransport)
+	}
+	if opt.Node < 0 || opt.Node >= len(opt.Peers) {
+		return nil, fmt.Errorf("%w: node %d of %d peers", ErrBadTransport, opt.Node, len(opt.Peers))
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 10 * time.Second
+	}
+	t := &TCPTransport{opt: opt, ln: opt.Listener}
+	t.finCond = sync.NewCond(&t.finMu)
+	t.sumCond = sync.NewCond(&t.sumMu)
+	return t, nil
+}
+
+func (t *TCPTransport) bind(k *Kernel) error {
+	if t.k != nil {
+		return fmt.Errorf("%w: transport already bound to a kernel", ErrBadTransport)
+	}
+	n := len(t.opt.Peers)
+	if n > k.cfg.NumClusters {
+		return fmt.Errorf("%w: %d nodes need at least %d clusters, have %d", ErrBadTransport, n, n, k.cfg.NumClusters)
+	}
+	t.k = k
+	t.nodeOf = make([]int, k.cfg.NumClusters)
+	for c := range t.nodeOf {
+		t.nodeOf[c] = c * n / k.cfg.NumClusters
+	}
+	t.pubState = make([]tcpPubState, k.cfg.NumClusters)
+	for i := range t.pubState {
+		t.pubState[i].lastNext = TimeInfinity
+	}
+	t.sentMirror = make([][2]int64, k.cfg.NumClusters)
+	t.recvMirror = make([][2]int64, k.cfg.NumClusters)
+	t.finSeen = make([]bool, n)
+	t.finSeen[t.opt.Node] = true
+	t.sumVals = make([][]uint64, n)
+	t.peers = make([]*tcpPeer, n)
+	return nil
+}
+
+func (t *TCPTransport) nodes() int { return len(t.opt.Peers) }
+
+func (t *TCPTransport) localCluster(id int) bool { return t.nodeOf[id] == t.opt.Node }
+
+// start opens the mesh: every node listens, dials every lower-numbered peer
+// (with retry — the peer's process may still be starting), and identifies
+// itself with a hello frame. Returns once all n-1 connections are up.
+func (t *TCPTransport) start() error {
+	t.started = true
+	n := len(t.opt.Peers)
+	if n == 1 {
+		return nil
+	}
+	if t.ln == nil {
+		ln, err := net.Listen("tcp", t.opt.Peers[t.opt.Node])
+		if err != nil {
+			return fmt.Errorf("timewarp: node %d listen: %w", t.opt.Node, err)
+		}
+		t.ln = ln
+	}
+
+	type dialed struct {
+		peer *tcpPeer
+		err  error
+	}
+	results := make(chan dialed, n-1)
+
+	// Accept from every higher-numbered peer; each opens with a hello frame
+	// naming its node.
+	expect := n - 1 - t.opt.Node
+	go func() {
+		for i := 0; i < expect; i++ {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				results <- dialed{err: fmt.Errorf("timewarp: node %d accept: %w", t.opt.Node, err)}
+				return
+			}
+			br := bufio.NewReaderSize(conn, 64<<10)
+			typ, body, _, err := readFrame(br, nil)
+			if err != nil || typ != frameHello {
+				conn.Close()
+				results <- dialed{err: fmt.Errorf("timewarp: node %d bad handshake: %v", t.opt.Node, err)}
+				return
+			}
+			r := wireReader{b: body}
+			from := int(r.i32())
+			if r.done() != nil || from <= t.opt.Node || from >= n {
+				conn.Close()
+				results <- dialed{err: fmt.Errorf("timewarp: node %d hello from invalid node %d", t.opt.Node, from)}
+				return
+			}
+			results <- dialed{peer: &tcpPeer{node: from, conn: conn, br: br}}
+		}
+	}()
+
+	// Dial every lower-numbered peer.
+	for j := 0; j < t.opt.Node; j++ {
+		go func(j int) {
+			deadline := time.Now().Add(t.opt.DialTimeout)
+			var conn net.Conn
+			var err error
+			for {
+				conn, err = net.DialTimeout("tcp", t.opt.Peers[j], time.Second)
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if err != nil {
+				results <- dialed{err: fmt.Errorf("timewarp: node %d dial node %d (%s): %w", t.opt.Node, j, t.opt.Peers[j], err)}
+				return
+			}
+			var hello []byte
+			var off int
+			hello, off = beginFrame(hello, frameHello)
+			hello = appendI32(hello, int32(t.opt.Node))
+			hello = endFrame(hello, off)
+			if _, err := conn.Write(hello); err != nil {
+				conn.Close()
+				results <- dialed{err: fmt.Errorf("timewarp: node %d hello to node %d: %w", t.opt.Node, j, err)}
+				return
+			}
+			results <- dialed{peer: &tcpPeer{node: j, conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}}
+		}(j)
+	}
+
+	var firstErr error
+	for i := 0; i < n-1; i++ {
+		d := <-results
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = d.err
+			}
+			continue
+		}
+		d.peer.wake = make(chan struct{}, 1)
+		t.peers[d.peer.node] = d.peer
+	}
+	if firstErr != nil {
+		t.Close()
+		return firstErr
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.readWG.Add(1)
+		t.writeWG.Add(1)
+		go t.readLoop(p)
+		go t.writeLoop(p)
+	}
+	return nil
+}
+
+// fatal records the first fatal transport error and unsticks everything
+// local: the kernel's done flag ends cluster loops, the broadcasts end
+// barrier waits.
+func (t *TCPTransport) fatal(err error) {
+	t.errOnce.Do(func() {
+		t.err.Store(err)
+		atomic.StoreInt32(&t.k.done, 1)
+		for _, c := range t.k.local {
+			c.mail.wake()
+		}
+		t.finMu.Lock()
+		t.finCond.Broadcast()
+		t.finMu.Unlock()
+		t.sumMu.Lock()
+		t.sumCond.Broadcast()
+		t.sumMu.Unlock()
+	})
+}
+
+func (t *TCPTransport) fatalErr() error {
+	if e := t.err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// writeLoop drains one peer's outbound lane. The swap hands the writer the
+// whole accumulated FIFO at once; the conflated mirror frames are appended
+// (from writer-owned scratch) after the lane bytes of each cycle.
+func (t *TCPTransport) writeLoop(p *tcpPeer) {
+	defer t.writeWG.Done()
+	w := bufio.NewWriterSize(p.conn, 64<<10)
+	for {
+		<-p.wake
+		if atomic.LoadInt32(&t.closing) == 1 {
+			return
+		}
+		for {
+			p.mu.Lock()
+			out := p.buf
+			p.buf = p.scratch[:0]
+			p.scratch = out
+			p.dataEvents = 0
+			if len(out) > 0 {
+				atomic.StoreInt32(&p.writing, 1)
+			}
+			p.mu.Unlock()
+			dirty := atomic.CompareAndSwapInt32(&p.pubDirty, 1, 0)
+			if len(out) == 0 && !dirty {
+				break
+			}
+			if len(out) > 0 {
+				if _, err := w.Write(out); err != nil {
+					t.fatal(fmt.Errorf("timewarp: node %d write to node %d: %w", t.opt.Node, p.node, err))
+					atomic.StoreInt32(&p.writing, 0)
+					return
+				}
+			}
+			if dirty {
+				p.pubBuf = t.encodeMirrors(p.pubBuf[:0])
+				if _, err := w.Write(p.pubBuf); err != nil {
+					t.fatal(fmt.Errorf("timewarp: node %d write to node %d: %w", t.opt.Node, p.node, err))
+					atomic.StoreInt32(&p.writing, 0)
+					return
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.fatal(fmt.Errorf("timewarp: node %d flush to node %d: %w", t.opt.Node, p.node, err))
+				atomic.StoreInt32(&p.writing, 0)
+				return
+			}
+			atomic.StoreInt32(&p.writing, 0)
+		}
+	}
+}
+
+// encodeMirrors appends one fresh progress frame and one counters frame per
+// local cluster — the conflated mirror refresh.
+func (t *TCPTransport) encodeMirrors(b []byte) []byte {
+	for _, c := range t.k.local {
+		var off int
+		b, off = beginFrame(b, frameProgress)
+		b = appendI32(b, int32(c.id))
+		b = appendI64(b, atomic.LoadInt64(&t.k.published[c.id].t))
+		b = endFrame(b, off)
+		b = appendCounts(b, wireCounts{
+			cluster: int32(c.id),
+			recv0:   atomic.LoadInt64(&c.recvCum[0].n),
+			recv1:   atomic.LoadInt64(&c.recvCum[1].n),
+		})
+	}
+	return b
+}
+
+// readLoop decodes and applies one peer's inbound frames.
+func (t *TCPTransport) readLoop(p *tcpPeer) {
+	defer t.readWG.Done()
+	var scratch []byte
+	for {
+		typ, body, s, err := readFrame(p.br, scratch)
+		scratch = s
+		if err != nil {
+			if atomic.LoadInt32(&t.closing) == 1 {
+				return
+			}
+			if errors.Is(err, io.EOF) && t.finFrom(p.node) {
+				return // clean shutdown: the peer FINed and closed
+			}
+			t.fatal(fmt.Errorf("timewarp: node %d read from node %d: %w", t.opt.Node, p.node, err))
+			return
+		}
+		if err := t.apply(p, typ, body); err != nil {
+			t.fatal(fmt.Errorf("timewarp: node %d frame from node %d: %w", t.opt.Node, p.node, err))
+			return
+		}
+	}
+}
+
+func (t *TCPTransport) finFrom(node int) bool {
+	t.finMu.Lock()
+	defer t.finMu.Unlock()
+	return t.finSeen[node]
+}
+
+// apply dispatches one decoded frame. It runs on the peer's read goroutine;
+// everything it touches is either an atomic mirror, a mutex-protected queue,
+// or the mailbox API — the same synchronization the in-memory transport's
+// producers use.
+func (t *TCPTransport) apply(p *tcpPeer, typ uint8, body []byte) error {
+	k := t.k
+	r := wireReader{b: body}
+	switch typ {
+	case frameBatch:
+		dst := int(r.i32())
+		hdr := r.batchHdr()
+		if r.err != nil {
+			return r.err
+		}
+		if dst < 0 || dst >= len(k.clusters) || !t.localCluster(dst) {
+			return fmt.Errorf("batch for cluster %d (not hosted here)", dst)
+		}
+		if hdr.n < 0 || int(hdr.n)*eventWireSize != len(r.b) {
+			return fmt.Errorf("batch length %d does not match body", hdr.n)
+		}
+		evs := make([]Event, hdr.n)
+		for i := range evs {
+			evs[i] = r.event()
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		t.deliverBatch(k.clusters[dst], evs, hdr)
+		return nil
+	case frameCtrl:
+		dst := int(r.i32())
+		bits := r.u8()
+		if err := r.done(); err != nil {
+			return err
+		}
+		if dst < 0 || dst >= len(k.clusters) || !t.localCluster(dst) {
+			return fmt.Errorf("ctrl for cluster %d (not hosted here)", dst)
+		}
+		k.clusters[dst].mail.postCtrl(bits)
+		return nil
+	case frameProgress:
+		cid := int(r.i32())
+		next := r.i64()
+		if err := r.done(); err != nil {
+			return err
+		}
+		if cid < 0 || cid >= len(k.clusters) {
+			return fmt.Errorf("progress for cluster %d", cid)
+		}
+		k.publishProgress(cid, next)
+		return nil
+	case frameCounts:
+		c := r.counts()
+		if err := r.done(); err != nil {
+			return err
+		}
+		if c.cluster < 0 || int(c.cluster) >= len(k.clusters) {
+			return fmt.Errorf("counts for cluster %d", c.cluster)
+		}
+		atomic.StoreInt64(&t.recvMirror[c.cluster][0], c.recv0)
+		atomic.StoreInt64(&t.recvMirror[c.cluster][1], c.recv1)
+		return nil
+	case frameCoord:
+		c := r.coord()
+		if err := r.done(); err != nil {
+			return err
+		}
+		t.applyCoord(c)
+		return nil
+	case frameReqGVT:
+		if err := r.done(); err != nil {
+			return err
+		}
+		atomic.CompareAndSwapInt32(&k.gvtFlag, 0, 1)
+		return nil
+	case frameAckCut:
+		a := r.ackCut()
+		if err := r.done(); err != nil {
+			return err
+		}
+		if a.cluster < 0 || int(a.cluster) >= len(k.clusters) {
+			return fmt.Errorf("ackCut for cluster %d", a.cluster)
+		}
+		atomic.StoreInt64(&t.sentMirror[a.cluster][0], a.sent0)
+		atomic.StoreInt64(&t.sentMirror[a.cluster][1], a.sent1)
+		atomic.AddInt32(&k.cutAcks, 1)
+		return nil
+	case frameReport:
+		w := r.report()
+		if err := r.done(); err != nil {
+			return err
+		}
+		if w.cluster < 0 || int(w.cluster) >= len(k.reports) {
+			return fmt.Errorf("report for cluster %d", w.cluster)
+		}
+		atomic.StoreInt64(&k.reports[w.cluster].t, w.min)
+		atomic.AddInt32(&k.reportAcks, 1)
+		return nil
+	case frameAckLoad:
+		cid := int(r.i32())
+		if cid < 0 || cid >= len(k.loadBufs) {
+			return fmt.Errorf("ackLoad for cluster %d", cid)
+		}
+		r.loadBuf(&k.loadBufs[cid])
+		if err := r.done(); err != nil {
+			return err
+		}
+		atomic.AddInt32(&k.loadAcks, 1)
+		return nil
+	case frameOrder:
+		o := r.order()
+		if err := r.done(); err != nil {
+			return err
+		}
+		if o.cluster < 0 || int(o.cluster) >= len(k.clusters) || !t.localCluster(int(o.cluster)) {
+			return fmt.Errorf("order for cluster %d (not hosted here)", o.cluster)
+		}
+		k.clusters[o.cluster].enqueueOrder(migOrder{lp: LPID(o.lp), to: int(o.to)})
+		return nil
+	case framePayload:
+		dst := int(r.i32())
+		color := r.u8()
+		if r.err != nil {
+			return r.err
+		}
+		if dst < 0 || dst >= len(k.clusters) || !t.localCluster(dst) {
+			return fmt.Errorf("payload for cluster %d (not hosted here)", dst)
+		}
+		// The frame buffer is reused; the payload is retained until adopted.
+		wire := append([]byte(nil), r.b...)
+		t.enqueuePayload(k.clusters[dst], migPayload{wire: wire, color: color})
+		return nil
+	case frameRoute:
+		w := r.route()
+		if err := r.done(); err != nil {
+			return err
+		}
+		if w.lp < 0 || int(w.lp) >= len(k.lps) {
+			return fmt.Errorf("route for LP %d", w.lp)
+		}
+		k.routes.set(LPID(w.lp), int(w.to))
+		k.routes.bump()
+		return nil
+	case frameFin:
+		if err := r.done(); err != nil {
+			return err
+		}
+		t.finMu.Lock()
+		t.finSeen[p.node] = true
+		t.finCond.Broadcast()
+		t.finMu.Unlock()
+		return nil
+	case frameSum:
+		node := int(r.i32())
+		cnt := int(r.i32())
+		if r.err != nil || cnt < 0 || cnt*8 != len(r.b) {
+			return fmt.Errorf("malformed sum frame")
+		}
+		vals := make([]uint64, cnt)
+		for i := range vals {
+			vals[i] = r.u64()
+		}
+		if node <= 0 || node >= len(t.sumVals) {
+			return fmt.Errorf("sum from node %d", node)
+		}
+		t.sumMu.Lock()
+		t.sumVals[node] = vals
+		t.sumCond.Broadcast()
+		t.sumMu.Unlock()
+		return nil
+	case frameSumReply:
+		cnt := int(r.i32())
+		if r.err != nil || cnt < 0 || cnt*8 != len(r.b) {
+			return fmt.Errorf("malformed sum reply")
+		}
+		vals := make([]uint64, cnt)
+		for i := range vals {
+			vals[i] = r.u64()
+		}
+		t.sumMu.Lock()
+		t.sumReply = vals
+		t.sumCond.Broadcast()
+		t.sumMu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("unknown frame type %d", typ)
+	}
+}
+
+// deliverBatch pushes a decoded batch into its destination mailbox,
+// preserving the accept-when-empty rule. The retry loop cannot livelock: the
+// consumer drains independently of this goroutine, and once the kernel is
+// done no data batch can be in flight (a batch in flight bounds GVT below
+// infinity), so the done-flag force push is a failsafe, not a code path a
+// correct run exercises.
+func (t *TCPTransport) deliverBatch(c *cluster, evs []Event, hdr batchHdr) {
+	capEvents := t.k.cfg.Net.InboxSize
+	for !c.mail.push(evs, hdr, capEvents) {
+		if atomic.LoadInt32(&t.k.done) == 1 {
+			capEvents = int(^uint(0) >> 1)
+			continue
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+func (t *TCPTransport) enqueuePayload(c *cluster, p migPayload) {
+	c.migMu.Lock()
+	// The queued payload keeps the sender's transit charge; migrateIn (or
+	// adoptFinalPayloads) releases it.
+	//kernelvet:carrier transit
+	c.migIn = append(c.migIn, p)
+	atomic.StoreInt32(&c.migFlag, 1)
+	c.migMu.Unlock()
+	c.mail.postCtrl(ctrlWake)
+}
+
+// applyCoord installs node 0's replicated round state. Frames arrive in
+// publication order (per-connection FIFO) and every field is monotone, so
+// plain stores suffice; control bits are posted into the local mailboxes
+// exactly as the coordinator's broadcastCtrl would post them locally.
+func (t *TCPTransport) applyCoord(c wireCoord) {
+	k := t.k
+	atomic.StoreInt64(&k.round, c.round)
+	atomic.StoreInt64(&k.reportRound, c.reportRound)
+	atomic.StoreInt64(&k.loadRound, c.loadRound)
+	if c.gvt > atomic.LoadInt64(&k.gvt) {
+		atomic.StoreInt64(&k.gvt, c.gvt)
+		atomic.StoreInt64(&k.lastGVTNano, time.Now().UnixNano())
+	}
+	done := c.done != 0
+	if done {
+		atomic.StoreInt32(&k.done, 1)
+	}
+	for _, lc := range k.local {
+		if c.bits != 0 {
+			lc.mail.postCtrl(c.bits)
+		} else if done {
+			lc.mail.wake()
+		}
+	}
+}
+
+// --- Transport interface: data plane ---
+
+func (t *TCPTransport) push(dst int, events []Event, hdr batchHdr) bool {
+	if t.localCluster(dst) {
+		return t.k.clusters[dst].mail.push(events, hdr, t.k.cfg.Net.InboxSize)
+	}
+	p := t.peers[t.nodeOf[dst]]
+	n := len(events)
+	p.mu.Lock()
+	if p.dataEvents > 0 && p.dataEvents+n > t.k.cfg.Net.InboxSize {
+		p.mu.Unlock()
+		return false
+	}
+	var off int
+	p.buf, off = beginFrame(p.buf, frameBatch)
+	p.buf = appendI32(p.buf, int32(dst))
+	p.buf = appendBatchHdr(p.buf, hdr)
+	for i := range events {
+		p.buf = appendEvent(p.buf, &events[i])
+	}
+	p.buf = endFrame(p.buf, off)
+	p.dataEvents += n
+	p.mu.Unlock()
+	p.wakeWriter()
+	return true
+}
+
+func (t *TCPTransport) postCtrl(dst int, bits uint8) {
+	if t.localCluster(dst) {
+		t.k.clusters[dst].mail.postCtrl(bits)
+		return
+	}
+	var b []byte
+	var off int
+	b, off = beginFrame(b, frameCtrl)
+	b = appendI32(b, int32(dst))
+	b = appendU8(b, bits)
+	b = endFrame(b, off)
+	t.peers[t.nodeOf[dst]].enqueue(b, 0, 0)
+}
+
+func (t *TCPTransport) publish(c *cluster, next Time) {
+	t.k.publishProgress(c.id, next)
+	ps := &t.pubState[c.id]
+	r0 := atomic.LoadInt64(&c.recvCum[0].n)
+	r1 := atomic.LoadInt64(&c.recvCum[1].n)
+	if next == ps.lastNext && r0 == ps.lastRecv[0] && r1 == ps.lastRecv[1] {
+		return
+	}
+	ps.lastNext, ps.lastRecv[0], ps.lastRecv[1] = next, r0, r1
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		atomic.StoreInt32(&p.pubDirty, 1)
+		p.wakeWriter()
+	}
+}
+
+// --- Transport interface: GVT protocol ---
+
+func (t *TCPTransport) requestGVT() {
+	if t.opt.Node == 0 {
+		atomic.CompareAndSwapInt32(&t.k.gvtFlag, 0, 1)
+		return
+	}
+	var b []byte
+	var off int
+	b, off = beginFrame(b, frameReqGVT)
+	b = endFrame(b, off)
+	t.peers[0].enqueue(b, 0, 0)
+}
+
+func (t *TCPTransport) ackCut(c *cluster) {
+	// Encoded on the cluster's own goroutine after its color flip, so the
+	// white sent counter in this frame is final — the coordinator's drain
+	// probe compares received counters against exactly this value.
+	a := wireAckCut{
+		cluster: int32(c.id),
+		sent0:   atomic.LoadInt64(&c.sentCum[0].n),
+		sent1:   atomic.LoadInt64(&c.sentCum[1].n),
+	}
+	if t.opt.Node == 0 {
+		atomic.StoreInt64(&t.sentMirror[c.id][0], a.sent0)
+		atomic.StoreInt64(&t.sentMirror[c.id][1], a.sent1)
+		atomic.AddInt32(&t.k.cutAcks, 1)
+		return
+	}
+	t.peers[0].enqueue(appendAckCut(nil, a), 0, 0)
+}
+
+func (t *TCPTransport) report(c *cluster, m Time) {
+	if t.opt.Node == 0 {
+		atomic.StoreInt64(&t.k.reports[c.id].t, m)
+		atomic.AddInt32(&t.k.reportAcks, 1)
+		return
+	}
+	t.peers[0].enqueue(appendReport(nil, wireReport{cluster: int32(c.id), min: m}), 0, 0)
+}
+
+func (t *TCPTransport) ackLoad(c *cluster) {
+	if t.opt.Node == 0 {
+		atomic.AddInt32(&t.k.loadAcks, 1)
+		return
+	}
+	var b []byte
+	var off int
+	b, off = beginFrame(b, frameAckLoad)
+	b = appendI32(b, int32(c.id))
+	b = appendLoadBuf(b, &t.k.loadBufs[c.id])
+	b = endFrame(b, off)
+	t.peers[0].enqueue(b, 0, 0)
+}
+
+func (t *TCPTransport) broadcastCtrl(bits uint8) {
+	t.replicateCoord(bits, false)
+	for _, c := range t.k.local {
+		if c.id != 0 {
+			c.mail.postCtrl(bits)
+		}
+	}
+}
+
+func (t *TCPTransport) noteGVT(done bool) {
+	t.replicateCoord(0, done)
+	if done {
+		for _, c := range t.k.local {
+			if c.id != 0 {
+				c.mail.wake()
+			}
+		}
+	}
+}
+
+// replicateCoord sends the coordinator's current round state to every peer.
+// Coordinator-goroutine only (cluster 0 lives on node 0 by the contiguous
+// mapping), so the loads here are the values just stored.
+func (t *TCPTransport) replicateCoord(bits uint8, done bool) {
+	k := t.k
+	c := wireCoord{
+		round:       atomic.LoadInt64(&k.round),
+		reportRound: atomic.LoadInt64(&k.reportRound),
+		loadRound:   atomic.LoadInt64(&k.loadRound),
+		gvt:         atomic.LoadInt64(&k.gvt),
+		bits:        bits,
+	}
+	if done {
+		c.done = 1
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.enqueue(appendCoord(nil, c), 0, 0)
+	}
+}
+
+// whiteDrained evaluates the wave-1 drain over the cumulative counters:
+// every white event ever sent (final once all clusters acked the cut) has
+// been received. Local clusters are read directly; remote ones through their
+// last mirrored values — sent mirrors were pinned by the acks themselves,
+// recv mirrors are monotone and only undercount, so a stale mirror delays
+// the verdict but never falsifies it.
+func (t *TCPTransport) whiteDrained(white int64) bool {
+	var sent, recv int64
+	for _, c := range t.k.clusters {
+		if t.localCluster(c.id) {
+			sent += atomic.LoadInt64(&c.sentCum[white].n)
+			recv += atomic.LoadInt64(&c.recvCum[white].n)
+		} else {
+			sent += atomic.LoadInt64(&t.sentMirror[c.id][white])
+			recv += atomic.LoadInt64(&t.recvMirror[c.id][white])
+		}
+	}
+	return recv >= sent
+}
+
+// --- Transport interface: migration ---
+
+func (t *TCPTransport) sendOrder(dst int, o migOrder) {
+	if t.localCluster(dst) {
+		t.k.clusters[dst].enqueueOrder(o)
+		return
+	}
+	t.peers[t.nodeOf[dst]].enqueue(appendOrder(nil, wireOrder{cluster: int32(dst), lp: int32(o.lp), to: int32(o.to)}), 0, 0)
+}
+
+func (t *TCPTransport) sendPayload(dst int, p migPayload) {
+	if t.localCluster(dst) {
+		t.enqueuePayload(t.k.clusters[dst], p)
+		return
+	}
+	if p.wire == nil {
+		panic("timewarp: live lpRuntime payload addressed to a remote cluster")
+	}
+	var b []byte
+	var off int
+	b, off = beginFrame(b, framePayload)
+	b = appendI32(b, int32(dst))
+	b = appendU8(b, p.color)
+	b = append(b, p.wire...)
+	b = endFrame(b, off)
+	// Payload frames ride the control lane (no backpressure refusal): the
+	// migration was already charged to transit, and the route announcement
+	// that precedes it on this same FIFO must not be separated from it.
+	t.peers[t.nodeOf[dst]].enqueue(b, 0, 0)
+}
+
+func (t *TCPTransport) announceRoute(lp LPID, to int) {
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.enqueue(appendRoute(nil, wireRoute{lp: int32(lp), to: int32(to)}), 0, 0)
+	}
+}
+
+// --- Transport interface: lifecycle ---
+
+// initQuiet reports whether this node's init-time sends have left its
+// buffers: outbound lanes empty and writers idle. Unlike the in-memory
+// transport it cannot see delivery on the peers — inbound init events that
+// arrive later are handled by the running clusters as ordinary stragglers
+// (white round-1 traffic), which the GVT protocol accounts like any other
+// in-flight message.
+func (t *TCPTransport) initQuiet() bool {
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		pending := len(p.buf) > 0
+		p.mu.Unlock()
+		if pending || atomic.LoadInt32(&p.writing) == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// finishRun is the end-of-run barrier: enqueue FIN behind everything else on
+// every lane (FIFO ⇒ all earlier frames, late payloads included, are applied
+// before the peer's FIN lands), then wait for every peer's FIN. Connections
+// stay open for GatherSum; Close tears them down.
+func (t *TCPTransport) finishRun() error {
+	if len(t.opt.Peers) == 1 {
+		return nil
+	}
+	if err := t.fatalErr(); err != nil {
+		return err
+	}
+	var b []byte
+	var off int
+	b, off = beginFrame(b, frameFin)
+	b = endFrame(b, off)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.enqueue(b, 0, 0)
+	}
+	deadline := time.AfterFunc(30*time.Second, func() {
+		t.fatal(fmt.Errorf("timewarp: node %d timed out waiting for peer FINs", t.opt.Node))
+	})
+	t.finMu.Lock()
+	for t.fatalErr() == nil && !t.allFinsLocked() {
+		t.finCond.Wait()
+	}
+	t.finMu.Unlock()
+	deadline.Stop()
+	return t.fatalErr()
+}
+
+func (t *TCPTransport) allFinsLocked() bool {
+	for _, seen := range t.finSeen {
+		if !seen {
+			return false
+		}
+	}
+	return true
+}
+
+// GatherSum element-wise sums vals across all nodes and returns the total on
+// every node. Call it after Run returned on every node (once per run); the
+// connections are still up until Close. Callers use it to reassemble global
+// counters (committed events, output signatures) from the per-node shares.
+func (t *TCPTransport) GatherSum(vals []uint64) ([]uint64, error) {
+	if !t.started {
+		return nil, fmt.Errorf("%w: GatherSum before Run", ErrBadTransport)
+	}
+	total := append([]uint64(nil), vals...)
+	n := len(t.opt.Peers)
+	if n == 1 {
+		return total, nil
+	}
+	if err := t.fatalErr(); err != nil {
+		return nil, err
+	}
+	deadline := time.AfterFunc(30*time.Second, func() {
+		t.fatal(fmt.Errorf("timewarp: node %d timed out in GatherSum", t.opt.Node))
+	})
+	defer deadline.Stop()
+	if t.opt.Node == 0 {
+		t.sumMu.Lock()
+		for t.fatalErr() == nil && !t.allSumsLocked() {
+			t.sumCond.Wait()
+		}
+		contribs := t.sumVals
+		t.sumMu.Unlock()
+		if err := t.fatalErr(); err != nil {
+			return nil, err
+		}
+		for node := 1; node < n; node++ {
+			c := contribs[node]
+			if len(c) != len(total) {
+				return nil, fmt.Errorf("timewarp: GatherSum length mismatch: node %d sent %d values, want %d", node, len(c), len(total))
+			}
+			for i, v := range c {
+				total[i] += v
+			}
+		}
+		var b []byte
+		var off int
+		b, off = beginFrame(b, frameSumReply)
+		b = appendI32(b, int32(len(total)))
+		for _, v := range total {
+			b = appendU64(b, v)
+		}
+		b = endFrame(b, off)
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.enqueue(b, 0, 0)
+		}
+		return total, nil
+	}
+	var b []byte
+	var off int
+	b, off = beginFrame(b, frameSum)
+	b = appendI32(b, int32(t.opt.Node))
+	b = appendI32(b, int32(len(vals)))
+	for _, v := range vals {
+		b = appendU64(b, v)
+	}
+	b = endFrame(b, off)
+	t.peers[0].enqueue(b, 0, 0)
+	t.sumMu.Lock()
+	for t.fatalErr() == nil && t.sumReply == nil {
+		t.sumCond.Wait()
+	}
+	reply := t.sumReply
+	t.sumMu.Unlock()
+	if err := t.fatalErr(); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+func (t *TCPTransport) allSumsLocked() bool {
+	for node := 1; node < len(t.sumVals); node++ {
+		if t.sumVals[node] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Close tears the mesh down. Safe to call more than once and on a transport
+// that never started.
+func (t *TCPTransport) Close() error {
+	// On a healthy shutdown, let the writers drain frames enqueued just
+	// before Close — the GatherSum reply in particular — since setting
+	// closing would make them exit with bytes still buffered. Bounded: a
+	// wedged peer cannot hold Close hostage.
+	if t.err.Load() == nil {
+		deadline := time.Now().Add(2 * time.Second)
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			for time.Now().Before(deadline) {
+				p.mu.Lock()
+				pending := len(p.buf) > 0
+				p.mu.Unlock()
+				if !pending && atomic.LoadInt32(&p.writing) == 0 {
+					break
+				}
+				p.wakeWriter()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	atomic.StoreInt32(&t.closing, 1)
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.conn.Close()
+		p.wakeWriter()
+	}
+	t.readWG.Wait()
+	t.writeWG.Wait()
+	return nil
+}

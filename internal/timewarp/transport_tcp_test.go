@@ -1,0 +1,354 @@
+package timewarp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpNodeResult is one node's share of a loopback run.
+type tcpNodeResult struct {
+	stats RunStats
+	sum   []uint64 // GatherSum over the node's contribution
+	err   error
+}
+
+// runTCPLoopback runs one simulation as n in-process "nodes", each with its
+// own kernel and TCPTransport over 127.0.0.1. mk builds each node's identical
+// Config+handlers (fresh per node: the kernel is replicated); contribute
+// extracts the node's share of the cross-node reduction after Run (typically
+// handler state of local LPs). Every node must produce the same GatherSum
+// total, which is returned along with the per-node results.
+func runTCPLoopback(t *testing.T, n int, mk func(node int) (Config, []Handler),
+	contribute func(k *Kernel, h []Handler) []uint64) ([]tcpNodeResult, []uint64) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	results := make([]tcpNodeResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := &results[i]
+			tr, err := NewTCPTransport(TCPOptions{Node: i, Peers: addrs, Listener: lns[i], DialTimeout: 5 * time.Second})
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer tr.Close()
+			cfg, handlers := mk(i)
+			cfg.Net.Transport = tr
+			k, err := New(cfg, handlers)
+			if err != nil {
+				res.err = err
+				return
+			}
+			stats, err := k.Run()
+			if err != nil {
+				res.err = fmt.Errorf("node %d: %w", i, err)
+				return
+			}
+			res.stats = stats
+			res.sum, res.err = tr.GatherSum(contribute(k, handlers))
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].err != nil {
+			t.Fatalf("node %d: %v", i, results[i].err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if fmt.Sprint(results[i].sum) != fmt.Sprint(results[0].sum) {
+			t.Fatalf("GatherSum disagrees across nodes: node 0 %v, node %d %v",
+				results[0].sum, i, results[i].sum)
+		}
+	}
+	return results, results[0].sum
+}
+
+// pingSum contributes [committed, Σ seen over local pingLP-compatible
+// handlers] to the cross-node reduction.
+func pingSeen(h Handler) uint64 {
+	switch lp := h.(type) {
+	case *pingLP:
+		return uint64(lp.seen)
+	case *codecLP:
+		return uint64(lp.seen)
+	}
+	return 0
+}
+
+// TestTCPLoopbackPingPong: the smallest distributed run — two clusters on two
+// processes, one ping-pong pair — must commit exactly what the in-memory
+// kernel commits, with the transit counters drained on both nodes.
+func TestTCPLoopbackPingPong(t *testing.T) {
+	mk := func(node int) (Config, []Handler) {
+		return Config{NumClusters: 2, ClusterOf: []int{0, 1}, GVTPeriodEvents: 16},
+			[]Handler{
+				&pingLP{peer: 1, limit: 300, delay: 2, start: true},
+				&pingLP{peer: 0, limit: 300, delay: 2},
+			}
+	}
+	contribute := func(k *Kernel, h []Handler) []uint64 {
+		var seen uint64
+		for i, hh := range h {
+			if k.LocalLP(LPID(i)) {
+				seen += pingSeen(hh)
+			}
+		}
+		return []uint64{0, seen} // slot 0 filled below with committed
+	}
+	results, sum := runTCPLoopback(t, 2, mk, func(k *Kernel, h []Handler) []uint64 {
+		v := contribute(k, h)
+		return v
+	})
+	var committed uint64
+	for _, r := range results {
+		committed += r.stats.EventsCommitted
+		if r.stats.FinalGVT != TimeInfinity {
+			t.Errorf("node did not terminate: GVT=%d", r.stats.FinalGVT)
+		}
+	}
+	if committed != 301 {
+		t.Errorf("committed across nodes = %d, want 301", committed)
+	}
+	if sum[1] != 301 {
+		t.Errorf("handler state across nodes = %d, want 301", sum[1])
+	}
+}
+
+// TestTCPLoopbackStress partitions four clusters over two processes with
+// straggler pairs crossing the node boundary, so rollbacks and anti-messages
+// travel by socket. Totals must equal the in-memory run bit for bit.
+func TestTCPLoopbackStress(t *testing.T) {
+	build := func() (Config, []Handler) {
+		const chains = 6
+		handlers := make([]Handler, 0, chains+2)
+		clusterOf := make([]int, 0, chains+2)
+		for i := 0; i < chains; i++ {
+			handlers = append(handlers, &chainLP{limit: 150})
+			clusterOf = append(clusterOf, i%4)
+		}
+		// Victim on node 0's clusters, sender on node 1's: every straggler
+		// and its anti-message cascade crosses the socket.
+		handlers = append(handlers, &stragglerVictim{limit: 250}, &stragglerSender{victim: LPID(chains), n: 240})
+		clusterOf = append(clusterOf, 0, 3)
+		return Config{
+			NumClusters:     4,
+			ClusterOf:       clusterOf,
+			GVTPeriodEvents: 32,
+		}, handlers
+	}
+	contribute := func(k *Kernel, h []Handler) []uint64 {
+		var sum uint64
+		for i, hh := range h {
+			if !k.LocalLP(LPID(i)) {
+				continue
+			}
+			switch lp := hh.(type) {
+			case *chainLP:
+				sum += uint64(lp.reached)
+			case *stragglerVictim:
+				sum += uint64(lp.sum)
+			}
+		}
+		return []uint64{sum}
+	}
+
+	results, sum := runTCPLoopback(t, 2, func(int) (Config, []Handler) { return build() }, contribute)
+	var committed, processed, rolledBack uint64
+	for _, r := range results {
+		committed += r.stats.EventsCommitted
+		processed += r.stats.EventsProcessed
+		rolledBack += r.stats.EventsRolledBack
+	}
+	if processed-rolledBack != committed {
+		t.Errorf("commit invariant across nodes: %d - %d != %d", processed, rolledBack, committed)
+	}
+
+	// Oracle: the same configuration in one process.
+	cfg, handlers := build()
+	k, err := New(cfg, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != stats.EventsCommitted {
+		t.Errorf("distributed committed %d, in-memory %d", committed, stats.EventsCommitted)
+	}
+	memSum := contribute(k, handlers)
+	if sum[0] != memSum[0] {
+		t.Errorf("distributed handler state %d, in-memory %d", sum[0], memSum[0])
+	}
+}
+
+// TestTCPLoopbackMigration exercises wire migration: a rotating Rebalance
+// moves both StateCodec LPs between clusters hosted by different processes
+// every round, so packPayload/unpackPayload and the route-then-payload FIFO
+// run for real. Committed totals and handler state must match the in-memory
+// kernel running the identical rotation.
+func TestTCPLoopbackMigration(t *testing.T) {
+	build := func(rounds *int32) (Config, []Handler) {
+		return Config{
+				NumClusters:     2,
+				ClusterOf:       []int{0, 1},
+				GVTPeriodEvents: 16,
+				Dynamic: DynamicConfig{
+					Rebalance:    rotatingRebalance(2, 2, rounds),
+					PeriodRounds: 1,
+				},
+			}, []Handler{
+				&codecLP{pingLP: pingLP{peer: 1, limit: 400, delay: 3, start: true}},
+				&codecLP{pingLP: pingLP{peer: 0, limit: 400, delay: 3}},
+			}
+	}
+	contribute := func(k *Kernel, h []Handler) []uint64 {
+		var seen uint64
+		for i, hh := range h {
+			if k.LocalLP(LPID(i)) {
+				seen += pingSeen(hh)
+			}
+		}
+		return []uint64{seen}
+	}
+	var nodeRounds [2]int32
+	results, sum := runTCPLoopback(t, 2, func(node int) (Config, []Handler) {
+		return build(&nodeRounds[node])
+	}, contribute)
+	var committed, migrations uint64
+	for _, r := range results {
+		committed += r.stats.EventsCommitted
+		migrations += r.stats.Migrations
+	}
+	if migrations == 0 {
+		t.Fatal("no LP migrated across the socket")
+	}
+	if committed != 401 {
+		t.Errorf("committed across nodes = %d, want 401", committed)
+	}
+	if sum[0] != 401 {
+		t.Errorf("handler state across nodes = %d, want 401", sum[0])
+	}
+
+	// In-memory oracle with the same rotation.
+	var rounds int32
+	cfg, handlers := build(&rounds)
+	k, err := New(cfg, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EventsCommitted != committed {
+		t.Errorf("distributed committed %d, in-memory %d", committed, stats.EventsCommitted)
+	}
+}
+
+// TestTCPNeedStateCodec: a multi-process transport plus dynamic rebalancing
+// demands StateCodec on every handler; New must refuse the combination with
+// the sentinel before any connection work happens.
+func TestTCPNeedStateCodec(t *testing.T) {
+	tr, err := NewTCPTransport(TCPOptions{Node: 0, Peers: []string{"127.0.0.1:1", "127.0.0.1:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		NumClusters: 2, ClusterOf: []int{0, 1},
+		Net:     NetConfig{Transport: tr},
+		Dynamic: DynamicConfig{Rebalance: func(*LoadSnapshot) []int { return nil }},
+	}, []Handler{&pingLP{peer: 1}, &pingLP{peer: 0}})
+	if !errors.Is(err, ErrNeedStateCodec) {
+		t.Fatalf("err = %v, want ErrNeedStateCodec", err)
+	}
+	// The same handlers with StateCodec are accepted.
+	tr2, err := NewTCPTransport(TCPOptions{Node: 0, Peers: []string{"127.0.0.1:1", "127.0.0.1:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		NumClusters: 2, ClusterOf: []int{0, 1},
+		Net:     NetConfig{Transport: tr2},
+		Dynamic: DynamicConfig{Rebalance: func(*LoadSnapshot) []int { return nil }},
+	}, []Handler{&codecLP{pingLP: pingLP{peer: 1}}, &codecLP{pingLP: pingLP{peer: 0}}})
+	if err != nil {
+		t.Fatalf("StateCodec handlers rejected: %v", err)
+	}
+}
+
+// TestTCPTransportValidation: option errors surface as ErrBadTransport.
+func TestTCPTransportValidation(t *testing.T) {
+	if _, err := NewTCPTransport(TCPOptions{}); !errors.Is(err, ErrBadTransport) {
+		t.Errorf("empty peers: err = %v, want ErrBadTransport", err)
+	}
+	if _, err := NewTCPTransport(TCPOptions{Node: 2, Peers: []string{"a", "b"}}); !errors.Is(err, ErrBadTransport) {
+		t.Errorf("node out of range: err = %v, want ErrBadTransport", err)
+	}
+	// More nodes than clusters cannot be partitioned.
+	tr, err := NewTCPTransport(TCPOptions{Node: 0, Peers: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{NumClusters: 2, ClusterOf: []int{0, 1}, Net: NetConfig{Transport: tr}},
+		[]Handler{&pingLP{peer: 1}, &pingLP{peer: 0}})
+	if !errors.Is(err, ErrBadTransport) {
+		t.Errorf("3 nodes over 2 clusters: err = %v, want ErrBadTransport", err)
+	}
+	// GatherSum before Run is refused.
+	tr2, err := NewTCPTransport(TCPOptions{Node: 0, Peers: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr2.GatherSum([]uint64{1}); !errors.Is(err, ErrBadTransport) {
+		t.Errorf("GatherSum before Run: err = %v, want ErrBadTransport", err)
+	}
+}
+
+// TestTCPSingleNode: a one-entry peer list is a degenerate mesh — no sockets,
+// but the full remote code path (cumulative counters, FIN no-op, local
+// GatherSum). Results must match the plain in-memory transport.
+func TestTCPSingleNode(t *testing.T) {
+	tr, err := NewTCPTransport(TCPOptions{Node: 0, Peers: []string{"127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	a := &pingLP{peer: 1, limit: 200, delay: 2, start: true}
+	b := &pingLP{peer: 0, limit: 200, delay: 2}
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}, Net: NetConfig{Transport: tr}},
+		[]Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EventsCommitted != 201 || a.seen+b.seen != 201 {
+		t.Errorf("committed=%d seen=%d, want 201", stats.EventsCommitted, a.seen+b.seen)
+	}
+	sum, err := tr.GatherSum([]uint64{uint64(a.seen), uint64(b.seen)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0]+sum[1] != 201 {
+		t.Errorf("GatherSum = %v", sum)
+	}
+}

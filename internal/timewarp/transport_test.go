@@ -92,7 +92,8 @@ func TestFlushPolicy(t *testing.T) {
 	if got := c0.localMin(); got != 60 {
 		t.Fatalf("localMin = %d with an outboxed event at 60", got)
 	}
-	// Size: filling the outbox to flushBatch flushes it.
+	// Size: filling the outbox to the FlushBatch default flushes it.
+	const flushBatch = 64
 	for i := 0; i < flushBatch-1; i++ {
 		c0.route(Event{ID: uint64(3 + i), Receiver: 1, RecvTime: Time(61 + i)}, true)
 	}
@@ -125,7 +126,7 @@ func TestFlushPolicy(t *testing.T) {
 // the transit counters untouched and the events outboxed (still covered by
 // localMin), and a later retry after the destination drains must deliver.
 func TestFlushRejectionKeepsAccounting(t *testing.T) {
-	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}, InboxSize: 1},
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}, Net: NetConfig{InboxSize: 1}},
 		[]Handler{&pingLP{peer: 1}, &pingLP{peer: 0}})
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +189,7 @@ func TestTinyMailboxBackpressure(t *testing.T) {
 			ClusterOf:        clusterOf,
 			GVTPeriodEvents:  32,
 			LazyCancellation: lazy,
-			InboxSize:        inbox,
+			Net:              NetConfig{InboxSize: inbox},
 		}, handlers)
 		if err != nil {
 			t.Fatal(err)
@@ -233,13 +234,14 @@ func TestTinyMailboxWithLatencyAndMigration(t *testing.T) {
 	a := &pingLP{peer: 1, limit: 300, delay: 3, start: true}
 	b := &pingLP{peer: 0, limit: 300, delay: 3}
 	k, err := New(Config{
-		NumClusters:           2,
-		ClusterOf:             []int{0, 1},
-		GVTPeriodEvents:       16,
-		InboxSize:             1,
-		NetLatency:            30 * time.Microsecond,
-		Rebalance:             rotatingRebalance(2, 2, &rounds),
-		RebalancePeriodRounds: 1,
+		NumClusters:     2,
+		ClusterOf:       []int{0, 1},
+		GVTPeriodEvents: 16,
+		Net:             NetConfig{InboxSize: 1, Latency: 30 * time.Microsecond},
+		Dynamic: DynamicConfig{
+			Rebalance:    rotatingRebalance(2, 2, &rounds),
+			PeriodRounds: 1,
+		},
 	}, []Handler{a, b})
 	if err != nil {
 		t.Fatal(err)
@@ -307,15 +309,15 @@ func TestLoadSmoothingConfig(t *testing.T) {
 	if err := cfg.setDefaults(1); err != nil {
 		t.Fatal(err)
 	}
-	if cfg.LoadSmoothing != 0.5 {
-		t.Errorf("LoadSmoothing default = %v, want 0.5", cfg.LoadSmoothing)
+	if cfg.Dynamic.LoadSmoothing != 0.5 {
+		t.Errorf("LoadSmoothing default = %v, want 0.5", cfg.Dynamic.LoadSmoothing)
 	}
-	cfg = Config{NumClusters: 1, ClusterOf: []int{0}, LoadSmoothing: 1}
-	if err := cfg.setDefaults(1); err != nil || cfg.LoadSmoothing != 1 {
-		t.Errorf("explicit LoadSmoothing=1 rejected: %v %v", err, cfg.LoadSmoothing)
+	cfg = Config{NumClusters: 1, ClusterOf: []int{0}, Dynamic: DynamicConfig{LoadSmoothing: 1}}
+	if err := cfg.setDefaults(1); err != nil || cfg.Dynamic.LoadSmoothing != 1 {
+		t.Errorf("explicit LoadSmoothing=1 rejected: %v %v", err, cfg.Dynamic.LoadSmoothing)
 	}
 	for _, bad := range []float64{-0.25, 1.5} {
-		cfg = Config{NumClusters: 1, ClusterOf: []int{0}, LoadSmoothing: bad}
+		cfg = Config{NumClusters: 1, ClusterOf: []int{0}, Dynamic: DynamicConfig{LoadSmoothing: bad}}
 		if err := cfg.setDefaults(1); err == nil {
 			t.Errorf("LoadSmoothing=%v accepted", bad)
 		}

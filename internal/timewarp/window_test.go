@@ -62,7 +62,7 @@ func TestOptimismWindowCorrectUnderContention(t *testing.T) {
 			ClusterOf:       []int{0, 1},
 			GVTPeriodEvents: 128,
 			OptimismWindow:  window,
-			NetLatency:      200 * time.Microsecond,
+			Net:             NetConfig{Latency: 200 * time.Microsecond},
 		}, []Handler{v, s})
 		if err != nil {
 			t.Fatal(err)
@@ -94,7 +94,7 @@ func TestNetLatencyDeterministicResult(t *testing.T) {
 		k, err := New(Config{
 			NumClusters: 2,
 			ClusterOf:   []int{0, 1},
-			NetLatency:  lat,
+			Net:         NetConfig{Latency: lat},
 		}, []Handler{v, s})
 		if err != nil {
 			t.Fatal(err)
@@ -208,7 +208,7 @@ func TestNetBusyCostsDoNotChangeResults(t *testing.T) {
 		b := &pingLP{peer: 0, limit: 100, delay: 2}
 		k, err := New(Config{
 			NumClusters: 2, ClusterOf: []int{0, 1},
-			NetSendBusy: busy, NetRecvBusy: busy,
+			Net: NetConfig{SendBusy: busy, RecvBusy: busy},
 		}, []Handler{a, b})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,478 @@
+package timewarp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format of the TCP transport.
+//
+// Every frame is [u32 body length][u8 frame type][body], all integers
+// little-endian. Bodies are fixed layouts of flat values — no varints, no
+// reflection, no per-frame allocation on the encode side (frames append into
+// the per-peer outbound buffer). Every struct that crosses the wire carries a
+// //kernelvet:wire annotation, and the wiresafe analyzer proves it contains
+// only fixed-size scalar fields, so "encode" and "decode" are field-by-field
+// copies that cannot drag pointers, lengths, or platform-dependent sizes onto
+// the wire.
+//
+// Decoding is defensive: the frame length is capped (maxFrameLen), every read
+// goes through wireReader, which saturates on truncation instead of
+// panicking, and decodeers reject bodies with trailing bytes. A corrupt or
+// truncated frame therefore surfaces as an error from the transport, never as
+// an out-of-bounds access or a silently misparsed event.
+
+// Frame types. The hello frame opens every connection (it names the dialing
+// node); fin is the last frame a node sends for the run proper (GatherSum
+// frames may follow).
+const (
+	frameHello uint8 = 1 + iota
+	frameBatch
+	frameCtrl
+	frameProgress
+	frameCounts
+	frameCoord
+	frameReqGVT
+	frameAckCut
+	frameReport
+	frameAckLoad
+	frameOrder
+	framePayload
+	frameRoute
+	frameFin
+	frameSum
+	frameSumReply
+)
+
+// maxFrameLen caps a frame body. The largest legitimate frames are event
+// batches (bounded by InboxSize events) and migration payloads (an LP's
+// optimistic suffix); 64 MiB is orders of magnitude above both, so anything
+// larger is a corrupt length prefix, rejected before any allocation.
+const maxFrameLen = 64 << 20
+
+// eventWireSize is the encoded size of one Event: ID(8) + Sender(4) +
+// Receiver(4) + SendTime(8) + RecvTime(8) + Kind(4) + Value(4) + flags(1).
+const eventWireSize = 41
+
+// batchHdrWireSize is the encoded size of one batchHdr: n(4) + color(1) +
+// dueNano(8).
+const batchHdrWireSize = 13
+
+// Append-style primitive encoders.
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendI32(b []byte, v int32) []byte { return appendU32(b, uint32(v)) }
+
+func appendI64(b []byte, v int64) []byte { return appendU64(b, uint64(v)) }
+
+// beginFrame reserves a frame's length prefix and writes its type; endFrame
+// patches the prefix once the body is appended. Usage:
+//
+//	b, off := beginFrame(b, frameCtrl)
+//	b = append...(b, ...)
+//	b = endFrame(b, off)
+func beginFrame(b []byte, typ uint8) ([]byte, int) {
+	off := len(b)
+	b = append(b, 0, 0, 0, 0, typ)
+	return b, off
+}
+
+func endFrame(b []byte, off int) []byte {
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(b)-off-4))
+	return b
+}
+
+// readFrame reads one length-prefixed frame, reusing scratch for the body
+// (type byte included). It returns the frame type and the body bytes after
+// the type byte; the body is valid until the next call.
+func readFrame(r *bufio.Reader, scratch []byte) (uint8, []byte, []byte, error) {
+	var pre [4]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return 0, nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(pre[:])
+	if n < 1 || n > maxFrameLen {
+		return 0, nil, scratch, fmt.Errorf("timewarp: wire frame length %d out of range", n)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	body := scratch[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // a length prefix promised more bytes
+		}
+		return 0, nil, scratch, err
+	}
+	return body[0], body[1:], scratch, nil
+}
+
+// wireReader is a bounds-checked decode cursor. Reads past the end saturate
+// (returning zero values) and latch an error instead of panicking, so one
+// check after decoding covers every field of a corrupt frame.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("timewarp: truncated wire frame")
+	}
+	r.b = nil
+}
+
+func (r *wireReader) u8() uint8 {
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *wireReader) i32() int32 { return int32(r.u32()) }
+
+func (r *wireReader) i64() int64 { return int64(r.u64()) }
+
+// bytes returns the next n bytes of the body (aliasing the frame buffer; the
+// caller copies if it retains them).
+func (r *wireReader) bytes(n int) []byte {
+	if n < 0 || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// done reports the latched error, or rejects trailing bytes: a frame whose
+// body is longer than its fields is as corrupt as one that is shorter.
+func (r *wireReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("timewarp: wire frame has %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+// Event codec.
+
+func appendEvent(b []byte, ev *Event) []byte {
+	b = appendU64(b, ev.ID)
+	b = appendI32(b, int32(ev.Sender))
+	b = appendI32(b, int32(ev.Receiver))
+	b = appendI64(b, ev.SendTime)
+	b = appendI64(b, ev.RecvTime)
+	b = appendI32(b, ev.Kind)
+	b = appendI32(b, ev.Value)
+	var flags uint8
+	if ev.Anti {
+		flags = 1
+	}
+	return appendU8(b, flags)
+}
+
+func (r *wireReader) event() Event {
+	ev := Event{
+		ID:       r.u64(),
+		Sender:   LPID(r.i32()),
+		Receiver: LPID(r.i32()),
+		SendTime: r.i64(),
+		RecvTime: r.i64(),
+		Kind:     r.i32(),
+		Value:    r.i32(),
+	}
+	ev.Anti = r.u8()&1 != 0
+	return ev
+}
+
+// batchHdr codec.
+
+func appendBatchHdr(b []byte, h batchHdr) []byte {
+	b = appendI32(b, h.n)
+	b = appendU8(b, h.color)
+	return appendI64(b, h.dueNano)
+}
+
+func (r *wireReader) batchHdr() batchHdr {
+	return batchHdr{n: r.i32(), color: r.u8(), dueNano: r.i64()}
+}
+
+// wireCoord is the coordinator's replicated round state, broadcast from node
+// 0 whenever a wave opens or a GVT lands. Every field is monotone over the
+// run, and the per-connection FIFO delivers frames in publication order, so
+// applying a coord frame is a set of plain stores.
+//
+//kernelvet:wire
+type wireCoord struct {
+	round       int64
+	reportRound int64
+	loadRound   int64
+	gvt         int64
+	done        uint8
+	// bits is the control bitmask to post into the receiving node's local
+	// mailboxes (the remote half of broadcastCtrl).
+	bits uint8
+}
+
+func appendCoord(b []byte, c wireCoord) []byte {
+	var off int
+	b, off = beginFrame(b, frameCoord)
+	b = appendI64(b, c.round)
+	b = appendI64(b, c.reportRound)
+	b = appendI64(b, c.loadRound)
+	b = appendI64(b, c.gvt)
+	b = appendU8(b, c.done)
+	b = appendU8(b, c.bits)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) coord() wireCoord {
+	return wireCoord{
+		round:       r.i64(),
+		reportRound: r.i64(),
+		loadRound:   r.i64(),
+		gvt:         r.i64(),
+		done:        r.u8(),
+		bits:        r.u8(),
+	}
+}
+
+// wireCounts mirrors one cluster's cumulative received-event counters to the
+// coordinator's node (the wave-1 drain probe input). Strictly monotone per
+// cluster; conflated, so only the freshest value is ever in flight.
+//
+//kernelvet:wire
+type wireCounts struct {
+	cluster int32
+	recv0   int64
+	recv1   int64
+}
+
+func appendCounts(b []byte, c wireCounts) []byte {
+	var off int
+	b, off = beginFrame(b, frameCounts)
+	b = appendI32(b, c.cluster)
+	b = appendI64(b, c.recv0)
+	b = appendI64(b, c.recv1)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) counts() wireCounts {
+	return wireCounts{cluster: r.i32(), recv0: r.i64(), recv1: r.i64()}
+}
+
+// wireAckCut is a cluster's wave-1 join ack. It pins the cluster's white
+// cumulative sent counters: the ack is encoded after the color flip on the
+// cluster's own goroutine, so the values it carries are the final white
+// counts the drain probe compares against.
+//
+//kernelvet:wire
+type wireAckCut struct {
+	cluster int32
+	sent0   int64
+	sent1   int64
+}
+
+func appendAckCut(b []byte, a wireAckCut) []byte {
+	var off int
+	b, off = beginFrame(b, frameAckCut)
+	b = appendI32(b, a.cluster)
+	b = appendI64(b, a.sent0)
+	b = appendI64(b, a.sent1)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) ackCut() wireAckCut {
+	return wireAckCut{cluster: r.i32(), sent0: r.i64(), sent1: r.i64()}
+}
+
+// wireReport is a cluster's wave-2 GVT contribution.
+//
+//kernelvet:wire
+type wireReport struct {
+	cluster int32
+	min     Time
+}
+
+func appendReport(b []byte, w wireReport) []byte {
+	var off int
+	b, off = beginFrame(b, frameReport)
+	b = appendI32(b, w.cluster)
+	b = appendI64(b, w.min)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) report() wireReport {
+	return wireReport{cluster: r.i32(), min: r.i64()}
+}
+
+// wireOrder is one migration order, coordinator → source cluster's node.
+//
+//kernelvet:wire
+type wireOrder struct {
+	cluster int32 // source cluster the order is addressed to
+	lp      int32
+	to      int32
+}
+
+func appendOrder(b []byte, o wireOrder) []byte {
+	var off int
+	b, off = beginFrame(b, frameOrder)
+	b = appendI32(b, o.cluster)
+	b = appendI32(b, o.lp)
+	b = appendI32(b, o.to)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) order() wireOrder {
+	return wireOrder{cluster: r.i32(), lp: r.i32(), to: r.i32()}
+}
+
+// wireRoute is one routing-table rewrite, broadcast by the migrating LP's old
+// home before the payload travels.
+//
+//kernelvet:wire
+type wireRoute struct {
+	lp int32
+	to int32
+}
+
+func appendRoute(b []byte, w wireRoute) []byte {
+	var off int
+	b, off = beginFrame(b, frameRoute)
+	b = appendI32(b, w.lp)
+	b = appendI32(b, w.to)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) route() wireRoute {
+	return wireRoute{lp: r.i32(), to: r.i32()}
+}
+
+// wireLPHdr heads a migration payload: the fixed-size part of an LP's
+// runtime, followed by nPending encoded events, nCancelled event IDs,
+// nSendRows (dst, cnt) pairs, and stateLen bytes of handler state
+// (StateCodec).
+//
+//kernelvet:wire
+type wireLPHdr struct {
+	lp               int32
+	lvt              Time
+	committedThrough Time
+	idNext           uint64
+	loadCommitted    uint64
+	loadRollbacks    uint64
+	loadRemote       uint64
+	nPending         int32
+	nCancelled       int32
+	nSendRows        int32
+	stateLen         int32
+}
+
+func appendLPHdr(b []byte, h wireLPHdr) []byte {
+	b = appendI32(b, h.lp)
+	b = appendI64(b, h.lvt)
+	b = appendI64(b, h.committedThrough)
+	b = appendU64(b, h.idNext)
+	b = appendU64(b, h.loadCommitted)
+	b = appendU64(b, h.loadRollbacks)
+	b = appendU64(b, h.loadRemote)
+	b = appendI32(b, h.nPending)
+	b = appendI32(b, h.nCancelled)
+	b = appendI32(b, h.nSendRows)
+	return appendI32(b, h.stateLen)
+}
+
+func (r *wireReader) lpHdr() wireLPHdr {
+	return wireLPHdr{
+		lp:               r.i32(),
+		lvt:              r.i64(),
+		committedThrough: r.i64(),
+		idNext:           r.u64(),
+		loadCommitted:    r.u64(),
+		loadRollbacks:    r.u64(),
+		loadRemote:       r.u64(),
+		nPending:         r.i32(),
+		nCancelled:       r.i32(),
+		nSendRows:        r.i32(),
+		stateLen:         r.i32(),
+	}
+}
+
+// appendLoadBuf encodes one cluster's load-round section (frameAckLoad body
+// after the cluster id).
+func appendLoadBuf(b []byte, buf *loadSnapBuf) []byte {
+	b = appendI32(b, int32(len(buf.lps)))
+	for i, lp := range buf.lps {
+		b = appendI32(b, int32(lp))
+		b = appendU64(b, buf.committed[i])
+		b = appendU64(b, buf.rollbacks[i])
+		b = appendU64(b, buf.remote[i])
+		b = appendI32(b, buf.edgeOff[i])
+	}
+	b = appendI32(b, int32(len(buf.edgeDst)))
+	for i, dst := range buf.edgeDst {
+		b = appendI32(b, int32(dst))
+		b = appendU64(b, buf.edgeCnt[i])
+	}
+	return b
+}
+
+// loadBuf decodes a load-round section into buf (reset and refilled).
+func (r *wireReader) loadBuf(buf *loadSnapBuf) {
+	buf.reset()
+	n := int(r.i32())
+	if n < 0 || n > len(r.b) {
+		r.fail()
+		return
+	}
+	for i := 0; i < n; i++ {
+		buf.lps = append(buf.lps, LPID(r.i32()))
+		buf.committed = append(buf.committed, r.u64())
+		buf.rollbacks = append(buf.rollbacks, r.u64())
+		buf.remote = append(buf.remote, r.u64())
+		buf.edgeOff = append(buf.edgeOff, r.i32())
+	}
+	e := int(r.i32())
+	if e < 0 || e > len(r.b) {
+		r.fail()
+		return
+	}
+	for i := 0; i < e; i++ {
+		buf.edgeDst = append(buf.edgeDst, LPID(r.i32()))
+		buf.edgeCnt = append(buf.edgeCnt, r.u64())
+	}
+}

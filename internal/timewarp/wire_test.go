@@ -1,0 +1,642 @@
+package timewarp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// codecLP is a pingLP whose handler state travels by wire: the StateCodec
+// extension logicsim's gateLP implements, in miniature for kernel tests.
+type codecLP struct {
+	pingLP
+	tag [4]byte
+}
+
+func (c *codecLP) EncodeState(buf []byte) ([]byte, error) {
+	buf = append(buf, c.tag[:]...)
+	buf = append(buf, byte(c.seen), byte(c.seen>>8), byte(c.seen>>16), byte(c.seen>>24))
+	return buf, nil
+}
+
+func (c *codecLP) DecodeState(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("codecLP: state length %d, want 8", len(data))
+	}
+	copy(c.tag[:], data)
+	c.seen = int32(data[4]) | int32(data[5])<<8 | int32(data[6])<<16 | int32(data[7])<<24
+	return nil
+}
+
+// decodeOneFrame runs b through the framing layer and returns the type and
+// body, failing the test on any framing error.
+func decodeOneFrame(t *testing.T, b []byte) (uint8, []byte) {
+	t.Helper()
+	typ, body, _, err := readFrame(bufio.NewReader(bytes.NewReader(b)), nil)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	return typ, body
+}
+
+// TestWireRoundTrip: every frame-level codec must reproduce its struct
+// exactly, with the decoder consuming the whole body (done() == nil). Negative
+// and high-bit values are included so sign extension and endianness mistakes
+// cannot hide.
+func TestWireRoundTrip(t *testing.T) {
+	t.Run("event", func(t *testing.T) {
+		for _, in := range []Event{
+			{},
+			{ID: 1<<63 + 7, Sender: -1, Receiver: 2_000_000_000, SendTime: -5, RecvTime: TimeInfinity, Kind: -9, Value: 1 << 30, Anti: true},
+			{ID: 42, Sender: 3, Receiver: 4, SendTime: 10, RecvTime: 20, Kind: 1, Value: -2},
+		} {
+			b := appendEvent(nil, &in)
+			if len(b) != eventWireSize {
+				t.Fatalf("encoded event is %d bytes, want %d", len(b), eventWireSize)
+			}
+			r := &wireReader{b: b}
+			out := r.event()
+			if err := r.done(); err != nil {
+				t.Fatal(err)
+			}
+			if out != in {
+				t.Fatalf("event round trip: got %+v, want %+v", out, in)
+			}
+		}
+	})
+	t.Run("batchHdr", func(t *testing.T) {
+		in := batchHdr{n: 1 << 20, color: 1, dueNano: -12345}
+		b := appendBatchHdr(nil, in)
+		if len(b) != batchHdrWireSize {
+			t.Fatalf("encoded batchHdr is %d bytes, want %d", len(b), batchHdrWireSize)
+		}
+		r := &wireReader{b: b}
+		out := r.batchHdr()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("batchHdr round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("coord", func(t *testing.T) {
+		in := wireCoord{round: 7, reportRound: 6, loadRound: 5, gvt: -1, done: 1, bits: ctrlCut | ctrlWake}
+		typ, body := decodeOneFrame(t, appendCoord(nil, in))
+		if typ != frameCoord {
+			t.Fatalf("frame type %d, want coord", typ)
+		}
+		r := &wireReader{b: body}
+		out := r.coord()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("coord round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("counts", func(t *testing.T) {
+		in := wireCounts{cluster: 3, recv0: 1 << 40, recv1: 17}
+		typ, body := decodeOneFrame(t, appendCounts(nil, in))
+		if typ != frameCounts {
+			t.Fatalf("frame type %d, want counts", typ)
+		}
+		r := &wireReader{b: body}
+		out := r.counts()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("counts round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("ackCut", func(t *testing.T) {
+		in := wireAckCut{cluster: 2, sent0: 99, sent1: 1<<50 + 1}
+		typ, body := decodeOneFrame(t, appendAckCut(nil, in))
+		if typ != frameAckCut {
+			t.Fatalf("frame type %d, want ackCut", typ)
+		}
+		r := &wireReader{b: body}
+		out := r.ackCut()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("ackCut round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("report", func(t *testing.T) {
+		in := wireReport{cluster: 1, min: TimeInfinity}
+		typ, body := decodeOneFrame(t, appendReport(nil, in))
+		if typ != frameReport {
+			t.Fatalf("frame type %d, want report", typ)
+		}
+		r := &wireReader{b: body}
+		out := r.report()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("report round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("order", func(t *testing.T) {
+		in := wireOrder{cluster: 4, lp: 11, to: 0}
+		typ, body := decodeOneFrame(t, appendOrder(nil, in))
+		if typ != frameOrder {
+			t.Fatalf("frame type %d, want order", typ)
+		}
+		r := &wireReader{b: body}
+		out := r.order()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("order round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("route", func(t *testing.T) {
+		in := wireRoute{lp: 5, to: 3}
+		typ, body := decodeOneFrame(t, appendRoute(nil, in))
+		if typ != frameRoute {
+			t.Fatalf("frame type %d, want route", typ)
+		}
+		r := &wireReader{b: body}
+		out := r.route()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("route round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("lpHdr", func(t *testing.T) {
+		in := wireLPHdr{
+			lp: 9, lvt: -1, committedThrough: 1 << 40, idNext: 1<<63 + 3,
+			loadCommitted: 10, loadRollbacks: 2, loadRemote: 5,
+			nPending: 3, nCancelled: 1, nSendRows: 2, stateLen: 8,
+		}
+		b := appendLPHdr(nil, in)
+		r := &wireReader{b: b}
+		out := r.lpHdr()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("lpHdr round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("loadBuf", func(t *testing.T) {
+		in := loadSnapBuf{
+			lps:       []LPID{2, 5},
+			committed: []uint64{10, 20},
+			rollbacks: []uint64{1, 0},
+			remote:    []uint64{3, 4},
+			edgeOff:   []int32{1, 3},
+			edgeDst:   []LPID{5, 2, 7},
+			edgeCnt:   []uint64{9, 8, 7},
+		}
+		b := appendLoadBuf(nil, &in)
+		var out loadSnapBuf
+		r := &wireReader{b: b}
+		r.loadBuf(&out)
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(out) != fmt.Sprint(in) {
+			t.Fatalf("loadBuf round trip:\ngot  %+v\nwant %+v", out, in)
+		}
+	})
+}
+
+// TestWireFrameRejection: the framing layer and the decoders must reject
+// truncated and corrupt input with errors, never a panic, a hang, or a
+// silently misparsed value.
+func TestWireFrameRejection(t *testing.T) {
+	read := func(b []byte) error {
+		_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(b)), nil)
+		return err
+	}
+	t.Run("empty stream is clean EOF", func(t *testing.T) {
+		if err := read(nil); err != io.EOF {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+	})
+	t.Run("partial length prefix", func(t *testing.T) {
+		if err := read([]byte{1, 0}); err != io.ErrUnexpectedEOF {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("zero-length frame", func(t *testing.T) {
+		err := read([]byte{0, 0, 0, 0})
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v, want length out of range", err)
+		}
+	})
+	t.Run("oversized length prefix", func(t *testing.T) {
+		b := appendU32(nil, maxFrameLen+1)
+		err := read(b)
+		if err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("err = %v, want length out of range", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		b := appendU32(nil, 10)
+		b = append(b, frameCoord, 1, 2, 3) // promises 10 bytes, delivers 4
+		if err := read(b); err != io.ErrUnexpectedEOF {
+			t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("truncated struct saturates", func(t *testing.T) {
+		r := &wireReader{b: []byte{1, 2, 3}} // coord needs 34 bytes
+		c := r.coord()
+		if r.done() == nil {
+			t.Fatal("truncated coord body accepted")
+		}
+		if c.gvt != 0 || c.done != 0 || c.bits != 0 {
+			t.Fatalf("saturated reads returned nonzero: %+v", c)
+		}
+	})
+	t.Run("trailing bytes rejected", func(t *testing.T) {
+		b := appendRoute(nil, wireRoute{lp: 1, to: 2})
+		// Extend the body by one byte and patch the length prefix to match.
+		b = append(b, 0xFF)
+		b[0]++
+		_, body := decodeOneFrame(t, b)
+		r := &wireReader{b: body}
+		r.route()
+		err := r.done()
+		if err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("err = %v, want trailing-bytes rejection", err)
+		}
+	})
+	t.Run("negative bytes count", func(t *testing.T) {
+		r := &wireReader{b: []byte{1, 2, 3, 4}}
+		if got := r.bytes(-1); got != nil || r.done() == nil {
+			t.Fatal("negative bytes() length accepted")
+		}
+	})
+	t.Run("loadBuf negative section count", func(t *testing.T) {
+		b := appendI32(nil, -1)
+		var buf loadSnapBuf
+		r := &wireReader{b: b}
+		r.loadBuf(&buf)
+		if r.done() == nil {
+			t.Fatal("negative loadBuf count accepted")
+		}
+	})
+	t.Run("loadBuf count beyond body", func(t *testing.T) {
+		b := appendI32(nil, 1<<28) // claims 2^28 rows in a 4-byte body
+		var buf loadSnapBuf
+		r := &wireReader{b: b}
+		r.loadBuf(&buf)
+		if r.done() == nil {
+			t.Fatal("absurd loadBuf count accepted")
+		}
+	})
+}
+
+// TestWirePayloadRoundTrip: packPayload → unpackPayload must reproduce the
+// LP's full migratable state through the byte encoding, and resetAfterPack
+// must leave a shell that a later inbound migration accepts.
+func TestWirePayloadRoundTrip(t *testing.T) {
+	newKernel := func() *Kernel {
+		k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}},
+			[]Handler{&codecLP{pingLP: pingLP{peer: 1}}, &codecLP{pingLP: pingLP{peer: 0}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	src := newKernel()
+	lp := src.lps[0]
+	h := lp.handler.(*codecLP)
+	h.tag = [4]byte{'w', 'i', 'r', 'e'}
+	h.seen = 1234
+	lp.lvt = 77
+	lp.committedThrough = 50
+	lp.idNext = uint64(0)<<32 + 99
+	lp.loadCommitted, lp.loadRollbacks, lp.loadRemote = 8, 2, 3
+	lp.pending.push(Event{ID: 5, Sender: 1, Receiver: 0, SendTime: 60, RecvTime: 80, Value: 9})
+	lp.pending.push(Event{ID: 6, Sender: 1, Receiver: 0, SendTime: 61, RecvTime: 90, Anti: true})
+	lp.cancelled[31] = struct{}{}
+	lp.sendDst = append(lp.sendDst, 1)
+	lp.sendCnt = append(lp.sendCnt, 12)
+
+	wire := src.clusters[0].packPayload(lp)
+	lp.resetAfterPack()
+	if len(lp.pending) != 0 || len(lp.cancelled) != 0 || lp.lvt != -1 {
+		t.Fatalf("resetAfterPack left state behind: pending=%d cancelled=%d lvt=%d",
+			len(lp.pending), len(lp.cancelled), lp.lvt)
+	}
+
+	// Decode into a separate kernel, as the destination process would.
+	dst := newKernel()
+	dh := dst.lps[0].handler.(*codecLP)
+	got, err := dst.clusters[0].unpackPayload(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dst.lps[0] {
+		t.Fatal("unpackPayload adopted the wrong shell")
+	}
+	if got.lvt != 77 || got.committedThrough != 50 || got.idNext != 99 {
+		t.Errorf("scalars: lvt=%d committedThrough=%d idNext=%d", got.lvt, got.committedThrough, got.idNext)
+	}
+	if got.loadCommitted != 8 || got.loadRollbacks != 2 || got.loadRemote != 3 {
+		t.Errorf("load counters: %d %d %d", got.loadCommitted, got.loadRollbacks, got.loadRemote)
+	}
+	if len(got.pending) != 2 || got.nextTime() != 80 {
+		t.Errorf("pending: len=%d next=%d, want 2 events from time 80", len(got.pending), got.nextTime())
+	}
+	if _, ok := got.cancelled[31]; !ok || len(got.cancelled) != 1 {
+		t.Errorf("cancelled set = %v, want {31}", got.cancelled)
+	}
+	if len(got.sendDst) != 1 || got.sendDst[0] != 1 || got.sendCnt[0] != 12 {
+		t.Errorf("send rows: dst=%v cnt=%v", got.sendDst, got.sendCnt)
+	}
+	if dh.tag != h.tag || dh.seen != 1234 {
+		t.Errorf("handler state: tag=%q seen=%d", dh.tag, dh.seen)
+	}
+
+	// Corrupt payloads must be rejected, not adopted.
+	fresh := newKernel()
+	if _, err := fresh.clusters[0].unpackPayload(wire[:len(wire)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0xEE // LP id far out of range
+	if _, err := fresh.clusters[0].unpackPayload(bad); err == nil {
+		t.Error("payload naming an absent LP accepted")
+	}
+	// A second adoption without a reset must hit the non-empty-shell check.
+	if _, err := dst.clusters[0].unpackPayload(wire); err == nil ||
+		!strings.Contains(err.Error(), "non-empty shell") {
+		t.Errorf("double adoption: err = %v, want non-empty shell rejection", err)
+	}
+}
+
+// fuzzFrameStream decodes a byte stream exactly as readLoop does — framing
+// layer, then the per-type decoder — asserting only that nothing panics and
+// every accepted frame's body is fully consumed.
+func fuzzFrameStream(t *testing.T, data []byte) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	var scratch []byte
+	var buf loadSnapBuf
+	for {
+		typ, body, s, err := readFrame(br, scratch)
+		scratch = s
+		if err != nil {
+			return
+		}
+		r := &wireReader{b: body}
+		switch typ {
+		case frameHello:
+			r.i32()
+		case frameBatch:
+			r.i32()
+			hdr := r.batchHdr()
+			if r.err != nil || hdr.n < 0 || int(hdr.n)*eventWireSize != len(r.b) {
+				continue
+			}
+			for i := int32(0); i < hdr.n; i++ {
+				r.event()
+			}
+		case frameCtrl:
+			r.i32()
+			r.u8()
+		case frameProgress:
+			r.i32()
+			r.i64()
+		case frameCounts:
+			r.counts()
+		case frameCoord:
+			r.coord()
+		case frameReqGVT, frameFin:
+		case frameAckCut:
+			r.ackCut()
+		case frameReport:
+			r.report()
+		case frameAckLoad:
+			r.i32()
+			r.loadBuf(&buf)
+		case frameOrder:
+			r.order()
+		case framePayload:
+			r.i32()
+			r.u8()
+			r.bytes(len(r.b))
+		case frameRoute:
+			r.route()
+		case frameSum:
+			r.i32()
+			cnt := r.i32()
+			if r.err != nil || cnt < 0 || int(cnt)*8 != len(r.b) {
+				continue
+			}
+			for i := int32(0); i < cnt; i++ {
+				r.u64()
+			}
+		case frameSumReply:
+			cnt := r.i32()
+			if r.err != nil || cnt < 0 || int(cnt)*8 != len(r.b) {
+				continue
+			}
+			for i := int32(0); i < cnt; i++ {
+				r.u64()
+			}
+		default:
+			continue
+		}
+		if err := r.done(); err == nil && typ == frameCoord {
+			// Accepted coord frames must re-encode to the identical body:
+			// encode∘decode is the identity on well-formed frames.
+			r2 := &wireReader{b: body}
+			re := appendCoord(nil, r2.coord())
+			if !bytes.Equal(re[5:], body) {
+				t.Fatalf("coord re-encode mismatch: % x vs % x", re[5:], body)
+			}
+		}
+	}
+}
+
+// FuzzWireFrame feeds arbitrary byte streams through the full inbound decode
+// path. The properties: no panic, no out-of-bounds access, and accepted coord
+// frames re-encode byte-identically.
+func FuzzWireFrame(f *testing.F) {
+	var seed []byte
+	seed = appendCoord(seed, wireCoord{round: 1, reportRound: 1, gvt: 5, bits: ctrlCut})
+	seed = appendCounts(seed, wireCounts{cluster: 1, recv0: 3, recv1: 4})
+	seed = appendAckCut(seed, wireAckCut{cluster: 0, sent0: 3, sent1: 4})
+	seed = appendReport(seed, wireReport{cluster: 1, min: 77})
+	seed = appendRoute(seed, wireRoute{lp: 1, to: 0})
+	f.Add(seed)
+	var batch []byte
+	var off int
+	batch, off = beginFrame(batch, frameBatch)
+	batch = appendI32(batch, 0)
+	batch = appendBatchHdr(batch, batchHdr{n: 1, color: 1})
+	batch = appendEvent(batch, &Event{ID: 7, Sender: 1, RecvTime: 9})
+	batch = endFrame(batch, off)
+	f.Add(batch)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(fuzzFrameStream)
+}
+
+// fuzzEventRoundTrip: any 41-byte body decodes to an Event that re-encodes to
+// a canonical form which then round-trips exactly. (The raw bytes need not
+// round-trip — the flags byte has seven dead bits.)
+func fuzzEventRoundTrip(t *testing.T, data []byte) {
+	if len(data) < eventWireSize {
+		return
+	}
+	r := &wireReader{b: data[:eventWireSize]}
+	ev := r.event()
+	if r.err != nil {
+		t.Fatalf("41-byte event body failed to decode: %v", r.err)
+	}
+	b := appendEvent(nil, &ev)
+	r2 := &wireReader{b: b}
+	ev2 := r2.event()
+	if r2.done() != nil || ev2 != ev {
+		t.Fatalf("event round trip: %+v vs %+v", ev, ev2)
+	}
+}
+
+// FuzzWireEvent fuzzes the event codec through decode → encode → decode.
+func FuzzWireEvent(f *testing.F) {
+	f.Add(appendEvent(nil, &Event{ID: 1, Sender: 0, Receiver: 1, SendTime: 2, RecvTime: 3, Kind: 4, Value: 5}))
+	f.Add(appendEvent(nil, &Event{ID: 1 << 62, Sender: -1, Receiver: 0, RecvTime: TimeInfinity, Anti: true}))
+	f.Fuzz(fuzzEventRoundTrip)
+}
+
+// fuzzPayload: arbitrary bytes through unpackPayload on a fresh kernel must
+// error or adopt cleanly — never panic or corrupt an unrelated shell.
+func fuzzPayload(t *testing.T, data []byte) {
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}},
+		[]Handler{&codecLP{pingLP: pingLP{peer: 1}}, &codecLP{pingLP: pingLP{peer: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := k.clusters[0].unpackPayload(data)
+	if err != nil {
+		return
+	}
+	if lp == nil {
+		t.Fatal("unpackPayload returned nil without an error")
+	}
+}
+
+// FuzzWirePayload fuzzes the migration payload decoder.
+func FuzzWirePayload(f *testing.F) {
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}},
+		[]Handler{&codecLP{pingLP: pingLP{peer: 1}}, &codecLP{pingLP: pingLP{peer: 0}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	lp := k.lps[1]
+	lp.pending.push(Event{ID: 9, Sender: 0, Receiver: 1, SendTime: 1, RecvTime: 2})
+	f.Add(k.clusters[1].packPayload(lp))
+	f.Add([]byte{})
+	f.Fuzz(fuzzPayload)
+}
+
+// TestWireFuzzCorpus replays the checked-in fuzz corpus under plain `go test`,
+// so CI exercises every regression input without the -fuzz flag.
+func TestWireFuzzCorpus(t *testing.T) {
+	for name, fn := range map[string]func(*testing.T, []byte){
+		"FuzzWireFrame":   fuzzFrameStream,
+		"FuzzWireEvent":   fuzzEventRoundTrip,
+		"FuzzWirePayload": fuzzPayload,
+	} {
+		dir := filepath.Join("testdata", "fuzz", name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading corpus %s (regenerate with WIRE_CORPUS=1): %v", dir, err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("corpus %s is empty", dir)
+		}
+		for _, e := range entries {
+			raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.SplitN(string(raw), "\n", 2)
+			if len(lines) != 2 || !strings.HasPrefix(lines[0], "go test fuzz v1") {
+				t.Fatalf("%s/%s is not a v1 corpus file", dir, e.Name())
+			}
+			var data []byte
+			if _, err := fmt.Sscanf(strings.TrimSpace(lines[1]), "[]byte(%q)", &data); err != nil {
+				t.Fatalf("%s/%s: %v", dir, e.Name(), err)
+			}
+			t.Run(name+"/"+e.Name(), func(t *testing.T) { fn(t, data) })
+		}
+	}
+}
+
+// TestGenerateWireCorpus writes the seed corpus under testdata/fuzz when
+// WIRE_CORPUS=1 is set. The files are committed; regenerate after changing the
+// wire format.
+func TestGenerateWireCorpus(t *testing.T) {
+	if os.Getenv("WIRE_CORPUS") == "" {
+		t.Skip("set WIRE_CORPUS=1 to regenerate the seed corpus")
+	}
+	write := func(fuzzer, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzzer)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stream []byte
+	stream = appendCoord(stream, wireCoord{round: 2, reportRound: 1, loadRound: 1, gvt: 40, bits: ctrlReport})
+	stream = appendCounts(stream, wireCounts{cluster: 1, recv0: 10, recv1: 2})
+	stream = appendAckCut(stream, wireAckCut{cluster: 1, sent0: 10, sent1: 2})
+	stream = appendReport(stream, wireReport{cluster: 1, min: 55})
+	stream = appendOrder(stream, wireOrder{cluster: 1, lp: 1, to: 0})
+	stream = appendRoute(stream, wireRoute{lp: 1, to: 0})
+	write("FuzzWireFrame", "seed_control", stream)
+
+	var batch []byte
+	var off int
+	batch, off = beginFrame(batch, frameBatch)
+	batch = appendI32(batch, 1)
+	batch = appendBatchHdr(batch, batchHdr{n: 2, color: 0, dueNano: 0})
+	batch = appendEvent(batch, &Event{ID: 1, Sender: 0, Receiver: 1, SendTime: 1, RecvTime: 5, Value: 3})
+	batch = appendEvent(batch, &Event{ID: 2, Sender: 0, Receiver: 1, SendTime: 1, RecvTime: 6, Anti: true})
+	batch = endFrame(batch, off)
+	write("FuzzWireFrame", "seed_batch", batch)
+
+	var trunc []byte
+	trunc = appendU32(trunc, 50)
+	trunc = append(trunc, frameCoord, 1, 2, 3)
+	write("FuzzWireFrame", "seed_truncated", trunc)
+
+	write("FuzzWireEvent", "seed_plain",
+		appendEvent(nil, &Event{ID: 3, Sender: 1, Receiver: 0, SendTime: 4, RecvTime: 9, Kind: 2, Value: -7}))
+	write("FuzzWireEvent", "seed_anti",
+		appendEvent(nil, &Event{ID: 1 << 40, Sender: -1, Receiver: 2, SendTime: 0, RecvTime: TimeInfinity, Anti: true}))
+
+	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}},
+		[]Handler{&codecLP{pingLP: pingLP{peer: 1}}, &codecLP{pingLP: pingLP{peer: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := k.lps[1]
+	lp.lvt = 30
+	lp.committedThrough = 25
+	lp.pending.push(Event{ID: 9, Sender: 0, Receiver: 1, SendTime: 20, RecvTime: 35, Value: 2})
+	lp.cancelled[4] = struct{}{}
+	payload := k.clusters[1].packPayload(lp)
+	write("FuzzWirePayload", "seed_valid", payload)
+	write("FuzzWirePayload", "seed_truncated", payload[:len(payload)-3])
+}
