@@ -9,8 +9,12 @@
 //
 // -hotspot concentrates stimulus in a rotating cone of the circuit;
 // -dynamic enables GVT-synchronized LP migration on top of the chosen
-// initial partition (the routing table then adapts to the observed load).
-// The run is verified against the sequential oracle unless -noverify is set.
+// initial partition (the routing table then adapts to the observed load);
+// -vectors switches to bit-parallel evaluation, carrying 64 independent
+// scenarios (stimulus seeds seed..seed+63) per run, one per bit of the
+// packed value planes. The run is verified against the sequential oracle
+// unless -noverify is set (in vectored mode, every lane is verified against
+// the vectored oracle).
 //
 // One simulation can also run as several OS processes connected by TCP:
 // start n copies with identical flags plus -node i/n and the same -peers
@@ -52,6 +56,7 @@ func main() {
 		bench       = flag.String("bench", "", "built-in benchmark (s5378, s9234, s15850)")
 		scale       = flag.Float64("scale", 0.3, "scale for -bench")
 		noverify    = flag.Bool("noverify", false, "skip the sequential oracle cross-check")
+		vectors     = flag.Bool("vectors", false, "bit-parallel mode: carry 64 independent scenarios (stimulus seeds seed..seed+63) per run")
 		hotspot     = flag.Bool("hotspot", false, "concentrate stimulus in a rotating window of the primary inputs")
 		hotspotFrac = flag.Float64("hotspot-frac", 0.25, "fraction of inputs inside the hotspot window")
 		dynamic     = flag.Bool("dynamic", false, "dynamic load balancing: GVT-synchronized LP migration")
@@ -100,6 +105,7 @@ func main() {
 		RebalancePeriodRounds: *rebalPeriod,
 		RebalanceImbalance:    *imbalance,
 		RebalanceSeed:         *seed,
+		Vectors:               *vectors,
 	}
 	if !*hotspot {
 		cfg.HotspotFraction = 0
@@ -116,19 +122,30 @@ func main() {
 
 	// In a multi-process run every node holds only its own share of the
 	// counters; gather the order-independent global totals so each process
-	// prints and verifies the same result.
-	committed, history := res.CommittedEvents, res.OutputHistory
+	// prints and verifies the same result. In vectored mode the per-lane
+	// histories are order-independent sums too, so they gather the same way.
+	gathered := []uint64{res.CommittedEvents, res.OutputHistory}
+	if *vectors {
+		gathered = append(gathered, res.VecOutputHistory...)
+	}
 	if tr != nil {
-		totals, err := tr.GatherSum([]uint64{res.CommittedEvents, res.OutputHistory})
+		totals, err := tr.GatherSum(gathered)
 		if err != nil {
 			fail(err)
 		}
-		committed, history = totals[0], totals[1]
+		gathered = totals
 		fmt.Printf("node %s: %d committed events locally\n", *nodeSpec, res.CommittedEvents)
 	}
+	committed, history := gathered[0], gathered[1]
+	laneHistory := gathered[2:]
 	fmt.Printf("parallel run: %s wall, %d committed events (%.0f events/ms)\n",
 		wall.Round(time.Millisecond), committed,
 		float64(committed)/float64(wall.Milliseconds()+1))
+	if *vectors {
+		scenarios := committed * circuit.W
+		fmt.Printf("  vectored: %d lanes, %d scenario-events (%.0f scenario-events/ms)\n",
+			circuit.W, scenarios, float64(scenarios)/float64(wall.Milliseconds()+1))
+	}
 	s := res.Stats
 	fmt.Printf("  processed=%d rolledback=%d rollbacks=%d efficiency=%.1f%%\n",
 		s.EventsProcessed, s.EventsRolledBack, s.Rollbacks,
@@ -141,10 +158,29 @@ func main() {
 	}
 
 	if !*noverify {
-		sim, err := seqsim.New(c, seqsim.Config{
+		seqCfg := seqsim.Config{
 			Cycles: *cycles, StimulusSeed: *seed,
 			Hotspot: *hotspot, HotspotFraction: cfg.HotspotFraction,
-		})
+		}
+		if *vectors {
+			// The vectored oracle carries the same 64 lanes; every lane's
+			// history (and the union event count) must match bit-exactly.
+			want, err := seqsim.RunVec(c, seqCfg)
+			if err != nil {
+				fail(err)
+			}
+			if committed != want.Events {
+				fail(fmt.Errorf("verification FAILED: committed=%d/%d", committed, want.Events))
+			}
+			for s, h := range laneHistory {
+				if h != want.OutputHistory[s] {
+					fail(fmt.Errorf("verification FAILED: lane %d history=%#x/%#x", s, h, want.OutputHistory[s]))
+				}
+			}
+			fmt.Printf("verified all %d lanes against the vectored sequential oracle\n", circuit.W)
+			return
+		}
+		sim, err := seqsim.New(c, seqCfg)
 		if err != nil {
 			fail(err)
 		}

@@ -33,6 +33,31 @@ func TestParsimDynamicSmoke(t *testing.T) {
 	)
 }
 
+// TestParsimVectorsSmoke drives the bit-parallel mode from the CLI: one run
+// carries 64 scenarios and every lane must verify against the vectored
+// sequential oracle.
+func TestParsimVectorsSmoke(t *testing.T) {
+	smoketest.Run(t,
+		[]string{"-bench", "s5378", "-scale", "0.05", "-nodes", "2", "-cycles", "2", "-grain", "0", "-vectors"},
+		"parallel run:",
+		"vectored: 64 lanes,",
+		"scenario-events/ms",
+		"verified all 64 lanes against the vectored sequential oracle",
+	)
+}
+
+// TestParsimVectorsMultiProcessSmoke runs the vectored mode as two OS
+// processes over TCP loopback: payload-bearing events cross the sockets and
+// the gathered per-lane histories must still verify on every node.
+func TestParsimVectorsMultiProcessSmoke(t *testing.T) {
+	smoketest.RunCluster(t, 2,
+		[]string{"-bench", "s5378", "-scale", "0.05", "-nodes", "2", "-cycles", "2", "-grain", "0", "-vectors"},
+		"parallel run:",
+		"committed events locally",
+		"verified all 64 lanes against the vectored sequential oracle",
+	)
+}
+
 // TestParsimMultiProcessSmoke runs one simulation as two OS processes
 // joined over TCP loopback. Both processes must gather the same global
 // committed total and independently verify it against the oracle.

@@ -3,8 +3,12 @@
 //
 // The implementation lives under internal/:
 //
-//   - internal/circuit: gate-level circuit model, ISCAS'89 .bench I/O, and
-//     synthetic benchmark generators (s5378/s9234/s15850 equivalents);
+//   - internal/circuit: gate-level circuit model, ISCAS'89 .bench I/O,
+//     synthetic benchmark generators (s5378/s9234/s15850 equivalents), and
+//     bit-parallel gate evaluation: VecValue packs 64 independent scenarios
+//     into two uint64 planes (val/unknown, so three-valued X logic
+//     survives) and EvalVec evaluates any gate over all 64 lanes
+//     branch-free;
 //   - internal/partition: partitioner interface, quality metrics, the five
 //     baseline algorithms (Random, Topological, DFS, Cluster, Cone), and
 //     RuntimeGraph, the observed LP-communication graph the kernel measures
@@ -43,10 +47,14 @@
 //     processes exchanging length-prefixed binary frames (events, GVT
 //     waves, load reports, routes, and — for handlers implementing
 //     StateCodec — migration state) over a loopback-or-LAN mesh, with
-//     the two-cut transit invariant held across the sockets. Event
-//     queues use non-boxing heaps, scheduler pushes are deduplicated per
-//     LP, and bundle/event slices are pooled across rollback and fossil
-//     collection;
+//     the two-cut transit invariant held across the sockets. Events carry
+//     an opaque fixed-size wide payload block (two uint64 planes; on the
+//     wire flag-selected and omitted when zero, so payload-free traffic is
+//     byte-identical to the pre-payload format) that the vectored logic
+//     simulator fills with 64 packed scenarios per message. Event queues
+//     use non-boxing heaps, scheduler pushes are deduplicated per LP, and
+//     bundle/event slices — payloads inline — are pooled across rollback
+//     and fossil collection;
 //   - internal/analyzers: the kernel-invariant analyzer suite behind
 //     cmd/kernelvet — a self-contained go/analysis-style framework
 //     (cached loader, call graph, intraprocedural CFG with a generic
@@ -72,9 +80,14 @@
 //   - internal/smoketest: the `go build && run` harness behind the cmd/
 //     and examples/ entry-point smoke tests;
 //   - internal/seqsim: the sequential event-driven simulator used as the
-//     baseline and correctness oracle;
+//     baseline and correctness oracle, in scalar and vectored (64 lanes per
+//     run) form;
 //   - internal/logicsim: gate-level logic simulation on the Time Warp
-//     kernel;
+//     kernel. Config.Vectors switches every gate LP to bit-parallel
+//     evaluation — signal events carry the packed planes in the kernel's
+//     wide payload block, one committed event advances 64 scenarios, and
+//     lane s is bit-identical to a scalar run with StimulusSeed+s
+//     (rollbacks, migration and TCP transport included);
 //   - internal/experiments: harnesses regenerating every table and figure
 //     of the paper's evaluation.
 //

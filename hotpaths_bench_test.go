@@ -63,28 +63,42 @@ func BenchmarkHotPaths(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, lazy := range []bool{false, true} {
-		name := "rollback-aggressive"
-		if lazy {
-			name = "rollback-lazy"
-		}
-		b.Run(name, func(b *testing.B) {
-			b.ReportAllocs()
-			b.ResetTimer()
-			var rollbacks uint64
-			for i := 0; i < b.N; i++ {
-				res, err := logicsim.Run(small, a, logicsim.Config{
-					Cycles:           6,
-					StimulusSeed:     1,
-					LazyCancellation: lazy,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				rollbacks = res.Stats.Rollbacks
+	for _, vectors := range []bool{false, true} {
+		for _, lazy := range []bool{false, true} {
+			name := "rollback-aggressive"
+			if lazy {
+				name = "rollback-lazy"
 			}
-			b.ReportMetric(float64(rollbacks), "rollbacks")
-		})
+			if vectors {
+				// The vectored rows roll back 128 packed planes per gate
+				// instead of a handful of bytes; the alloc guard holds the
+				// snapshot free lists and payload recycling to the same
+				// steady-state as the scalar rows.
+				name = "vec-" + name
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				var rollbacks, scenarios uint64
+				for i := 0; i < b.N; i++ {
+					res, err := logicsim.Run(small, a, logicsim.Config{
+						Cycles:           6,
+						StimulusSeed:     1,
+						LazyCancellation: lazy,
+						Vectors:          vectors,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rollbacks = res.Stats.Rollbacks
+					scenarios = res.ScenarioEvents
+				}
+				b.ReportMetric(float64(rollbacks), "rollbacks")
+				if vectors {
+					b.ReportMetric(float64(scenarios)*float64(b.N)/float64(b.Elapsed().Seconds()), "scenario-events/s")
+				}
+			})
+		}
 	}
 }
 
@@ -117,6 +131,39 @@ func (r *tokenRingLP) Execute(ctx *timewarp.Context, now timewarp.Time, events [
 func (r *tokenRingLP) SaveState() interface{}     { return r.seen }
 func (r *tokenRingLP) RestoreState(s interface{}) { r.seen = s.(int64) }
 
+// payloadRingLP is the token ring with every hop carrying a full wide payload
+// block (both planes nonzero), so each remote message takes the widened wire
+// path: payload flag set, 16 extra bytes encoded, decoded, and recycled
+// through the event pool. It benchmarks the transport cost of vectored-mode
+// traffic against the plain ring's.
+type payloadRingLP struct {
+	next  timewarp.LPID
+	delay timewarp.Time
+	limit timewarp.Time
+	seen  int64
+	acc   uint64
+}
+
+func (r *payloadRingLP) Init(ctx *timewarp.Context) {
+	ctx.SendP(ctx.Self(), r.delay, 0, 0, timewarp.Payload{P0: 1, P1: ^uint64(1)})
+}
+
+func (r *payloadRingLP) Execute(ctx *timewarp.Context, now timewarp.Time, events []timewarp.Event) {
+	for _, ev := range events {
+		r.seen++
+		r.acc += ev.Pay.P0
+		if now < r.limit {
+			ctx.SendP(r.next, now+r.delay, 0, 0, timewarp.Payload{P0: ev.Pay.P0 + 1, P1: ^(ev.Pay.P0 + 1)})
+		}
+	}
+}
+
+func (r *payloadRingLP) SaveState() interface{} { return [2]int64{r.seen, int64(r.acc)} }
+func (r *payloadRingLP) RestoreState(s interface{}) {
+	v := s.([2]int64)
+	r.seen, r.acc = v[0], uint64(v[1])
+}
+
 // BenchmarkTransport measures the remote-message path of the Time Warp
 // kernel: a token ring striped across clusters (one token per LP, per-LP hop
 // delays) where every send crosses a cluster boundary and clusters stay
@@ -129,10 +176,16 @@ func BenchmarkTransport(b *testing.B) {
 		name     string
 		clusters int
 		lps      int
+		payload  bool
 	}{
-		{"ring-2x16", 2, 16},
-		{"ring-4x32", 4, 32},
-		{"ring-8x64", 8, 64},
+		{"ring-2x16", 2, 16, false},
+		{"ring-4x32", 4, 32, false},
+		{"ring-8x64", 8, 64, false},
+		// The pay- rows send the same rings with a full wide payload on every
+		// hop: the delta over the plain rows is the wire cost of vectored
+		// traffic (16 extra bytes and the flag branch per remote message).
+		{"pay-ring-4x32", 4, 32, true},
+		{"pay-ring-8x64", 8, 64, true},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			const horizon = 40000
@@ -143,10 +196,18 @@ func BenchmarkTransport(b *testing.B) {
 				handlers := make([]timewarp.Handler, tc.lps)
 				clusterOf := make([]int, tc.lps)
 				for j := 0; j < tc.lps; j++ {
-					handlers[j] = &tokenRingLP{
-						next:  timewarp.LPID((j + 1) % tc.lps),
-						delay: timewarp.Time(1 + j%5),
-						limit: horizon,
+					if tc.payload {
+						handlers[j] = &payloadRingLP{
+							next:  timewarp.LPID((j + 1) % tc.lps),
+							delay: timewarp.Time(1 + j%5),
+							limit: horizon,
+						}
+					} else {
+						handlers[j] = &tokenRingLP{
+							next:  timewarp.LPID((j + 1) % tc.lps),
+							delay: timewarp.Time(1 + j%5),
+							limit: horizon,
+						}
 					}
 					clusterOf[j] = j % tc.clusters
 				}

@@ -73,6 +73,18 @@ type (
 	frameBody struct{ n int32 }
 )
 
+// The kernel's wide event payload rides inline in the event frame struct;
+// both the payload block and its carrier declare their own wire directive.
+//
+//kernelvet:wire
+type payloadBlock struct{ p0, p1 uint64 }
+
+//kernelvet:wire
+type eventWithPayload struct {
+	value int32
+	pay   payloadBlock
+}
+
 // misWireVar puts wire on a variable declaration.
 //
 //kernelvet:wire // want `kernelvet:wire belongs in a type declaration's doc comment`
@@ -120,4 +132,5 @@ func wellFormed() {
 
 var _ = [...]interface{}{misOwner, misVerb, misArgs, misGoroutine, misPlaced, wellFormed,
 	misGuard, misWire, getBuf, putBuf, balanceSites, misCharge,
-	guarded{}, flat{}, misWireArgs{}, misChargeField{}, frameHdr{}, frameBody{}, wireBuf}
+	guarded{}, flat{}, misWireArgs{}, misChargeField{}, frameHdr{}, frameBody{}, wireBuf,
+	payloadBlock{}, eventWithPayload{}}

@@ -108,5 +108,41 @@ type aliasedPlatform struct {
 	n hiddenInt
 }
 
+// payloadLike mirrors the kernel's wide event payload block: two packed
+// uint64 bit-planes (64 scenarios per word), flat by construction.
+//
+//kernelvet:wire
+type payloadLike struct {
+	p0, p1 uint64
+}
+
+// eventLike nests the payload block inline in an event-shaped frame struct,
+// the shape the vectored mode ships on every remote signal.
+//
+//kernelvet:wire
+type eventLike struct {
+	recv   simTime
+	sender id
+	value  int32
+	pay    payloadLike
+	flags  uint8
+}
+
+// paySliced widens the payload with a slice of planes, which would turn
+// fixed-size events into variable-length references.
+//
+//kernelvet:wire // want `wire type paySliced is not flat: paySliced.planes is a slice`
+type paySliced struct {
+	planes []uint64
+}
+
+// payPointered shares planes by pointer instead of copying them.
+//
+//kernelvet:wire // want `wire type payPointered is not flat: payPointered.pay is a pointer`
+type payPointered struct {
+	pay *payloadLike
+}
+
 var _ = []interface{}{header{}, pointered{}, sliced{}, stringy{}, platform{}, chatty{}, flatAlias{}, mapped{},
-	coordLike{}, lpHdrLike{}, handled{}, faced{}, aliasedPlatform{}}
+	coordLike{}, lpHdrLike{}, handled{}, faced{}, aliasedPlatform{},
+	payloadLike{}, eventLike{}, paySliced{}, payPointered{}}

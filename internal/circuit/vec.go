@@ -1,0 +1,134 @@
+package circuit
+
+// Bit-parallel (vectored) gate evaluation: W independent scenarios are packed
+// into one VecValue per net, and every gate evaluates all of them with a
+// handful of word-wide bitwise operations. This is logic simulation's classic
+// raw-speed multiplier — one evaluation (and one simulated event carrying the
+// planes) advances W scenarios at once.
+//
+// The encoding is two planes of one bit per lane:
+//
+//	Unknown bit set           -> the lane is X
+//	Unknown clear, Val set    -> the lane is One
+//	Unknown clear, Val clear  -> the lane is Zero
+//
+// Z does not survive packing: ordinary gates treat a floating input as
+// unknown (see canon), so SetLane collapses Z to X exactly as Eval does. The
+// canonical invariant Val&Unknown == 0 holds for every VecValue built through
+// this package's constructors and is preserved by EvalVec.
+
+// W is the number of independent scenarios (lanes) carried by one VecValue.
+const W = 64
+
+// VecValue holds one logic value per lane for W independent scenarios, in
+// the two-plane encoding described above. It is a flat value type: the
+// parallel simulator ships the two planes inside event payloads and LP state
+// snapshots by plain copy.
+type VecValue struct {
+	Val     uint64
+	Unknown uint64
+}
+
+// BroadcastVec returns the VecValue with value v in every lane.
+func BroadcastVec(v Value) VecValue {
+	switch v {
+	case Zero:
+		return VecValue{}
+	case One:
+		return VecValue{Val: ^uint64(0)}
+	default: // X and Z
+		return VecValue{Unknown: ^uint64(0)}
+	}
+}
+
+// Lane extracts the value of lane i. It never returns Z (Z collapses to X at
+// packing time).
+func (v VecValue) Lane(i int) Value {
+	if v.Unknown>>uint(i)&1 != 0 {
+		return X
+	}
+	if v.Val>>uint(i)&1 != 0 {
+		return One
+	}
+	return Zero
+}
+
+// SetLane returns v with lane i set to value x (Z collapses to X).
+func (v VecValue) SetLane(i int, x Value) VecValue {
+	bit := uint64(1) << uint(i)
+	v.Val &^= bit
+	v.Unknown &^= bit
+	switch x {
+	case One:
+		v.Val |= bit
+	case Zero:
+	default: // X and Z
+		v.Unknown |= bit
+	}
+	return v
+}
+
+// Diff returns the mask of lanes whose values differ between v and o.
+func (v VecValue) Diff(o VecValue) uint64 {
+	return (v.Val ^ o.Val) | (v.Unknown ^ o.Unknown)
+}
+
+// EvalVec is the vectored counterpart of Eval: it computes all W lanes of a
+// gate's output from the lanes of its inputs with branch-free bitwise
+// kernels. For every lane i and any inputs, EvalVec(t, in).Lane(i) ==
+// Eval(t, [in[0].Lane(i), in[1].Lane(i), ...]) — the equivalence the vec
+// tests prove over all gate types and input combinations.
+func EvalVec(t GateType, in []VecValue) VecValue {
+	if len(in) == 0 {
+		return BroadcastVec(X)
+	}
+	switch t {
+	case Buf, Output, Input, DFF:
+		return in[0]
+	case Not:
+		return notVec(in[0])
+	case And, Nand:
+		// A lane is One when every input is known One, Zero when any input
+		// is known Zero, X otherwise. Zero dominates X, as in evalAnd.
+		allOnes := ^uint64(0)
+		anyZero := uint64(0)
+		for _, v := range in {
+			allOnes &= v.Val
+			anyZero |= ^v.Val &^ v.Unknown
+		}
+		if t == Nand {
+			return VecValue{Val: anyZero, Unknown: ^(allOnes | anyZero)}
+		}
+		return VecValue{Val: allOnes, Unknown: ^(allOnes | anyZero)}
+	case Or, Nor:
+		// Dual of And: One dominates X.
+		anyOne := uint64(0)
+		allZero := ^uint64(0)
+		for _, v := range in {
+			anyOne |= v.Val
+			allZero &= ^v.Val &^ v.Unknown
+		}
+		if t == Nor {
+			return VecValue{Val: allZero, Unknown: ^(anyOne | allZero)}
+		}
+		return VecValue{Val: anyOne, Unknown: ^(anyOne | allZero)}
+	case Xor, Xnor:
+		// Any unknown input makes the lane X; otherwise the lane is the
+		// parity of the Val plane (canonical: X lanes contribute 0).
+		parity := uint64(0)
+		anyUnk := uint64(0)
+		for _, v := range in {
+			parity ^= v.Val
+			anyUnk |= v.Unknown
+		}
+		if t == Xnor {
+			parity = ^parity
+		}
+		return VecValue{Val: parity &^ anyUnk, Unknown: anyUnk}
+	}
+	return BroadcastVec(X)
+}
+
+func notVec(v VecValue) VecValue {
+	return VecValue{Val: ^v.Val &^ v.Unknown, Unknown: v.Unknown}
+}

@@ -29,6 +29,13 @@ type BenchResult struct {
 	// scenarios (zero otherwise).
 	CommittedEvents       uint64  `json:"committed_events,omitempty"`
 	CommittedEventsPerSec float64 `json:"committed_events_per_sec,omitempty"`
+	// ScenarioEvents and ScenarioEventsPerSec denominate simulation
+	// scenarios in scenario-events: equal to the committed figures in scalar
+	// mode, ×circuit.W in vectored (bit-parallel) mode, where one committed
+	// event advances W independent scenarios. The vectored-to-scalar ratio of
+	// ScenarioEventsPerSec is the bit-parallel speedup the study reports.
+	ScenarioEvents       uint64  `json:"scenario_events,omitempty"`
+	ScenarioEventsPerSec float64 `json:"scenario_events_per_sec,omitempty"`
 	// Kernel holds the full Time Warp counters of one representative run
 	// for simulation scenarios (omitted otherwise), serialized through
 	// timewarp.RunStats' own JSON schema.
@@ -48,7 +55,7 @@ type BenchReport struct {
 	Results   []BenchResult `json:"results"`
 }
 
-func benchResult(name string, r testing.BenchmarkResult, committed uint64) BenchResult {
+func benchResult(name string, r testing.BenchmarkResult, committed, scenarios uint64) BenchResult {
 	out := BenchResult{
 		Name:        name,
 		Iterations:  r.N,
@@ -59,6 +66,8 @@ func benchResult(name string, r testing.BenchmarkResult, committed uint64) Bench
 	if committed > 0 && r.NsPerOp() > 0 {
 		out.CommittedEvents = committed
 		out.CommittedEventsPerSec = float64(committed) / (float64(r.NsPerOp()) / 1e9)
+		out.ScenarioEvents = scenarios
+		out.ScenarioEventsPerSec = float64(scenarios) / (float64(r.NsPerOp()) / 1e9)
 	}
 	return out
 }
@@ -92,7 +101,7 @@ func RunBenchJSON(o Options, w io.Writer) error {
 			}
 		}
 	})
-	rep.Results = append(rep.Results, benchResult("partition/multilevel/s9234/k=8", r, 0))
+	rep.Results = append(rep.Results, benchResult("partition/multilevel/s9234/k=8", r, 0, 0))
 
 	// Runtime rebalancing: refine a round-robin assignment against an
 	// observed chain graph of the circuit's size.
@@ -109,7 +118,7 @@ func RunBenchJSON(o Options, w io.Writer) error {
 			}
 		}
 	})
-	rep.Results = append(rep.Results, benchResult("partition/rebalance/s9234/k=8", r, 0))
+	rep.Results = append(rep.Results, benchResult("partition/rebalance/s9234/k=8", r, 0, 0))
 
 	// Time Warp throughput, uniform stimulus, static multilevel partition.
 	a, err := ml.Partition(c, 4)
@@ -117,11 +126,11 @@ func RunBenchJSON(o Options, w io.Writer) error {
 		return err
 	}
 	uniformCfg := o.simConfig()
-	committed, stats, r, err := benchSim(c, a, uniformCfg)
+	committed, scenarios, stats, r, err := benchSim(c, a, uniformCfg)
 	if err != nil {
 		return err
 	}
-	br := benchResult("timewarp/static/uniform/k=4", r, committed)
+	br := benchResult("timewarp/static/uniform/k=4", r, committed, scenarios)
 	br.Kernel = stats
 	rep.Results = append(rep.Results, br)
 
@@ -132,14 +141,28 @@ func RunBenchJSON(o Options, w io.Writer) error {
 		if dynamic {
 			name = "timewarp/dynamic/hotspot/k=4"
 		}
-		committed, stats, r, err := benchSim(c, a, dynamicConfig(o, dynamic))
+		committed, scenarios, stats, r, err := benchSim(c, a, dynamicConfig(o, dynamic))
 		if err != nil {
 			return err
 		}
-		br := benchResult(name, r, committed)
+		br := benchResult(name, r, committed, scenarios)
 		br.Kernel = stats
 		rep.Results = append(rep.Results, br)
 	}
+
+	// Bit-parallel mode on the same hotspot workload: one committed event
+	// advances circuit.W scenarios, so the scenario-events/sec ratio against
+	// timewarp/static/hotspot/k=4 is the end-to-end bit-parallel speedup
+	// (wider payloads and snapshots eat some of the ×64).
+	vecCfg := dynamicConfig(o, false)
+	vecCfg.Vectors = true
+	committed, scenarios, stats, r, err = benchSim(c, a, vecCfg)
+	if err != nil {
+		return err
+	}
+	br = benchResult("timewarp/vectors/hotspot/k=4", r, committed, scenarios)
+	br.Kernel = stats
+	rep.Results = append(rep.Results, br)
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -147,10 +170,11 @@ func RunBenchJSON(o Options, w io.Writer) error {
 }
 
 // benchSim benchmarks one parallel simulation configuration and returns its
-// committed-event count (identical across iterations by the determinism
-// invariant; verified here) plus the kernel counters of the last run.
-func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (uint64, *timewarp.RunStats, testing.BenchmarkResult, error) {
-	var committed uint64
+// committed-event and scenario-event counts (identical across iterations by
+// the determinism invariant; verified here) plus the kernel counters of the
+// last run.
+func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (uint64, uint64, *timewarp.RunStats, testing.BenchmarkResult, error) {
+	var committed, scenarios uint64
 	var stats timewarp.RunStats
 	var simErr error
 	r := testing.Benchmark(func(b *testing.B) {
@@ -164,13 +188,14 @@ func benchSim(c *circuit.Circuit, a partition.Assignment, cfg logicsim.Config) (
 			stats = res.Stats
 			if committed == 0 {
 				committed = res.CommittedEvents
+				scenarios = res.ScenarioEvents
 			} else if res.CommittedEvents != committed {
 				simErr = fmt.Errorf("committed events nondeterministic: %d then %d", committed, res.CommittedEvents)
 				b.Fatal(simErr)
 			}
 		}
 	})
-	return committed, &stats, r, simErr
+	return committed, scenarios, &stats, r, simErr
 }
 
 // benchRuntimeGraph builds a unit-activity chain runtime graph of n LPs.

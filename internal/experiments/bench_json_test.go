@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/circuit"
 )
 
 // TestRunBenchJSON runs the benchmark scenarios at a tiny scale and checks
@@ -33,6 +35,7 @@ func TestRunBenchJSON(t *testing.T) {
 		"timewarp/static/uniform/k=4":    false,
 		"timewarp/static/hotspot/k=4":    false,
 		"timewarp/dynamic/hotspot/k=4":   false,
+		"timewarp/vectors/hotspot/k=4":   false,
 	}
 	for _, r := range rep.Results {
 		if _, ok := want[r.Name]; !ok {
@@ -56,6 +59,15 @@ func TestRunBenchJSON(t *testing.T) {
 		if strings.HasPrefix(r.Name, "timewarp/") {
 			if r.Kernel == nil || r.Kernel.EventsCommitted == 0 {
 				t.Errorf("%s: run_stats block missing or empty: %+v", r.Name, r.Kernel)
+			}
+			// Scenario-events denominate every simulation row: ×W for the
+			// vectored scenario, equal to committed otherwise.
+			wantScenarios := r.CommittedEvents
+			if r.Name == "timewarp/vectors/hotspot/k=4" {
+				wantScenarios = r.CommittedEvents * circuit.W
+			}
+			if r.ScenarioEvents != wantScenarios || r.ScenarioEventsPerSec <= 0 {
+				t.Errorf("%s: scenario events = %d (%.0f/s), want %d", r.Name, r.ScenarioEvents, r.ScenarioEventsPerSec, wantScenarios)
 			}
 		} else if r.Kernel != nil {
 			t.Errorf("%s: unexpected run_stats on a non-simulation scenario", r.Name)
@@ -118,7 +130,15 @@ func TestBenchJSONSchemaGolden(t *testing.T) {
 	}
 	goldenResults := decodeResults(golden["results"])
 	gotResults := decodeResults(got["results"])
-	allowedNew := map[string]bool{"run_stats": true}
+	// Keys added since the golden schema was pinned: the kernel counters and
+	// the scenario-event denomination of the bit-parallel mode. Allowed as
+	// additions on existing scenarios; everything else must match the golden
+	// key set.
+	allowedNew := map[string]bool{
+		"run_stats":               true,
+		"scenario_events":         true,
+		"scenario_events_per_sec": true,
+	}
 	for name, gr := range goldenResults {
 		cur, ok := gotResults[name]
 		if !ok {

@@ -34,6 +34,14 @@ type Config struct {
 	StimulusSeed  int64
 	StimulusEvery int
 
+	// Vectors enables bit-parallel evaluation: every gate carries circuit.W
+	// independent scenarios (lane s driven by StimulusSeed+s) in packed
+	// val/unknown planes, signal events ship the planes in the kernel's wide
+	// payload block, and one committed event advances all W scenarios. Lane
+	// s of a vectored run is bit-identical to the scalar run with seed
+	// StimulusSeed+s (see Result's Vec* fields and internal/seqsim.RunVec).
+	Vectors bool
+
 	// Hotspot and HotspotFraction concentrate stimulus in a rotating window
 	// of the primary inputs, exactly as in seqsim.Config: both simulators
 	// share seqsim.HotspotActive, so hotspot runs stay oracle-comparable.
@@ -137,6 +145,23 @@ type Result struct {
 	// run finished (always true on a single node). Callers merging
 	// multi-process results use it to pick exactly one owner per gate.
 	Local []bool
+	// ScenarioEvents is the number of scenario-events committed: equal to
+	// CommittedEvents in scalar mode, CommittedEvents × circuit.W in
+	// vectored mode (each committed event advances W scenarios). This is the
+	// numerator of the scenario-events/sec throughput metric.
+	ScenarioEvents uint64
+	// VecOutputValues, VecOutputHistory and VecFinalValues are the per-lane
+	// views of a vectored run (nil in scalar mode): VecOutputValues[i].Lane(s)
+	// and VecFinalValues[id].Lane(s) are lane s's final values, and
+	// VecOutputHistory[s] is lane s's order-insensitive output signature —
+	// each bit-identical to the scalar (and seqsim) run with StimulusSeed+s.
+	// Multi-process runs report only locally-hosted gates, exactly like the
+	// scalar fields; the per-lane histories are order-insensitive sums, so
+	// adding the nodes' values reconstructs each lane exactly. The scalar
+	// OutputValues/OutputHistory/FinalValues fields hold lane 0's view.
+	VecOutputValues  []circuit.VecValue
+	VecOutputHistory []uint64
+	VecFinalValues   []circuit.VecValue
 	// Stats carries the kernel counters (rollbacks, messages, GVT rounds)
 	// for the clusters this process hosted.
 	Stats timewarp.RunStats
@@ -472,14 +497,24 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 	}
 	handlers := make([]timewarp.Handler, c.NumGates())
 	lps := make([]*gateLP, c.NumGates())
+	var vlps []*vecGateLP
+	if cfg.Vectors {
+		vlps = make([]*vecGateLP, c.NumGates())
+	}
 	for id, g := range c.Gates {
 		idx := -1
 		if g.Type == circuit.Input {
 			idx = inputIdx[id]
 		}
-		lp := newGateLP(sim, g, idx)
-		lps[id] = lp
-		handlers[id] = lp
+		if cfg.Vectors {
+			lp := newVecGateLP(sim, g, idx)
+			vlps[id] = lp
+			handlers[id] = lp
+		} else {
+			lp := newGateLP(sim, g, idx)
+			lps[id] = lp
+			handlers[id] = lp
+		}
 	}
 	var window timewarp.Time
 	if cfg.OptimismCycles > 0 {
@@ -523,6 +558,7 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 
 	res := Result{
 		CommittedEvents: stats.EventsCommitted,
+		ScenarioEvents:  stats.EventsCommitted,
 		OutputValues:    make([]circuit.Value, len(c.Outputs)),
 		FinalValues:     make([]circuit.Value, c.NumGates()),
 		Local:           make([]bool, c.NumGates()),
@@ -531,6 +567,32 @@ func Run(c *circuit.Circuit, a partition.Assignment, cfg Config) (Result, error)
 	// Report only the gates this process hosts at the end of the run: a
 	// remote gate's handler here is either an untouched replica or a stale
 	// pre-migration copy, and exactly one node reports each gate.
+	if cfg.Vectors {
+		res.ScenarioEvents = stats.EventsCommitted * circuit.W
+		res.VecOutputHistory = make([]uint64, circuit.W)
+		res.VecFinalValues = make([]circuit.VecValue, c.NumGates())
+		res.VecOutputValues = make([]circuit.VecValue, len(c.Outputs))
+		allX := circuit.BroadcastVec(circuit.X)
+		for id, lp := range vlps {
+			res.VecFinalValues[id] = allX
+			res.FinalValues[id] = circuit.X
+			if !kernel.LocalLP(timewarp.LPID(id)) {
+				continue
+			}
+			res.Local[id] = true
+			res.VecFinalValues[id] = lp.st.out
+			res.FinalValues[id] = lp.st.out.Lane(0)
+			for s, h := range lp.st.hist {
+				res.VecOutputHistory[s] += h
+			}
+		}
+		for i, id := range c.Outputs {
+			res.VecOutputValues[i] = res.VecFinalValues[id]
+			res.OutputValues[i] = res.FinalValues[id]
+		}
+		res.OutputHistory = res.VecOutputHistory[0]
+		return res, nil
+	}
 	for id, lp := range lps {
 		res.FinalValues[id] = circuit.X
 		if !kernel.LocalLP(timewarp.LPID(id)) {

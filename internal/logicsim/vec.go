@@ -1,0 +1,300 @@
+package logicsim
+
+// Vectored (bit-parallel) mode: Config.Vectors runs every gate LP over
+// circuit.W independent scenarios at once. Signal events carry the two
+// val/unknown planes of a circuit.VecValue in the kernel's wide event
+// payload (timewarp.Payload), gates evaluate all lanes with circuit.EvalVec,
+// and lane s is bit-identical to a scalar run with StimulusSeed+s — the
+// equivalence the vec tests prove against internal/seqsim, rollbacks,
+// migration and TCP transport included. One committed event advances W
+// scenarios, which is the scenario-events/sec multiplier the experiments
+// report.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/circuit"
+	"repro/internal/seqsim"
+	"repro/internal/timewarp"
+)
+
+// vecGateState is the mutable, snapshot-able state of one vectored gate LP.
+// hist is per-lane and allocated only for primary-output gates (nil
+// otherwise), so snapshots of interior gates stay small.
+type vecGateState struct {
+	inputs []circuit.VecValue
+	out    circuit.VecValue
+	ff     circuit.VecValue
+	hist   []uint64 // per-lane output-history contribution; nil unless a primary output
+}
+
+func (s *vecGateState) clone() vecGateState {
+	return vecGateState{
+		inputs: append([]circuit.VecValue(nil), s.inputs...),
+		out:    s.out,
+		ff:     s.ff,
+		hist:   append([]uint64(nil), s.hist...),
+	}
+}
+
+// vecGateLP is the vectored timewarp.Handler for one gate. Its immutable
+// tables mirror gateLP's; only the state planes differ.
+type vecGateLP struct {
+	sim      *shared
+	id       int
+	typ      circuit.GateType
+	inputIdx int
+	outIdx   int // index in c.Outputs, or -1
+	pins     map[int][]int
+	fanout   []int
+	delay    int64
+	st       vecGateState
+	snapFree []*vecGateState
+}
+
+func newVecGateLP(sim *shared, g *circuit.Gate, inputIdx int) *vecGateLP {
+	lp := &vecGateLP{
+		sim:      sim,
+		id:       g.ID,
+		typ:      g.Type,
+		inputIdx: inputIdx,
+		outIdx:   -1,
+		pins:     make(map[int][]int, len(g.Fanin)),
+		delay:    seqsim.GateDelay(g),
+	}
+	if idx, ok := sim.outIdx[g.ID]; ok {
+		lp.outIdx = idx
+		lp.st.hist = make([]uint64, circuit.W)
+	}
+	for pin, src := range g.Fanin {
+		lp.pins[src] = append(lp.pins[src], pin)
+	}
+	seen := make(map[int]struct{}, len(g.Fanout))
+	for _, d := range g.Fanout {
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		lp.fanout = append(lp.fanout, d)
+	}
+	allX := circuit.BroadcastVec(circuit.X)
+	lp.st.inputs = make([]circuit.VecValue, len(g.Fanin))
+	for i := range lp.st.inputs {
+		lp.st.inputs[i] = allX
+	}
+	lp.st.out = allX
+	lp.st.ff = allX
+	return lp
+}
+
+// Init mirrors gateLP.Init: the stimulus/clock schedules are shared with the
+// scalar mode and the sequential oracle, so every lane's event stream lines
+// up.
+func (lp *vecGateLP) Init(ctx *timewarp.Context) {
+	switch lp.typ {
+	case circuit.Input:
+		if first := lp.nextStimulusCycle(0); first >= 0 {
+			ctx.Send(ctx.Self(), int64(first)*lp.sim.cfg.ClockPeriod, kindStimulus, 0)
+		}
+	case circuit.DFF:
+		ctx.Send(ctx.Self(), lp.sim.cfg.ClockPeriod/2, kindClock, 0)
+	}
+}
+
+func (lp *vecGateLP) nextStimulusCycle(from int) int {
+	cfg := &lp.sim.cfg
+	return seqsim.NextStimulusCycle(from, cfg.Cycles, cfg.StimulusEvery,
+		len(lp.sim.c.Inputs), lp.inputIdx, cfg.Hotspot, cfg.HotspotFraction)
+}
+
+// Execute implements the shared timestep semantics over all W lanes at once:
+// apply every arrival's planes, then evaluate once with final inputs. An
+// event fires downstream when ANY lane changed; a lane whose component is
+// unchanged sees a no-op, which is what keeps each lane bit-identical to its
+// scalar run.
+func (lp *vecGateLP) Execute(ctx *timewarp.Context, now timewarp.Time, events []timewarp.Event) {
+	cfg := &lp.sim.cfg
+	stimulus := false
+	clocked := false
+	for _, ev := range events {
+		switch ev.Kind {
+		case kindSignal:
+			v := circuit.VecValue{Val: ev.Pay.P0, Unknown: ev.Pay.P1}
+			for _, pin := range lp.pins[int(ev.Sender)] {
+				lp.st.inputs[pin] = v
+			}
+		case kindStimulus:
+			stimulus = true
+		case kindClock:
+			clocked = true
+		}
+	}
+
+	switch {
+	case stimulus:
+		cycle := int(now / cfg.ClockPeriod)
+		seqsim.Burn(cfg.Grain)
+		v := seqsim.StimulusVec(cfg.StimulusSeed, lp.inputIdx, cycle)
+		if v.Diff(lp.st.out) != 0 {
+			lp.st.out = v
+			lp.emit(ctx, now)
+		}
+		if next := lp.nextStimulusCycle(cycle + 1); next >= 0 {
+			ctx.Send(ctx.Self(), int64(next)*cfg.ClockPeriod, kindStimulus, 0)
+		}
+	case lp.typ == circuit.DFF:
+		if clocked {
+			seqsim.Burn(cfg.Grain)
+			d := lp.st.inputs[0]
+			if d.Diff(lp.st.ff) != 0 {
+				lp.st.ff = d
+				if changed := lp.st.out.Diff(d); changed != 0 {
+					lp.st.out = d
+					lp.note(now, changed)
+					lp.emit(ctx, now)
+				}
+			}
+			cycle := int((now - cfg.ClockPeriod/2) / cfg.ClockPeriod)
+			if next := cycle + 1; next < cfg.Cycles {
+				ctx.Send(ctx.Self(), int64(next)*cfg.ClockPeriod+cfg.ClockPeriod/2, kindClock, 0)
+			}
+		}
+	default:
+		seqsim.Burn(cfg.Grain)
+		out := circuit.EvalVec(lp.typ, lp.st.inputs)
+		if changed := out.Diff(lp.st.out); changed != 0 {
+			lp.st.out = out
+			lp.note(now, changed)
+			lp.emit(ctx, now)
+		}
+	}
+}
+
+// emit ships the (already updated) packed output planes to the fanout in the
+// kernel's wide payload block.
+func (lp *vecGateLP) emit(ctx *timewarp.Context, now timewarp.Time) {
+	if lp.typ == circuit.Output {
+		return
+	}
+	pay := timewarp.Payload{P0: lp.st.out.Val, P1: lp.st.out.Unknown}
+	for _, d := range lp.fanout {
+		ctx.SendP(timewarp.LPID(d), now+lp.delay, kindSignal, 0, pay)
+	}
+}
+
+// note records the changed lanes of a primary-output update in their
+// per-lane rollback-safe signatures.
+func (lp *vecGateLP) note(t timewarp.Time, changed uint64) {
+	if lp.outIdx < 0 {
+		return
+	}
+	for m := changed; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		lp.st.hist[lane] += seqsim.OutputHash(t, lp.outIdx, lp.st.out.Lane(lane))
+	}
+}
+
+// SaveState implements timewarp.Handler with the same free-list pooling as
+// the scalar gateLP.
+func (lp *vecGateLP) SaveState() interface{} {
+	if n := len(lp.snapFree); n > 0 {
+		s := lp.snapFree[n-1]
+		lp.snapFree[n-1] = nil
+		lp.snapFree = lp.snapFree[:n-1]
+		copy(s.inputs, lp.st.inputs)
+		s.out = lp.st.out
+		s.ff = lp.st.ff
+		copy(s.hist, lp.st.hist)
+		return s
+	}
+	s := lp.st.clone()
+	return &s
+}
+
+// RestoreState implements timewarp.Handler.
+func (lp *vecGateLP) RestoreState(snap interface{}) {
+	s := snap.(*vecGateState)
+	copy(lp.st.inputs, s.inputs)
+	lp.st.out = s.out
+	lp.st.ff = s.ff
+	copy(lp.st.hist, s.hist)
+}
+
+// RecycleState implements timewarp.StateRecycler.
+func (lp *vecGateLP) RecycleState(snap interface{}) {
+	s, ok := snap.(*vecGateState)
+	if !ok || len(lp.snapFree) >= 64 {
+		return
+	}
+	lp.snapFree = append(lp.snapFree, s)
+}
+
+// EncodeState implements timewarp.StateCodec: the migratable state is the
+// packed planes of every input pin, the output and flip-flop planes, and —
+// for primary outputs — the per-lane history. Layout, little-endian:
+// [npins u8][hasHist u8][npins × (val u64, unknown u64)][out 16B][ff 16B]
+// [W × u64 if hasHist].
+func (lp *vecGateLP) EncodeState(buf []byte) ([]byte, error) {
+	if len(lp.st.inputs) > 255 {
+		return nil, fmt.Errorf("logicsim: gate %d has %d pins, wire limit 255", lp.id, len(lp.st.inputs))
+	}
+	buf = append(buf, byte(len(lp.st.inputs)))
+	hasHist := byte(0)
+	if lp.st.hist != nil {
+		hasHist = 1
+	}
+	buf = append(buf, hasHist)
+	for _, v := range lp.st.inputs {
+		buf = appendVecU64(buf, v.Val)
+		buf = appendVecU64(buf, v.Unknown)
+	}
+	buf = appendVecU64(buf, lp.st.out.Val)
+	buf = appendVecU64(buf, lp.st.out.Unknown)
+	buf = appendVecU64(buf, lp.st.ff.Val)
+	buf = appendVecU64(buf, lp.st.ff.Unknown)
+	for _, h := range lp.st.hist {
+		buf = appendVecU64(buf, h)
+	}
+	return buf, nil
+}
+
+// DecodeState implements timewarp.StateCodec.
+func (lp *vecGateLP) DecodeState(data []byte) error {
+	if len(data) < 2 {
+		return fmt.Errorf("logicsim: vec gate state truncated")
+	}
+	n, hasHist := int(data[0]), data[1]
+	want := 2 + 16*n + 32
+	if hasHist == 1 {
+		want += 8 * circuit.W
+	}
+	if n != len(lp.st.inputs) || (hasHist == 1) != (lp.st.hist != nil) || len(data) != want {
+		return fmt.Errorf("logicsim: vec gate state for %d pins (hist=%d), have %d pins (len %d, want %d)",
+			n, hasHist, len(lp.st.inputs), len(data), want)
+	}
+	data = data[2:]
+	for i := 0; i < n; i++ {
+		lp.st.inputs[i] = circuit.VecValue{Val: vecU64(data), Unknown: vecU64(data[8:])}
+		data = data[16:]
+	}
+	lp.st.out = circuit.VecValue{Val: vecU64(data), Unknown: vecU64(data[8:])}
+	lp.st.ff = circuit.VecValue{Val: vecU64(data[16:]), Unknown: vecU64(data[24:])}
+	data = data[32:]
+	for i := range lp.st.hist {
+		lp.st.hist[i] = vecU64(data)
+		data = data[8:]
+	}
+	return nil
+}
+
+func appendVecU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func vecU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,290 @@
+package seqsim
+
+// Vectored (bit-parallel) sequential oracle: one run carries circuit.W
+// independent scenarios, lane s driven by stimulus seed StimulusSeed+s, and
+// every gate evaluates all lanes at once with circuit.EvalVec. Lane s of a
+// vectored run is bit-identical to the scalar run with seed StimulusSeed+s:
+// per-lane values are pure functions of per-lane inputs, and an event whose
+// lane-s component is unchanged is a no-op for lane s, so the only difference
+// between the vectored run and W scalar runs is the event count (an event
+// fires when ANY lane changes — that union is exactly the bit-parallel
+// speedup). The parallel simulator's vectored mode is verified against this
+// oracle, and this oracle is verified against W scalar runs.
+
+import (
+	"container/heap"
+	"math/bits"
+	"sort"
+
+	"repro/internal/circuit"
+)
+
+// StimulusVec packs the deterministic stimulus of all circuit.W lanes for
+// primary input `input` at `cycle`: lane s carries StimulusBit(seed+s, input,
+// cycle). Both simulators share this function, so vectored runs stay
+// oracle-comparable lane by lane.
+func StimulusVec(seed int64, input, cycle int) circuit.VecValue {
+	var v circuit.VecValue
+	for s := 0; s < circuit.W; s++ {
+		v = v.SetLane(s, StimulusBit(seed+int64(s), input, cycle))
+	}
+	return v
+}
+
+// VecResult summarizes a vectored simulation run. Per-lane views use the
+// packed encoding: OutputValues[i].Lane(s) is lane s's final value of primary
+// output i, and OutputHistory[s] is lane s's order-insensitive signature —
+// each must equal the corresponding field of the scalar run with seed
+// StimulusSeed+s.
+type VecResult struct {
+	// Events counts application events processed; an event that changes any
+	// lane counts once (this is the committed-event denominator of the
+	// parallel vectored run). ScenarioEvents = Events × circuit.W is the
+	// scenario-event count the throughput studies report.
+	Events uint64
+	// Evaluations counts vectored gate evaluations (each advances all W
+	// lanes).
+	Evaluations uint64
+	// EndTime is the virtual time of the last processed event.
+	EndTime int64
+	// OutputValues holds the packed final value of each primary output.
+	OutputValues []circuit.VecValue
+	// OutputHistory holds each lane's order-insensitive signature over its
+	// primary-output changes.
+	OutputHistory []uint64
+	// FinalValues holds the packed final output value of every gate.
+	FinalValues []circuit.VecValue
+}
+
+// vecEvent is one scheduled packed signal arrival.
+type vecEvent struct {
+	t      int64
+	gate   int
+	driver int // -1 stimulus, -2 DFF self-latch
+	val    circuit.VecValue
+}
+
+type vecEventQueue []vecEvent
+
+func (q vecEventQueue) Len() int { return len(q) }
+func (q vecEventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	if q[i].gate != q[j].gate {
+		return q[i].gate < q[j].gate
+	}
+	return q[i].driver < q[j].driver
+}
+func (q vecEventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *vecEventQueue) Push(x interface{}) { *q = append(*q, x.(vecEvent)) }
+func (q *vecEventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// vecSimulator mirrors Simulator with packed values; the timestep semantics
+// (apply all arrivals, evaluate affected gates once, clock DFFs last, all in
+// gate-ID order) are identical.
+type vecSimulator struct {
+	c       *circuit.Circuit
+	cfg     Config
+	values  []circuit.VecValue
+	inputs  [][]circuit.VecValue
+	ffState []circuit.VecValue
+	queue   vecEventQueue
+	res     VecResult
+	outIdx  map[int]int
+	pinsOf  []map[int][]int
+	grain   int
+	scratch map[int]struct{}
+}
+
+// RunVec executes the vectored oracle: the scalar Config drives all lanes,
+// lane s substituting StimulusSeed+s.
+func RunVec(c *circuit.Circuit, cfg Config) (VecResult, error) {
+	if err := cfg.setDefaults(c); err != nil {
+		return VecResult{}, err
+	}
+	n := c.NumGates()
+	s := &vecSimulator{
+		c:       c,
+		cfg:     cfg,
+		values:  make([]circuit.VecValue, n),
+		inputs:  make([][]circuit.VecValue, n),
+		ffState: make([]circuit.VecValue, n),
+		outIdx:  make(map[int]int, len(c.Outputs)),
+		pinsOf:  make([]map[int][]int, n),
+		scratch: make(map[int]struct{}),
+	}
+	allX := circuit.BroadcastVec(circuit.X)
+	for i := range s.values {
+		s.values[i] = allX
+		s.ffState[i] = allX
+	}
+	for id, g := range c.Gates {
+		s.inputs[id] = make([]circuit.VecValue, len(g.Fanin))
+		for i := range s.inputs[id] {
+			s.inputs[id][i] = allX
+		}
+		pins := make(map[int][]int, len(g.Fanin))
+		for pin, src := range g.Fanin {
+			pins[src] = append(pins[src], pin)
+		}
+		s.pinsOf[id] = pins
+	}
+	for i, id := range c.Outputs {
+		s.outIdx[id] = i
+	}
+	s.res.OutputValues = make([]circuit.VecValue, len(c.Outputs))
+	for i := range s.res.OutputValues {
+		s.res.OutputValues[i] = allX
+	}
+	s.res.OutputHistory = make([]uint64, circuit.W)
+	return s.run()
+}
+
+func (s *vecSimulator) schedule(t int64, gate, driver int, v circuit.VecValue) {
+	heap.Push(&s.queue, vecEvent{t: t, gate: gate, driver: driver, val: v})
+}
+
+func (s *vecSimulator) run() (VecResult, error) {
+	for cycle := 0; cycle < s.cfg.Cycles; cycle++ {
+		base := int64(cycle) * s.cfg.ClockPeriod
+		if cycle%s.cfg.StimulusEvery == 0 {
+			for idx, in := range s.c.Inputs {
+				// The hotspot window depends only on (input, cycle), so all
+				// lanes share one stimulus schedule — the property that keeps
+				// the vectored event stream the union of the lanes'.
+				if s.cfg.Hotspot && !HotspotActive(len(s.c.Inputs), s.cfg.HotspotFraction, idx, cycle) {
+					continue
+				}
+				s.schedule(base, in, -1, StimulusVec(s.cfg.StimulusSeed, idx, cycle))
+			}
+		}
+		edge := base + s.cfg.ClockPeriod/2
+		for _, ff := range s.c.FlipFlops {
+			s.schedule(edge, ff, -2, circuit.VecValue{})
+		}
+	}
+
+	for s.queue.Len() > 0 {
+		t := s.queue[0].t
+		s.step(t)
+	}
+	s.res.FinalValues = append([]circuit.VecValue(nil), s.values...)
+	for i, id := range s.c.Outputs {
+		s.res.OutputValues[i] = s.values[id]
+	}
+	return s.res, nil
+}
+
+func (s *vecSimulator) step(t int64) {
+	s.res.EndTime = t
+	for g := range s.scratch {
+		delete(s.scratch, g)
+	}
+	clocked := make(map[int]struct{})
+	for s.queue.Len() > 0 && s.queue[0].t == t {
+		ev := heap.Pop(&s.queue).(vecEvent)
+		s.res.Events++
+		switch ev.driver {
+		case -1: // stimulus at a primary input
+			s.burn()
+			s.res.Evaluations++
+			if s.values[ev.gate].Diff(ev.val) != 0 {
+				s.values[ev.gate] = ev.val
+				s.emit(t, ev.gate)
+			}
+		case -2: // clock edge at a DFF
+			clocked[ev.gate] = struct{}{}
+		default:
+			for _, pin := range s.pinsOf[ev.gate][ev.driver] {
+				s.inputs[ev.gate][pin] = ev.val
+			}
+			s.scratch[ev.gate] = struct{}{}
+		}
+	}
+
+	affected := make([]int, 0, len(s.scratch))
+	for g := range s.scratch {
+		affected = append(affected, g)
+	}
+	sort.Ints(affected)
+	for _, id := range affected {
+		g := s.c.Gates[id]
+		if g.Type == circuit.DFF {
+			continue
+		}
+		s.burn()
+		s.res.Evaluations++
+		out := circuit.EvalVec(g.Type, s.inputs[id])
+		changed := out.Diff(s.values[id])
+		if changed == 0 {
+			continue
+		}
+		s.values[id] = out
+		s.noteOutput(t, id, out, changed)
+		s.emit(t, id)
+	}
+	clockedList := make([]int, 0, len(clocked))
+	for ff := range clocked {
+		clockedList = append(clockedList, ff)
+	}
+	sort.Ints(clockedList)
+	for _, ff := range clockedList {
+		s.burn()
+		s.res.Evaluations++
+		d := s.inputs[ff][0]
+		if s.ffState[ff].Diff(d) == 0 {
+			continue
+		}
+		s.ffState[ff] = d
+		if changed := s.values[ff].Diff(d); changed != 0 {
+			s.values[ff] = d
+			s.noteOutput(t, ff, d, changed)
+			s.emit(t, ff)
+		}
+	}
+}
+
+func (s *vecSimulator) emit(t int64, src int) {
+	g := s.c.Gates[src]
+	if g.Type == circuit.Output {
+		return
+	}
+	delay := GateDelay(g)
+	v := s.values[src]
+	seen := make(map[int]struct{}, len(g.Fanout))
+	for _, d := range g.Fanout {
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		s.schedule(t+delay, d, src, v)
+	}
+}
+
+func (s *vecSimulator) burn() {
+	if s.grain > 0 {
+		Burn(s.grain)
+	}
+}
+
+// noteOutput mixes the changed lanes of a primary-output update into those
+// lanes' signatures. Only lanes whose value actually changed contribute a
+// term, so OutputHistory[s] accumulates exactly the terms the scalar run
+// with seed StimulusSeed+s accumulates.
+func (s *vecSimulator) noteOutput(t int64, gate int, v circuit.VecValue, changed uint64) {
+	idx, ok := s.outIdx[gate]
+	if !ok {
+		return
+	}
+	for m := changed; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		s.res.OutputHistory[lane] += OutputHash(t, idx, v.Lane(lane))
+	}
+}

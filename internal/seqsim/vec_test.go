@@ -1,0 +1,112 @@
+package seqsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// vecTestCircuits returns the circuits the lane-equivalence sweep runs over:
+// pure combinational, sequential feedback, and a generated mixed netlist.
+func vecTestCircuits(t *testing.T) map[string]*circuit.Circuit {
+	t.Helper()
+	adder, err := circuit.RippleCarryAdder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfsr, err := circuit.LFSR(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := circuit.MustGenerate(circuit.GenSpec{
+		Inputs: 8, Gates: 220, Outputs: 6, FlipFlops: 18, Seed: 41,
+	})
+	return map[string]*circuit.Circuit{"adder8": adder, "lfsr16": lfsr, "gen220": gen}
+}
+
+// TestRunVecMatchesScalarLanes is the oracle's own ground truth: every lane
+// of one vectored run must be bit-identical to the scalar run with seed
+// StimulusSeed+lane — final values of every gate, final primary-output
+// values, and the per-lane output-history signature.
+func TestRunVecMatchesScalarLanes(t *testing.T) {
+	for name, c := range vecTestCircuits(t) {
+		for _, hotspot := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/hotspot=%v", name, hotspot), func(t *testing.T) {
+				cfg := Config{Cycles: 9, StimulusSeed: 900, Hotspot: hotspot}
+				vec, err := RunVec(c, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if vec.Events == 0 {
+					t.Fatal("vectored run processed no events")
+				}
+				for lane := 0; lane < circuit.W; lane++ {
+					laneCfg := cfg
+					laneCfg.StimulusSeed = cfg.StimulusSeed + int64(lane)
+					sc, err := Run(c, laneCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := vec.OutputHistory[lane], sc.OutputHistory; got != want {
+						t.Fatalf("lane %d: output history %#x, scalar %#x", lane, got, want)
+					}
+					for i := range sc.OutputValues {
+						if got, want := vec.OutputValues[i].Lane(lane), sc.OutputValues[i]; got != want {
+							t.Fatalf("lane %d output %d: %v, scalar %v", lane, i, got, want)
+						}
+					}
+					for id := range sc.FinalValues {
+						if got, want := vec.FinalValues[id].Lane(lane), sc.FinalValues[id]; got != want {
+							t.Fatalf("lane %d gate %d: final %v, scalar %v", lane, id, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunVecEventUnion pins the event-count relation: the vectored run fires
+// an event when any lane changes, so its event count is at least every
+// single lane's and at most... nothing in general — but it must be
+// deterministic, and lane 0's scalar run (same seed) must not exceed it.
+func TestRunVecEventUnion(t *testing.T) {
+	c := circuit.MustGenerate(circuit.GenSpec{
+		Inputs: 8, Gates: 220, Outputs: 6, FlipFlops: 18, Seed: 41,
+	})
+	cfg := Config{Cycles: 6, StimulusSeed: 7}
+	vec, err := RunVec(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunVec(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Events != again.Events || vec.OutputHistory[0] != again.OutputHistory[0] {
+		t.Fatalf("vectored oracle nondeterministic: %d/%d events", vec.Events, again.Events)
+	}
+	sc, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Events > vec.Events {
+		t.Fatalf("scalar lane processed %d events, vectored union only %d", sc.Events, vec.Events)
+	}
+}
+
+// TestStimulusVecLanes pins the lane→seed mapping that the equivalence
+// argument (and the parallel simulator) depends on.
+func TestStimulusVecLanes(t *testing.T) {
+	for _, seed := range []int64{0, 1, 999} {
+		for cycle := 0; cycle < 4; cycle++ {
+			v := StimulusVec(seed, 3, cycle)
+			for lane := 0; lane < circuit.W; lane++ {
+				if got, want := v.Lane(lane), StimulusBit(seed+int64(lane), 3, cycle); got != want {
+					t.Fatalf("seed %d cycle %d lane %d: %v, want %v", seed, cycle, lane, got, want)
+				}
+			}
+		}
+	}
+}

@@ -35,6 +35,15 @@
 // full StateCodec coverage is rejected at New. See transport_api.go for the
 // seam and transport_tcp.go for the mesh.
 //
+// Events carry, besides the int32 application value, a fixed-size wide
+// Payload block (two uint64 planes) the kernel never interprets: it is how
+// the bit-parallel logic simulator ships 64 scenarios per message. On the
+// wire, events are size-bearing — a flag bit selects the wide frame and a
+// zero payload is omitted entirely — so applications that never set a
+// payload produce byte-identical traffic to the pre-payload format, and the
+// codec rejects truncated or length-inconsistent wide frames like any other
+// malformed frame.
+//
 // GVT (global virtual time) is computed by an asynchronous Mattern-style
 // two-cut protocol rather than a stop-the-world barrier: every *batch* is
 // stamped with its sender's round color and counted (by length) in a
@@ -92,6 +101,23 @@ const (
 	ctrlWake                     // plain wakeup: look at the migration mailboxes
 )
 
+// Payload is the fixed-size wide payload block of an event: two uint64
+// planes the kernel never interprets. The vectored logic simulator packs the
+// val/unknown planes of 64 scenarios into it (see internal/circuit.VecValue);
+// other applications are free to use it as 16 opaque bytes. A zero Payload
+// means "no payload": the wire codec omits it entirely (one flag bit selects
+// the wide frame), so scalar-mode traffic stays byte-identical to the
+// pre-payload format. Payloads live inline in events — they are recycled
+// through rollback and fossil collection with the pooled event slices that
+// carry them, and transit accounting is unchanged because the unit in flight
+// is still the event.
+//
+//kernelvet:wire
+type Payload struct {
+	P0 uint64
+	P1 uint64
+}
+
 // Event is a timestamped message between LPs. Events are value types: the
 // kernel copies them freely between queues and clusters, and the TCP
 // transport moves them between processes by plain copy (wire.go) — the
@@ -114,6 +140,9 @@ type Event struct {
 	// interpret them.
 	Kind  int32
 	Value int32
+	// Pay is the optional wide payload block (zero when unused; see
+	// Payload).
+	Pay Payload
 }
 
 // eventHeap is a min-heap of events ordered by eventLess (receive time,

@@ -67,6 +67,12 @@ func (ctx *Context) Now() Time { return ctx.now }
 // be strictly greater than Now (except during Init, where any time >= 0 is
 // legal).
 func (ctx *Context) Send(to LPID, recvTime Time, kind, value int32) {
+	ctx.SendP(to, recvTime, kind, value, Payload{})
+}
+
+// SendP is Send with a wide payload block attached (see Payload). A zero
+// payload is equivalent to Send and costs nothing extra on the wire.
+func (ctx *Context) SendP(to LPID, recvTime Time, kind, value int32, pay Payload) {
 	if !ctx.inInit && recvTime <= ctx.now {
 		panic(fmt.Sprintf("timewarp: Send outside the strict future: recvTime %d <= now %d (events must be scheduled strictly after the current bundle, except during Init)",
 			recvTime, ctx.now))
@@ -79,6 +85,7 @@ func (ctx *Context) Send(to LPID, recvTime Time, kind, value int32) {
 		RecvTime: recvTime,
 		Kind:     kind,
 		Value:    value,
+		Pay:      pay,
 	}
 	if ctx.inInit {
 		ev.SendTime = -1
@@ -455,7 +462,7 @@ func (lp *lpRuntime) dispatchSends(t Time, sent []Event) {
 				continue
 			}
 			o := &old[j]
-			if o.Receiver == ev.Receiver && o.RecvTime == ev.RecvTime && o.Kind == ev.Kind && o.Value == ev.Value {
+			if o.Receiver == ev.Receiver && o.RecvTime == ev.RecvTime && o.Kind == ev.Kind && o.Value == ev.Value && o.Pay == ev.Pay {
 				found = j
 				break
 			}

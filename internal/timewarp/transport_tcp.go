@@ -448,7 +448,10 @@ func (t *TCPTransport) apply(p *tcpPeer, typ uint8, body []byte) error {
 		if dst < 0 || dst >= len(k.clusters) || !t.localCluster(dst) {
 			return fmt.Errorf("batch for cluster %d (not hosted here)", dst)
 		}
-		if hdr.n < 0 || int(hdr.n)*eventWireSize != len(r.b) {
+		// Events are variable-size (payload-bearing events are wider), so the
+		// count check is a lower bound; the decode loop + done() reject any
+		// body that does not hold exactly hdr.n events.
+		if hdr.n < 0 || int(hdr.n)*eventWireSize > len(r.b) {
 			return fmt.Errorf("batch length %d does not match body", hdr.n)
 		}
 		evs := make([]Event, hdr.n)

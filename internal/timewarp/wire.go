@@ -52,9 +52,23 @@ const (
 // larger is a corrupt length prefix, rejected before any allocation.
 const maxFrameLen = 64 << 20
 
-// eventWireSize is the encoded size of one Event: ID(8) + Sender(4) +
-// Receiver(4) + SendTime(8) + RecvTime(8) + Kind(4) + Value(4) + flags(1).
+// eventWireSize is the encoded size of one payload-free Event: ID(8) +
+// Sender(4) + Receiver(4) + SendTime(8) + RecvTime(8) + Kind(4) + Value(4) +
+// flags(1). An event with a nonzero Payload sets eventFlagPayload in the
+// flags byte and is followed by payloadWireSize extra bytes, so events are
+// variable-size on the wire and eventWireSize is the minimum. A scalar-mode
+// run never carries a payload, so its frames are byte-identical to the
+// pre-payload format.
 const eventWireSize = 41
+
+// payloadWireSize is the encoded size of a Payload: P0(8) + P1(8).
+const payloadWireSize = 16
+
+// Event flag bits.
+const (
+	eventFlagAnti    uint8 = 1 << 0
+	eventFlagPayload uint8 = 1 << 1
+)
 
 // batchHdrWireSize is the encoded size of one batchHdr: n(4) + color(1) +
 // dueNano(8).
@@ -199,9 +213,17 @@ func appendEvent(b []byte, ev *Event) []byte {
 	b = appendI32(b, ev.Value)
 	var flags uint8
 	if ev.Anti {
-		flags = 1
+		flags |= eventFlagAnti
 	}
-	return appendU8(b, flags)
+	if ev.Pay != (Payload{}) {
+		flags |= eventFlagPayload
+	}
+	b = appendU8(b, flags)
+	if flags&eventFlagPayload != 0 {
+		b = appendU64(b, ev.Pay.P0)
+		b = appendU64(b, ev.Pay.P1)
+	}
+	return b
 }
 
 func (r *wireReader) event() Event {
@@ -214,7 +236,14 @@ func (r *wireReader) event() Event {
 		Kind:     r.i32(),
 		Value:    r.i32(),
 	}
-	ev.Anti = r.u8()&1 != 0
+	flags := r.u8()
+	ev.Anti = flags&eventFlagAnti != 0
+	if flags&eventFlagPayload != 0 {
+		// An absent payload decodes to exactly Payload{}, so omit-if-zero
+		// loses nothing and the scalar frame format is unchanged.
+		ev.Pay.P0 = r.u64()
+		ev.Pay.P1 = r.u64()
+	}
 	return ev
 }
 

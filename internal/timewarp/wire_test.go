@@ -3,6 +3,7 @@ package timewarp
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -56,6 +57,8 @@ func TestWireRoundTrip(t *testing.T) {
 			{ID: 42, Sender: 3, Receiver: 4, SendTime: 10, RecvTime: 20, Kind: 1, Value: -2},
 		} {
 			b := appendEvent(nil, &in)
+			// Payload-free events keep the exact pre-payload frame size:
+			// scalar-mode traffic is byte-identical to the old format.
 			if len(b) != eventWireSize {
 				t.Fatalf("encoded event is %d bytes, want %d", len(b), eventWireSize)
 			}
@@ -66,6 +69,32 @@ func TestWireRoundTrip(t *testing.T) {
 			}
 			if out != in {
 				t.Fatalf("event round trip: got %+v, want %+v", out, in)
+			}
+		}
+	})
+	t.Run("event with payload", func(t *testing.T) {
+		for _, in := range []Event{
+			{ID: 9, Sender: 1, Receiver: 2, SendTime: 3, RecvTime: 4, Kind: 0, Pay: Payload{P0: 0xDEADBEEFCAFEF00D, P1: 1}},
+			{ID: 10, Sender: -1, Receiver: 0, RecvTime: TimeInfinity, Anti: true, Pay: Payload{P0: ^uint64(0), P1: ^uint64(0)}},
+		} {
+			b := appendEvent(nil, &in)
+			if len(b) != eventWireSize+payloadWireSize {
+				t.Fatalf("encoded payload event is %d bytes, want %d", len(b), eventWireSize+payloadWireSize)
+			}
+			r := &wireReader{b: b}
+			out := r.event()
+			if err := r.done(); err != nil {
+				t.Fatal(err)
+			}
+			if out != in {
+				t.Fatalf("payload event round trip: got %+v, want %+v", out, in)
+			}
+			// A truncated payload (flag set, planes cut short) must be
+			// rejected, never silently decoded as zero.
+			rt := &wireReader{b: b[:len(b)-1]}
+			rt.event()
+			if rt.done() == nil {
+				t.Fatal("truncated payload accepted")
 			}
 		}
 	})
@@ -400,7 +429,9 @@ func fuzzFrameStream(t *testing.T, data []byte) {
 		case frameBatch:
 			r.i32()
 			hdr := r.batchHdr()
-			if r.err != nil || hdr.n < 0 || int(hdr.n)*eventWireSize != len(r.b) {
+			// Mirror apply(): events are variable-size, so the count check is
+			// a lower bound and the decode loop + done() do the real check.
+			if r.err != nil || hdr.n < 0 || int(hdr.n)*eventWireSize > len(r.b) {
 				continue
 			}
 			for i := int32(0); i < hdr.n; i++ {
@@ -487,17 +518,17 @@ func FuzzWireFrame(f *testing.F) {
 	f.Fuzz(fuzzFrameStream)
 }
 
-// fuzzEventRoundTrip: any 41-byte body decodes to an Event that re-encodes to
-// a canonical form which then round-trips exactly. (The raw bytes need not
-// round-trip — the flags byte has seven dead bits.)
+// fuzzEventRoundTrip: any prefix that decodes as one (variable-size) event
+// re-encodes to a canonical form which then round-trips exactly. (The raw
+// bytes need not round-trip — the flags byte has dead bits, and an encoded
+// all-zero payload decodes to the same Event as an absent one.) A body too
+// short for the fields it promises — including a set payload flag with
+// truncated planes — must fail the decode, never misparse.
 func fuzzEventRoundTrip(t *testing.T, data []byte) {
-	if len(data) < eventWireSize {
-		return
-	}
-	r := &wireReader{b: data[:eventWireSize]}
+	r := &wireReader{b: data}
 	ev := r.event()
 	if r.err != nil {
-		t.Fatalf("41-byte event body failed to decode: %v", r.err)
+		return // truncated input: rejection is the correct outcome
 	}
 	b := appendEvent(nil, &ev)
 	r2 := &wireReader{b: b}
@@ -511,6 +542,7 @@ func fuzzEventRoundTrip(t *testing.T, data []byte) {
 func FuzzWireEvent(f *testing.F) {
 	f.Add(appendEvent(nil, &Event{ID: 1, Sender: 0, Receiver: 1, SendTime: 2, RecvTime: 3, Kind: 4, Value: 5}))
 	f.Add(appendEvent(nil, &Event{ID: 1 << 62, Sender: -1, Receiver: 0, RecvTime: TimeInfinity, Anti: true}))
+	f.Add(appendEvent(nil, &Event{ID: 2, Sender: 1, Receiver: 0, RecvTime: 8, Pay: Payload{P0: 0xABCD, P1: 0x1234}}))
 	f.Fuzz(fuzzEventRoundTrip)
 }
 
@@ -616,6 +648,24 @@ func TestGenerateWireCorpus(t *testing.T) {
 	batch = endFrame(batch, off)
 	write("FuzzWireFrame", "seed_batch", batch)
 
+	// A batch mixing plain and payload-bearing (wide) events: the widened
+	// frame format the vectored simulator ships.
+	var vbatch []byte
+	vbatch, off = beginFrame(vbatch, frameBatch)
+	vbatch = appendI32(vbatch, 0)
+	vbatch = appendBatchHdr(vbatch, batchHdr{n: 2, color: 1, dueNano: 0})
+	vbatch = appendEvent(vbatch, &Event{ID: 3, Sender: 1, Receiver: 0, SendTime: 2, RecvTime: 7, Pay: Payload{P0: 0x0123456789ABCDEF, P1: 0xFEDCBA9876543210}})
+	vbatch = appendEvent(vbatch, &Event{ID: 4, Sender: 1, Receiver: 0, SendTime: 2, RecvTime: 8, Value: 1})
+	vbatch = endFrame(vbatch, off)
+	write("FuzzWireFrame", "seed_batch_payload", vbatch)
+
+	// A batch whose event sets the payload flag but whose body is cut short
+	// of the planes: must be rejected by the decode loop, not misparsed.
+	cut := append([]byte(nil), vbatch...)
+	cut = cut[:len(cut)-eventWireSize-payloadWireSize+3]
+	binary.LittleEndian.PutUint32(cut[:4], uint32(len(cut)-4))
+	write("FuzzWireFrame", "seed_batch_truncated_payload", cut)
+
 	var trunc []byte
 	trunc = appendU32(trunc, 50)
 	trunc = append(trunc, frameCoord, 1, 2, 3)
@@ -625,6 +675,8 @@ func TestGenerateWireCorpus(t *testing.T) {
 		appendEvent(nil, &Event{ID: 3, Sender: 1, Receiver: 0, SendTime: 4, RecvTime: 9, Kind: 2, Value: -7}))
 	write("FuzzWireEvent", "seed_anti",
 		appendEvent(nil, &Event{ID: 1 << 40, Sender: -1, Receiver: 2, SendTime: 0, RecvTime: TimeInfinity, Anti: true}))
+	write("FuzzWireEvent", "seed_payload",
+		appendEvent(nil, &Event{ID: 5, Sender: 2, Receiver: 1, SendTime: 3, RecvTime: 11, Pay: Payload{P0: ^uint64(0), P1: 0xA5A5A5A5A5A5A5A5}}))
 
 	k, err := New(Config{NumClusters: 2, ClusterOf: []int{0, 1}},
 		[]Handler{&codecLP{pingLP: pingLP{peer: 1}}, &codecLP{pingLP: pingLP{peer: 0}}})
@@ -639,4 +691,9 @@ func TestGenerateWireCorpus(t *testing.T) {
 	payload := k.clusters[1].packPayload(lp)
 	write("FuzzWirePayload", "seed_valid", payload)
 	write("FuzzWirePayload", "seed_truncated", payload[:len(payload)-3])
+
+	// A migration payload whose pending queue holds a wide (payload-bearing)
+	// event, as a migrating vectored gate's would.
+	lp.pending.push(Event{ID: 10, Sender: 0, Receiver: 1, SendTime: 21, RecvTime: 36, Pay: Payload{P0: 7, P1: 1 << 63}})
+	write("FuzzWirePayload", "seed_vec_pending", k.clusters[1].packPayload(lp))
 }
