@@ -27,12 +27,26 @@
 //
 // -dynamic works across processes too (gate state is migrated over the
 // wire), because the logic-gate handlers implement timewarp.StateCodec.
+//
+// Multi-process exit codes distinguish failure classes for supervisors:
+//
+//	0  success (run completed and, unless -noverify, verified)
+//	1  any other error (bad flags, circuit load, verification failure)
+//	2  handshake rejection: wire-protocol or configuration mismatch
+//	   between mesh nodes
+//	3  mesh peer failure: a peer died, went silent past -peer-timeout,
+//	   sent a corrupt frame, or aborted the run
+//
+// On codes 2 and 3 the error printed to stderr names the origin node and
+// the abort reason.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -64,16 +78,28 @@ func main() {
 		imbalance   = flag.Float64("imbalance", 1.1, "min max/mean committed-load ratio before migrating (with -dynamic)")
 		nodeSpec    = flag.String("node", "", "multi-process run: this process's index as i/n (requires -peers)")
 		peers       = flag.String("peers", "", "multi-process run: comma-separated host:port listen addresses, one per node")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "multi-process run: idle-lane heartbeat period (negative disables liveness)")
+		peerTimeout = flag.Duration("peer-timeout", 5*time.Second, "multi-process run: declare a silent peer dead after this long (negative disables)")
+		faultSpec   = flag.String("fault", "", "chaos testing: comma-separated k=v fault plan (peer=N, seed=N, refuse-dial=DUR, drop-after=N, truncate=N, corrupt=N, stall-after=N, stall=DUR)")
 	)
 	flag.Parse()
 
 	var tr *timewarp.TCPTransport
 	if *nodeSpec != "" || *peers != "" {
-		var err error
-		tr, err = buildTransport(*nodeSpec, *peers)
+		// The config digest folds in every flag that shapes the simulation,
+		// so two processes started with diverging flags are rejected at the
+		// handshake instead of silently desynchronizing.
+		tag := configTag(*bench, *scale, flag.Arg(0), *cycles, *seed, *grain, *algo, *nodes,
+			*window, *lazy, *vectors, *hotspot, *hotspotFrac, *dynamic, *rebalPeriod, *imbalance)
+		fp, err := parseFaultPlan(*faultSpec)
 		if err != nil {
 			fail(err)
 		}
+		tr, err = buildTransport(*nodeSpec, *peers, *heartbeat, *peerTimeout, tag, fp)
+		if err != nil {
+			fail(err)
+		}
+		meshCloser = tr
 		defer tr.Close()
 	}
 
@@ -197,7 +223,8 @@ func main() {
 }
 
 // buildTransport parses -node i/n plus the -peers list into a TCP transport.
-func buildTransport(nodeSpec, peers string) (*timewarp.TCPTransport, error) {
+func buildTransport(nodeSpec, peers string, heartbeat, peerTimeout time.Duration,
+	tag uint64, fp *timewarp.FaultPlan) (*timewarp.TCPTransport, error) {
 	if nodeSpec == "" || peers == "" {
 		return nil, fmt.Errorf("-node and -peers must be used together")
 	}
@@ -209,7 +236,67 @@ func buildTransport(nodeSpec, peers string) (*timewarp.TCPTransport, error) {
 	if len(addrs) != n {
 		return nil, fmt.Errorf("-node %s names %d nodes but -peers lists %d addresses", nodeSpec, n, len(addrs))
 	}
-	return timewarp.NewTCPTransport(timewarp.TCPOptions{Node: i, Peers: addrs})
+	return timewarp.NewTCPTransport(timewarp.TCPOptions{
+		Node: i, Peers: addrs,
+		HeartbeatEvery: heartbeat, PeerTimeout: peerTimeout,
+		ConfigTag: tag, Fault: fp,
+	})
+}
+
+// configTag hashes the determinism-affecting flag values into the handshake's
+// configuration digest (FNV-1a over each value's string form).
+func configTag(vals ...interface{}) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range vals {
+		s := fmt.Sprint(v)
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		// Separator so adjacent values cannot shift into each other.
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+// parseFaultPlan parses the -fault spec: comma-separated k=v pairs.
+func parseFaultPlan(spec string) (*timewarp.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p := &timewarp.FaultPlan{Peer: -1}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -fault entry %q, want key=value", kv)
+		}
+		var err error
+		switch k {
+		case "peer":
+			p.Peer, err = strconv.Atoi(v)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "refuse-dial":
+			p.RefuseDialFor, err = time.ParseDuration(v)
+		case "drop-after":
+			p.DropAfterFrames, err = strconv.Atoi(v)
+		case "truncate":
+			p.TruncateFrame, err = strconv.Atoi(v)
+		case "corrupt":
+			p.CorruptFrame, err = strconv.Atoi(v)
+		case "stall-after":
+			p.StallAfterFrames, err = strconv.Atoi(v)
+		case "stall":
+			p.StallFor, err = time.ParseDuration(v)
+		default:
+			return nil, fmt.Errorf("unknown -fault key %q", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault entry %q: %v", kv, err)
+		}
+	}
+	return p, nil
 }
 
 func loadCircuit(bench string, scale float64, path string) (*circuit.Circuit, error) {
@@ -245,7 +332,23 @@ func buildPartitioner(algo string, seed int64) (partition.Partitioner, error) {
 	return nil, fmt.Errorf("unknown algorithm %q", algo)
 }
 
+// meshCloser is the transport to flush and tear down before a failure exit
+// (os.Exit skips defers); nil for single-process runs.
+var meshCloser interface{ Close() error }
+
+// fail prints the error — for mesh failures it names the origin node and the
+// abort reason — and exits with the failure class: 2 for handshake rejection,
+// 3 for a peer failure, 1 otherwise.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "parsim:", err)
+	if meshCloser != nil {
+		meshCloser.Close() // flush any pending abort frames to the peers
+	}
+	switch {
+	case errors.Is(err, timewarp.ErrProtoMismatch) || errors.Is(err, timewarp.ErrConfigMismatch):
+		os.Exit(2)
+	case errors.Is(err, timewarp.ErrPeerDown):
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

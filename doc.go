@@ -9,11 +9,13 @@
 //     into two uint64 planes (val/unknown, so three-valued X logic
 //     survives) and EvalVec evaluates any gate over all 64 lanes
 //     branch-free;
+//
 //   - internal/partition: partitioner interface, quality metrics, the five
 //     baseline algorithms (Random, Topological, DFS, Cluster, Cone), and
 //     RuntimeGraph, the observed LP-communication graph the kernel measures
 //     at run time (vertex weights = committed events, edge weights =
 //     observed sends);
+//
 //   - internal/core: the paper's multilevel partitioning algorithm
 //     (fanout coarsening, concurrency-preserving initial partitioning,
 //     greedy k-way refinement; KL/FM refiners and heavy-edge/activity
@@ -23,6 +25,7 @@
 //     same machinery backs core.Rebalance, which refines an existing
 //     assignment against a RuntimeGraph with bounded churn for dynamic
 //     load balancing;
+//
 //   - internal/timewarp: an optimistic parallel discrete event simulation
 //     kernel (Time Warp) with clusters, rollback, anti-messages, fossil
 //     collection, a configurable LAN model, and an optimism window.
@@ -54,7 +57,28 @@
 //     simulator fills with 64 packed scenarios per message. Event queues
 //     use non-boxing heaps, scheduler pushes are deduplicated per LP, and
 //     bundle/event slices — payloads inline — are pooled across rollback
-//     and fossil collection;
+//     and fossil collection.
+//
+//     Failure semantics of the TCP mesh: connections open with a versioned
+//     hello (magic, wire-protocol version, topology counts, and an FNV-1a
+//     digest of every determinism-affecting configuration knob) — skewed
+//     builds or diverging configs are rejected on both sides as
+//     ErrProtoMismatch/ErrConfigMismatch naming both values, the acceptor
+//     answering with an abort frame so the dialer learns the reason. At
+//     run time idle lanes carry heartbeats and every read is
+//     deadline-bounded, so a peer silent past PeerTimeout is declared
+//     dead; a node turning fatal broadcasts an abort frame (origin +
+//     reason) that survivors relay, so every process exits within the
+//     detection bound with an error wrapping ErrPeerDown and naming the
+//     node at fault — never a hung FIN barrier. Dials retry under
+//     jittered backoff inside DialTimeout and the accept window is
+//     equally bounded. cmd/parsim maps the classes to exit codes
+//     (0 success, 2 handshake rejection, 3 peer failure, 1 other) and a
+//     deterministic FaultPlan (seeded, frame-indexed drops, truncations,
+//     corruptions, stalls, refused dials) drives the chaos matrix that
+//     proves transient faults complete bit-identical to the oracle and
+//     permanent ones fail every node loudly;
+//
 //   - internal/analyzers: the kernel-invariant analyzer suite behind
 //     cmd/kernelvet — a self-contained go/analysis-style framework
 //     (cached loader, call graph, intraprocedural CFG with a generic
@@ -77,17 +101,21 @@
 //     the TCP transport serialize them with plain copies). CI runs `go run ./cmd/kernelvet ./...` (with -json and
 //     a GitHub problem matcher available) and the selftest package keeps
 //     `go test ./...` equivalent to it;
+//
 //   - internal/smoketest: the `go build && run` harness behind the cmd/
 //     and examples/ entry-point smoke tests;
+//
 //   - internal/seqsim: the sequential event-driven simulator used as the
 //     baseline and correctness oracle, in scalar and vectored (64 lanes per
 //     run) form;
+//
 //   - internal/logicsim: gate-level logic simulation on the Time Warp
 //     kernel. Config.Vectors switches every gate LP to bit-parallel
 //     evaluation — signal events carry the packed planes in the kernel's
 //     wide payload block, one committed event advances 64 scenarios, and
 //     lane s is bit-identical to a scalar run with StimulusSeed+s
 //     (rollbacks, migration and TCP transport included);
+//
 //   - internal/experiments: harnesses regenerating every table and figure
 //     of the paper's evaluation.
 //

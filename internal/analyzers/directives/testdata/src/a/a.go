@@ -85,6 +85,23 @@ type eventWithPayload struct {
 	pay   payloadBlock
 }
 
+// The handshake/failure frame pair the hardened mesh ships: a versioned
+// hello and an abort header whose reason text follows as raw bytes.
+//
+//kernelvet:wire
+type helloFrame struct {
+	magic  uint32
+	proto  uint16
+	digest uint64
+}
+
+//kernelvet:wire
+type abortFrame struct {
+	origin    int32
+	code      uint8
+	reasonLen int32
+}
+
 // misWireVar puts wire on a variable declaration.
 //
 //kernelvet:wire // want `kernelvet:wire belongs in a type declaration's doc comment`
@@ -133,4 +150,4 @@ func wellFormed() {
 var _ = [...]interface{}{misOwner, misVerb, misArgs, misGoroutine, misPlaced, wellFormed,
 	misGuard, misWire, getBuf, putBuf, balanceSites, misCharge,
 	guarded{}, flat{}, misWireArgs{}, misChargeField{}, frameHdr{}, frameBody{}, wireBuf,
-	payloadBlock{}, eventWithPayload{}}
+	payloadBlock{}, eventWithPayload{}, helloFrame{}, abortFrame{}}

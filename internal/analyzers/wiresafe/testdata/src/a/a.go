@@ -143,6 +143,39 @@ type payPointered struct {
 	pay *payloadLike
 }
 
+// helloLike mirrors the versioned handshake frame: magic, protocol version,
+// topology counts, and a config digest — all sized scalars.
+//
+//kernelvet:wire
+type helloLike struct {
+	magic  uint32
+	proto  uint16
+	node   int32
+	nodes  int32
+	digest uint64
+}
+
+// abortHdrLike mirrors the mesh-abort header: origin node, failure code, and
+// the length of the reason text that follows the header (the text itself
+// travels as trailing bytes, not as a struct field).
+//
+//kernelvet:wire
+type abortHdrLike struct {
+	origin    int32
+	code      uint8
+	reasonLen int32
+}
+
+// abortStringy carries the reason inline as a string, which would smuggle a
+// pointer/length pair into the frame struct.
+//
+//kernelvet:wire // want `wire type abortStringy is not flat: abortStringy.reason is a string`
+type abortStringy struct {
+	origin int32
+	reason string
+}
+
 var _ = []interface{}{header{}, pointered{}, sliced{}, stringy{}, platform{}, chatty{}, flatAlias{}, mapped{},
 	coordLike{}, lpHdrLike{}, handled{}, faced{}, aliasedPlatform{},
-	payloadLike{}, eventLike{}, paySliced{}, payPointered{}}
+	payloadLike{}, eventLike{}, paySliced{}, payPointered{},
+	helloLike{}, abortHdrLike{}, abortStringy{}}

@@ -5,6 +5,7 @@ package smoketest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -54,13 +55,92 @@ func Run(t *testing.T, args []string, want ...string) string {
 	return text
 }
 
-// RunCluster builds the current main package once and launches it as n
-// concurrent OS processes forming one TCP-connected simulation: each
-// process gets the shared args plus "-node i/n -peers <list>", with the
-// peer list drawn from freshly released loopback ports. Every process
-// must exit cleanly and print every want substring; the combined outputs
-// are returned, indexed by node.
-func RunCluster(t *testing.T, n int, args []string, want ...string) []string {
+// Proc is one process of a cluster started by StartCluster. Its combined
+// stdout+stderr accumulates in a synchronized buffer so callers can watch
+// the output of a still-running process.
+type Proc struct {
+	// Node is the process's mesh index (the i of -node i/n).
+	Node int
+
+	cmd  *exec.Cmd
+	mu   sync.Mutex
+	out  strings.Builder
+	done chan struct{}
+	err  error // cmd.Wait result, valid once done is closed
+}
+
+func (p *Proc) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.Write(b)
+}
+
+// Output snapshots the process's combined output so far.
+func (p *Proc) Output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+// WaitOutput blocks until substr appears in the process output (the process
+// may still be running) or the timeout elapses, which fails the test.
+func (p *Proc) WaitOutput(t *testing.T, substr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if strings.Contains(p.Output(), substr) {
+			return
+		}
+		select {
+		case <-p.done:
+			// Drained: one final check, then report.
+			if strings.Contains(p.Output(), substr) {
+				return
+			}
+			t.Fatalf("node %d exited without printing %q:\n%s", p.Node, substr, p.Output())
+		case <-time.After(20 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d did not print %q within %v:\n%s", p.Node, substr, timeout, p.Output())
+		}
+	}
+}
+
+// Kill terminates the process abruptly (SIGKILL): no FIN, no abort frame,
+// the peer-failure path a chaos test wants.
+func (p *Proc) Kill() {
+	p.cmd.Process.Kill()
+}
+
+// Wait blocks until the process exits (failing the test on timeout) and
+// returns its combined output and exit code. A process killed by a signal
+// reports a negative code.
+func (p *Proc) Wait(t *testing.T, timeout time.Duration) (string, int) {
+	t.Helper()
+	select {
+	case <-p.done:
+	case <-time.After(timeout):
+		t.Fatalf("node %d still running after %v:\n%s", p.Node, timeout, p.Output())
+	}
+	code := 0
+	if p.err != nil {
+		var ee *exec.ExitError
+		if errors.As(p.err, &ee) {
+			code = ee.ExitCode()
+		} else {
+			t.Fatalf("node %d: %v", p.Node, p.err)
+		}
+	}
+	return p.Output(), code
+}
+
+// StartCluster builds the current main package once and launches it as n
+// concurrent OS processes forming one TCP-connected simulation: process i
+// gets argsFor(i) plus "-node i/n -peers <list>", with the peer list drawn
+// from freshly released loopback ports. The processes are returned running;
+// the caller observes them via WaitOutput/Kill/Wait. Cleanup kills any
+// process still alive when the test ends.
+func StartCluster(t *testing.T, n int, argsFor func(node int) []string) []*Proc {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("smoke test skipped in -short mode")
@@ -70,7 +150,7 @@ func RunCluster(t *testing.T, n int, args []string, want ...string) []string {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
-	defer cancel()
+	t.Cleanup(cancel)
 	scratch := t.TempDir()
 	bin := filepath.Join(scratch, "smoke.bin")
 	build := exec.CommandContext(ctx, "go", "build", "-o", bin, ".")
@@ -92,29 +172,48 @@ func RunCluster(t *testing.T, n int, args []string, want ...string) []string {
 		ln.Close()
 	}
 	peers := strings.Join(addrs, ",")
-	outs := make([]string, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
+	procs := make([]*Proc, n)
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			nodeArgs := append(append([]string(nil), args...),
-				"-node", fmt.Sprintf("%d/%d", i, n), "-peers", peers)
-			cmd := exec.CommandContext(ctx, bin, nodeArgs...)
-			cmd.Dir = scratch
-			out, err := cmd.CombinedOutput()
-			outs[i], errs[i] = string(out), err
-		}(i)
-	}
-	wg.Wait()
-	for i := range outs {
-		if errs[i] != nil {
-			t.Fatalf("node %d: %s %v failed: %v\noutput:\n%s", i, bin, args, errs[i], outs[i])
+		p := &Proc{Node: i, done: make(chan struct{})}
+		nodeArgs := append(append([]string(nil), argsFor(i)...),
+			"-node", fmt.Sprintf("%d/%d", i, n), "-peers", peers)
+		p.cmd = exec.CommandContext(ctx, bin, nodeArgs...)
+		p.cmd.Dir = scratch
+		p.cmd.Stdout = p
+		p.cmd.Stderr = p
+		if err := p.cmd.Start(); err != nil {
+			t.Fatalf("node %d: %v", i, err)
 		}
+		go func(p *Proc) {
+			p.err = p.cmd.Wait()
+			close(p.done)
+		}(p)
+		t.Cleanup(func() {
+			p.Kill()
+			<-p.done
+		})
+		procs[i] = p
+	}
+	return procs
+}
+
+// RunCluster launches n processes via StartCluster with identical args,
+// requires every one to exit cleanly, and asserts every want substring
+// appears in each output; the combined outputs are returned, indexed by
+// node.
+func RunCluster(t *testing.T, n int, args []string, want ...string) []string {
+	t.Helper()
+	procs := StartCluster(t, n, func(int) []string { return args })
+	outs := make([]string, n)
+	for i, p := range procs {
+		out, code := p.Wait(t, 3*time.Minute)
+		if code != 0 {
+			t.Fatalf("node %d exited with code %d:\n%s", i, code, out)
+		}
+		outs[i] = out
 		for _, w := range want {
-			if !strings.Contains(outs[i], w) {
-				t.Errorf("node %d output missing %q:\n%s", i, w, outs[i])
+			if !strings.Contains(out, w) {
+				t.Errorf("node %d output missing %q:\n%s", i, w, out)
 			}
 		}
 	}

@@ -22,6 +22,19 @@ var (
 	// ErrBadTransport rejects a transport that cannot host the configured
 	// cluster count (more nodes than clusters).
 	ErrBadTransport = errors.New("timewarp: transport cannot host this configuration")
+	// ErrProtoMismatch rejects a TCP mesh handshake whose peer speaks a
+	// different wire-protocol version (or is not a timewarp peer at all).
+	// The error text names both sides' values.
+	ErrProtoMismatch = errors.New("timewarp: wire-protocol mismatch")
+	// ErrConfigMismatch rejects a TCP mesh handshake whose peer was launched
+	// with a different configuration (mesh size, cluster/LP counts, or any
+	// determinism-affecting knob folded into the config digest). The error
+	// text names both sides' values.
+	ErrConfigMismatch = errors.New("timewarp: configuration mismatch between mesh nodes")
+	// ErrPeerDown marks a run aborted because a mesh peer died, went silent
+	// past the detection bound, or sent a corrupt frame. Every surviving
+	// node's Run returns an error wrapping it that names the failed peer.
+	ErrPeerDown = errors.New("timewarp: mesh peer failure")
 	// ErrNeedStateCodec rejects Rebalance on a multi-process transport when a
 	// handler does not implement StateCodec: LP state is handler-owned, so
 	// the kernel cannot move an LP between processes without it.

@@ -1,0 +1,221 @@
+package timewarp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Deterministic fault injection for the TCP transport.
+//
+// A FaultPlan scripts one node's misbehaviour — refused dials during the
+// startup window, and frame-granular write faults (drop, truncate, corrupt,
+// stall) on its outbound lanes. The plan is threaded under the transport via
+// TCPOptions.Fault and wraps the raw connection *after* the handshake, so
+// handshake frames are never faulted and frame numbering starts at the first
+// post-handshake frame. Everything is deterministic given the plan: the
+// faulted frame index, the corrupted byte, and the refusal window are fixed
+// by the plan's fields, not by timing, so a chaos scenario either completes
+// bit-identical to the oracle (transient faults the retry/backoff machinery
+// must absorb) or fails every node loudly within the detection bound
+// (permanent faults mid-run).
+
+// FaultPlan scripts deterministic faults for chaos testing. The zero value
+// injects nothing. Frame indices are 1-based and count this node's outbound
+// frames per faulted lane, handshake excluded (heartbeats included). At most
+// one permanent fault (drop/truncate) fires per lane; after it the
+// connection is closed and further writes fail.
+type FaultPlan struct {
+	// Seed picks which bit pattern corrupts the frame named by
+	// CorruptFrame, so distinct seeds exercise distinct corruptions while
+	// each run stays reproducible.
+	Seed int64
+
+	// Peer selects the outbound lane the frame faults apply to: the
+	// destination node id. -1 faults every lane. (RefuseDialFor is not a
+	// lane fault and applies to every dial attempt regardless.)
+	Peer int
+
+	// RefuseDialFor fails every outbound dial attempt for this duration
+	// after the transport starts — a transient dial-window fault the
+	// jittered backoff loop must absorb. Keep it under DialTimeout or
+	// startup fails (loudly) instead.
+	RefuseDialFor time.Duration
+
+	// DropAfterFrames closes the connection abruptly after this many
+	// outbound frames have been fully written; 0 disables. A permanent
+	// mid-run fault: the far side sees EOF before any FIN.
+	DropAfterFrames int
+
+	// TruncateFrame writes only the first half of outbound frame N and
+	// closes the connection mid-frame; 0 disables. The far side sees a
+	// length prefix whose promised bytes never arrive.
+	TruncateFrame int
+
+	// CorruptFrame flips bits in the frame-type byte of outbound frame N;
+	// 0 disables. Corrupting the type (rather than an arbitrary body byte)
+	// guarantees structural detection at the receiver's decoder — an
+	// unknown-frame-type error — instead of a probabilistic payload change.
+	CorruptFrame int
+
+	// StallAfterFrames pauses this lane's writer for StallFor just before
+	// outbound frame N is written; 0 disables. Transient when StallFor is
+	// below the mesh's PeerTimeout; above it, the far side's failure
+	// detector declares this node dead (the silent-peer path, no abort
+	// frame to help).
+	StallAfterFrames int
+	// StallFor is the stall duration for StallAfterFrames.
+	StallFor time.Duration
+
+	// armedNano is the transport start time, set once by arm; dial refusal
+	// is measured from it. Atomic: dial goroutines read it concurrently.
+	armedNano int64
+}
+
+// arm records the transport's start time; RefuseDialFor counts from here.
+func (p *FaultPlan) arm(now time.Time) {
+	if p != nil {
+		atomic.StoreInt64(&p.armedNano, now.UnixNano())
+	}
+}
+
+// dialRefused reports whether a dial attempt at time now falls inside the
+// refusal window.
+func (p *FaultPlan) dialRefused(now time.Time) bool {
+	if p == nil || p.RefuseDialFor <= 0 {
+		return false
+	}
+	armed := atomic.LoadInt64(&p.armedNano)
+	return armed != 0 && now.UnixNano()-armed < int64(p.RefuseDialFor)
+}
+
+// wrap interposes the plan's frame faults on the lane toward peer, or
+// returns conn untouched when the plan does not target it.
+func (p *FaultPlan) wrap(conn net.Conn, peer int) net.Conn {
+	if p == nil || (p.Peer != -1 && p.Peer != peer) {
+		return conn
+	}
+	if p.DropAfterFrames == 0 && p.TruncateFrame == 0 && p.CorruptFrame == 0 && p.StallAfterFrames == 0 {
+		return conn
+	}
+	return &faultConn{Conn: conn, plan: p}
+}
+
+// errFaultInjected is returned by faultConn writes after a scripted
+// permanent fault has closed the connection.
+var errFaultInjected = errors.New("faultplan: connection scripted dead")
+
+// faultConn injects a FaultPlan's frame faults into the write side of one
+// peer connection. Reads and deadlines pass through to the embedded conn
+// untouched. The parser tracks length-prefixed frame boundaries across
+// arbitrary Write chunking, so it does not matter how bufio slices the
+// outbound stream. Single-owner: only the lane's writer goroutine calls
+// Write, so the parser state needs no locking.
+type faultConn struct {
+	net.Conn
+	plan *FaultPlan
+
+	hdr      [4]byte // partially accumulated length prefix
+	hdrN     int     // bytes of hdr collected so far
+	frame    int     // 1-based index of the frame being written
+	frameLen int     // total type+body bytes of the current frame
+	framePos int     // type+body bytes already written
+	cutAt    int     // close the conn once framePos reaches this; -1 none
+	corrupt  bool    // flip the current frame's type byte
+	dead     bool    // a permanent fault fired
+	scratch  []byte  // copy-on-corrupt buffer (never mutate the caller's)
+}
+
+// beginFrame decides this frame's faults once its length prefix is complete.
+func (c *faultConn) beginFrame() {
+	p := c.plan
+	c.framePos, c.cutAt, c.corrupt = 0, -1, false
+	if p.StallAfterFrames > 0 && c.frame == p.StallAfterFrames && p.StallFor > 0 {
+		time.Sleep(p.StallFor)
+	}
+	if p.CorruptFrame > 0 && c.frame == p.CorruptFrame {
+		c.corrupt = true
+	}
+	if p.TruncateFrame > 0 && c.frame == p.TruncateFrame {
+		c.cutAt = c.frameLen / 2
+	}
+	if p.DropAfterFrames > 0 && c.frame == p.DropAfterFrames {
+		// Cut exactly at the end of this frame: N frames fully written,
+		// then the connection dies with no warning.
+		c.cutAt = c.frameLen
+	}
+}
+
+// corruptMask picks the bits to flip in a corrupted frame-type byte. The
+// high two bits are never set in a legitimate frame type, so any choice
+// guarantees the receiver sees an unknown type.
+func (c *faultConn) corruptMask() uint8 {
+	masks := [3]uint8{0x80, 0xc0, 0xa0}
+	return masks[uint64(c.plan.Seed^int64(c.frame))%3]
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.dead {
+		return 0, errFaultInjected
+	}
+	total := 0
+	for len(b) > 0 {
+		if c.hdrN < 4 {
+			// Between frames: pass the length prefix through while
+			// accumulating it.
+			n := copy(c.hdr[c.hdrN:], b)
+			w, err := c.Conn.Write(b[:n])
+			total += w
+			if err != nil {
+				return total, err
+			}
+			c.hdrN += n
+			b = b[n:]
+			if c.hdrN < 4 {
+				continue // prefix split across Writes
+			}
+			c.frame++
+			c.frameLen = int(binary.LittleEndian.Uint32(c.hdr[:]))
+			c.beginFrame()
+			continue
+		}
+		n := c.frameLen - c.framePos
+		if n > len(b) {
+			n = len(b)
+		}
+		chunk := b[:n]
+		if c.corrupt && c.framePos == 0 && n > 0 {
+			// The frame-type byte is the first byte after the prefix.
+			c.scratch = append(c.scratch[:0], chunk...)
+			c.scratch[0] ^= c.corruptMask()
+			chunk = c.scratch
+		}
+		if c.cutAt >= 0 && c.cutAt <= c.framePos+n {
+			keep := c.cutAt - c.framePos
+			if keep > 0 {
+				w, err := c.Conn.Write(chunk[:keep])
+				total += w
+				if err != nil {
+					return total, err
+				}
+			}
+			c.dead = true
+			c.Conn.Close()
+			return total, fmt.Errorf("faultplan: connection cut inside outbound frame %d", c.frame)
+		}
+		w, err := c.Conn.Write(chunk)
+		total += w
+		if err != nil {
+			return total, err
+		}
+		c.framePos += n
+		b = b[n:]
+		if c.framePos == c.frameLen {
+			c.hdrN = 0 // next bytes start the next frame's prefix
+		}
+	}
+	return total, nil
+}

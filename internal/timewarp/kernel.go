@@ -367,6 +367,12 @@ func (k *Kernel) Run() (RunStats, error) {
 		if moved == 0 && buffered == 0 && k.tr.initQuiet() {
 			break
 		}
+		if atomic.LoadInt32(&k.done) == 1 {
+			// The transport turned fatal during init (a peer died or the
+			// mesh aborted): its lanes may never drain. Proceed — the
+			// cluster loops exit immediately and finishRun reports why.
+			break
+		}
 	}
 	// Seed each cluster's scheduler.
 	for _, c := range k.local {

@@ -26,6 +26,14 @@ import "sync/atomic"
 // protocol acks are called from cluster goroutines; broadcastCtrl, noteGVT,
 // whiteDrained and sendOrder only from the coordinator (cluster 0's
 // goroutine); bind/start/initQuiet/finishRun only from Run's goroutine.
+//
+// Failure semantics: a transport must never hang the kernel on a dead peer.
+// start fails (rather than blocks) when the fabric cannot be completed
+// within its window; a mid-run fatal — peer death, corrupt frame, received
+// abort — sets the kernel's done flag so every cluster loop exits, and
+// finishRun returns the first fatal error, wrapping ErrPeerDown /
+// ErrProtoMismatch / ErrConfigMismatch and naming the peer at fault. See
+// TCPTransport for the concrete handshake/heartbeat/abort protocol.
 type Transport interface {
 	// bind attaches the transport to its kernel. New calls it exactly once,
 	// before any other method.

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -35,6 +37,18 @@ import (
 // counter mirrors are conflated: a dirty flag per peer makes the writer
 // append the freshest values once per drain cycle, so a stalled peer reads
 // one fresh progress frame, not a backlog of stale ones.
+//
+// Failure semantics (the paper's cluster-of-workstations case, where links
+// stall and processes die): every connection opens with a versioned,
+// config-digesting handshake — mismatched builds or configurations are
+// rejected at connect time (ErrProtoMismatch, ErrConfigMismatch), never
+// discovered as diverged results. Mid-run, idle lanes carry heartbeats
+// (HeartbeatEvery) and every read has a deadline (PeerTimeout), so a killed
+// or wedged peer is detected within PeerTimeout; any fatal error broadcasts
+// a frameAbort naming the origin and reason, so the whole mesh tears down
+// within one detection bound and every node's Run returns an error wrapping
+// ErrPeerDown that names the peer at fault — the FIN barrier can never hang
+// on a dead peer.
 type TCPTransport struct {
 	opt TCPOptions
 	k   *Kernel
@@ -56,10 +70,13 @@ type TCPTransport struct {
 	sentMirror [][2]int64
 	recvMirror [][2]int64
 
-	closing int32
-	started bool
-	err     atomic.Value // first fatal error (type error)
-	errOnce sync.Once
+	closing  int32
+	started  bool
+	finished int32        // set once finishRun completed cleanly (atomic)
+	err      atomic.Value // first fatal error (type error)
+	errOnce  sync.Once
+
+	closeOnce sync.Once
 
 	readWG  sync.WaitGroup
 	writeWG sync.WaitGroup
@@ -90,8 +107,33 @@ type TCPOptions struct {
 	// Peers[Node].
 	Listener net.Listener
 	// DialTimeout bounds how long start retries dialing each lower-numbered
-	// peer (their listeners may not be up yet). Default 10s.
+	// peer (their listeners may not be up yet) and, mirrored on the accept
+	// side, how long this node waits for every higher-numbered peer to dial
+	// in. A peer that misses the window fails the run loudly (ErrPeerDown)
+	// instead of wedging start. Default 10s.
 	DialTimeout time.Duration
+	// HeartbeatEvery is the idle-lane heartbeat interval: a writer that has
+	// sent nothing for this long emits a one-byte heartbeat frame so the
+	// peer's failure detector sees a live connection even when the
+	// simulation is quiet. Default 1s; negative disables heartbeats (and
+	// with them PeerTimeout must be disabled too).
+	HeartbeatEvery time.Duration
+	// PeerTimeout is the failure-detection bound: a connection that
+	// delivers no frame (heartbeats included) for this long is declared
+	// dead and the whole run aborts, every node returning an error naming
+	// the silent peer. Must be at least twice HeartbeatEvery. Default
+	// 5×HeartbeatEvery; negative disables detection.
+	PeerTimeout time.Duration
+	// ConfigTag is an application-level fingerprint of everything beyond
+	// the kernel's own knobs that must agree across nodes for a
+	// deterministic run (stimulus seed, circuit identity, vector mode, …).
+	// It is folded into the handshake config digest, so mismatched tags are
+	// rejected at connect time with ErrConfigMismatch.
+	ConfigTag uint64
+	// Fault optionally scripts deterministic fault injection under this
+	// node's outbound traffic (chaos testing; see FaultPlan). Nil injects
+	// nothing.
+	Fault *FaultPlan
 }
 
 // tcpPubState is one local cluster's conflation memory.
@@ -161,6 +203,24 @@ func NewTCPTransport(opt TCPOptions) (*TCPTransport, error) {
 	if opt.DialTimeout <= 0 {
 		opt.DialTimeout = 10 * time.Second
 	}
+	if opt.HeartbeatEvery == 0 {
+		opt.HeartbeatEvery = time.Second
+	}
+	if opt.HeartbeatEvery < 0 {
+		opt.HeartbeatEvery = 0
+	}
+	if opt.PeerTimeout == 0 {
+		opt.PeerTimeout = 5 * opt.HeartbeatEvery
+	}
+	if opt.PeerTimeout < 0 {
+		opt.PeerTimeout = 0
+	}
+	if opt.PeerTimeout > 0 && opt.HeartbeatEvery == 0 {
+		return nil, fmt.Errorf("%w: PeerTimeout %v with heartbeats disabled would kill every idle healthy link", ErrBadTransport, opt.PeerTimeout)
+	}
+	if opt.PeerTimeout > 0 && opt.PeerTimeout < 2*opt.HeartbeatEvery {
+		return nil, fmt.Errorf("%w: PeerTimeout %v below twice HeartbeatEvery %v", ErrBadTransport, opt.PeerTimeout, opt.HeartbeatEvery)
+	}
 	t := &TCPTransport{opt: opt, ln: opt.Listener}
 	t.finCond = sync.NewCond(&t.finMu)
 	t.sumCond = sync.NewCond(&t.sumMu)
@@ -197,15 +257,290 @@ func (t *TCPTransport) nodes() int { return len(t.opt.Peers) }
 
 func (t *TCPTransport) localCluster(id int) bool { return t.nodeOf[id] == t.opt.Node }
 
+// --- Handshake ---
+//
+// Every connection opens with a two-way versioned hello (wireHello): the
+// dialer sends its hello under a write deadline, the acceptor validates it
+// and replies with its own, and both sides reject any disagreement — wrong
+// magic or protocol version (ErrProtoMismatch), different mesh topology or
+// config digest (ErrConfigMismatch) — naming both sides' values. A rejecting
+// acceptor sends a frameAbort before closing so the dialer learns *why*
+// instead of retrying a hopeless handshake. Handshake failures split into
+// permanent (mismatch, duplicate or out-of-range node id: fail the run now)
+// and transient (truncation, timeouts, stray non-hello connections: the
+// acceptor keeps accepting, the dialer backs off and retries inside
+// DialTimeout).
+
+// abortError is a mesh abort as an error: who originally failed, a code
+// mapping back to a sentinel, and the originator's reason text. It is built
+// both from a received frameAbort and when relaying one, so blame propagates
+// unchanged across the mesh.
+type abortError struct {
+	origin int
+	code   uint8
+	reason string
+}
+
+func (e *abortError) Error() string {
+	return fmt.Sprintf("run aborted by node %d: %s", e.origin, e.reason)
+}
+
+func (e *abortError) Unwrap() error {
+	switch e.code {
+	case abortCodeProto:
+		return ErrProtoMismatch
+	case abortCodeConfig:
+		return ErrConfigMismatch
+	default:
+		return ErrPeerDown
+	}
+}
+
+// FNV-1a, used for the handshake config digest.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// configDigest fingerprints every config knob that affects the distributed
+// run's event ordering or wire traffic. Two nodes whose digests differ would
+// silently diverge (or misparse each other's frames), so the handshake
+// rejects them up front. The digest deliberately folds in TCPOptions.ConfigTag
+// so applications can extend it with their own determinism-relevant inputs.
+func (t *TCPTransport) configDigest() uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime64
+		}
+	}
+	b01 := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	cfg := &t.k.cfg
+	mix(uint64(len(t.opt.Peers)))
+	mix(uint64(cfg.NumClusters))
+	mix(uint64(len(t.k.lps)))
+	mix(uint64(cfg.GVTPeriodEvents))
+	mix(uint64(cfg.OptimismWindow))
+	mix(b01(cfg.LazyCancellation))
+	mix(uint64(cfg.Net.FlushBatch))
+	mix(uint64(cfg.Net.InboxSize))
+	mix(uint64(cfg.Net.SendBusy))
+	mix(uint64(cfg.Net.RecvBusy))
+	mix(uint64(cfg.Net.Latency))
+	mix(uint64(cfg.Dynamic.PeriodRounds))
+	mix(math.Float64bits(cfg.Dynamic.LoadSmoothing))
+	mix(t.opt.ConfigTag)
+	return h
+}
+
+// helloLocal is this node's side of the handshake.
+func (t *TCPTransport) helloLocal() wireHello {
+	return wireHello{
+		magic:    helloMagic,
+		proto:    protoVersion,
+		node:     int32(t.opt.Node),
+		nodes:    int32(len(t.opt.Peers)),
+		clusters: int32(t.k.cfg.NumClusters),
+		lps:      int32(len(t.k.lps)),
+		digest:   t.configDigest(),
+	}
+}
+
+// checkHello validates a peer's hello against ours, naming both sides'
+// values in the error.
+func (t *TCPTransport) checkHello(h, local wireHello) error {
+	if h.magic != local.magic {
+		return fmt.Errorf("%w: magic %#x, want %#x (not a timewarp mesh peer?)", ErrProtoMismatch, h.magic, local.magic)
+	}
+	if h.proto != local.proto {
+		return fmt.Errorf("%w: peer speaks wire protocol v%d, this node v%d", ErrProtoMismatch, h.proto, local.proto)
+	}
+	if h.nodes != local.nodes {
+		return fmt.Errorf("%w: peer meshes %d nodes, this node %d", ErrConfigMismatch, h.nodes, local.nodes)
+	}
+	if h.clusters != local.clusters {
+		return fmt.Errorf("%w: peer runs %d clusters, this node %d", ErrConfigMismatch, h.clusters, local.clusters)
+	}
+	if h.lps != local.lps {
+		return fmt.Errorf("%w: peer hosts %d LPs, this node %d", ErrConfigMismatch, h.lps, local.lps)
+	}
+	if h.digest != local.digest {
+		return fmt.Errorf("%w: config digest %#x vs %#x (determinism-affecting knobs, seeds, or workloads differ)", ErrConfigMismatch, h.digest, local.digest)
+	}
+	return nil
+}
+
+// permanentHandshake reports whether a handshake failure should fail the run
+// immediately (as opposed to the retry/keep-accepting transient path).
+func permanentHandshake(err error) bool {
+	return errors.Is(err, ErrProtoMismatch) || errors.Is(err, ErrConfigMismatch) || errors.Is(err, ErrPeerDown)
+}
+
+// sendAbortConn best-effort tells a rejected handshake peer why, so its
+// dialer fails with the real mismatch instead of a bare connection reset.
+func (t *TCPTransport) sendAbortConn(conn net.Conn, err error) {
+	code := abortCodeFatal
+	switch {
+	case errors.Is(err, ErrProtoMismatch):
+		code = abortCodeProto
+	case errors.Is(err, ErrConfigMismatch):
+		code = abortCodeConfig
+	}
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	conn.Write(appendAbort(nil, int32(t.opt.Node), code, err.Error()))
+}
+
+// newPeer builds the per-connection state once a handshake succeeded,
+// interposing the fault plan (if any) on the outbound side. The reader keeps
+// the raw connection: faults are scripted on what this node sends.
+func (t *TCPTransport) newPeer(node int, conn net.Conn, br *bufio.Reader) *tcpPeer {
+	return &tcpPeer{node: node, conn: t.opt.Fault.wrap(conn, node), br: br, wake: make(chan struct{}, 1)}
+}
+
+// acceptHandshake runs the accept side of the hello exchange on one inbound
+// connection. seen guards against duplicate node ids across connections.
+func (t *TCPTransport) acceptHandshake(conn net.Conn, local wireHello, seen []bool) (*tcpPeer, error) {
+	conn.SetDeadline(time.Now().Add(t.opt.DialTimeout))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	typ, body, _, err := readFrame(br, nil)
+	if err != nil {
+		return nil, fmt.Errorf("reading hello: %w", err) // transient: stray or broken conn
+	}
+	if typ != frameHello {
+		return nil, fmt.Errorf("first frame type %d, want hello", typ) // transient: stray
+	}
+	r := wireReader{b: body}
+	h := r.hello()
+	if r.done() != nil {
+		// A well-formed frameHello with the wrong body size is a peer from
+		// before (or after) this handshake format — a version problem, not a
+		// stray connection.
+		err := fmt.Errorf("%w: hello body %d bytes, want %d (mismatched peer build?)", ErrProtoMismatch, len(body), wireHelloSize)
+		t.sendAbortConn(conn, err)
+		return nil, err
+	}
+	if err := t.checkHello(h, local); err != nil {
+		t.sendAbortConn(conn, err)
+		return nil, err
+	}
+	from := int(h.node)
+	if from <= t.opt.Node || from >= len(t.opt.Peers) || seen[from] {
+		err := fmt.Errorf("%w: hello names node %d (acceptor is node %d of %d, duplicate=%v)",
+			ErrConfigMismatch, from, t.opt.Node, len(t.opt.Peers), from >= 0 && from < len(seen) && seen[from])
+		t.sendAbortConn(conn, err)
+		return nil, err
+	}
+	// Reply with our own hello so the dialer validates symmetrically.
+	if _, err := conn.Write(appendHello(nil, local)); err != nil {
+		return nil, fmt.Errorf("hello reply: %w", err) // transient: the dialer gave up
+	}
+	conn.SetDeadline(time.Time{})
+	seen[from] = true
+	return t.newPeer(from, conn, br), nil
+}
+
+// dialHandshake runs the dial side of the hello exchange: send ours, read
+// either the acceptor's hello (validate symmetrically) or its abort frame
+// (surface the acceptor's reason).
+func (t *TCPTransport) dialHandshake(conn net.Conn, j int, local wireHello) (*tcpPeer, error) {
+	conn.SetDeadline(time.Now().Add(t.opt.DialTimeout))
+	if _, err := conn.Write(appendHello(nil, local)); err != nil {
+		return nil, fmt.Errorf("sending hello: %w", err) // transient
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	typ, body, _, err := readFrame(br, nil)
+	if err != nil {
+		return nil, fmt.Errorf("reading hello reply: %w", err) // transient: acceptor not ready
+	}
+	r := wireReader{b: body}
+	switch typ {
+	case frameAbort:
+		hdr := r.abortHdr()
+		reason := r.bytes(int(hdr.reasonLen))
+		if r.done() != nil {
+			return nil, fmt.Errorf("malformed abort reply") // transient
+		}
+		return nil, &abortError{origin: int(hdr.origin), code: hdr.code, reason: string(reason)}
+	case frameHello:
+		h := r.hello()
+		if r.done() != nil {
+			return nil, fmt.Errorf("%w: hello reply body %d bytes, want %d (mismatched peer build?)", ErrProtoMismatch, len(body), wireHelloSize)
+		}
+		if err := t.checkHello(h, local); err != nil {
+			return nil, err
+		}
+		if int(h.node) != j {
+			return nil, fmt.Errorf("%w: dialed node %d, answered by node %d (peer address lists differ?)", ErrConfigMismatch, j, h.node)
+		}
+	default:
+		return nil, fmt.Errorf("first reply frame type %d, want hello", typ) // transient
+	}
+	conn.SetDeadline(time.Time{})
+	return t.newPeer(j, conn, br), nil
+}
+
+// dialPeer dials one lower-numbered peer with jittered exponential backoff
+// under DialTimeout, running the handshake on every established connection.
+// Exactly one result is sent on out.
+func (t *TCPTransport) dialPeer(j int, local wireHello, out chan<- *tcpPeer, errs chan<- error) {
+	deadline := time.Now().Add(t.opt.DialTimeout)
+	// Seeded per (node, peer) pair: the retry pattern is reproducible, and
+	// the jitter still decorrelates distinct dialers hammering one listener.
+	rng := rand.New(rand.NewSource(int64(t.opt.Node)<<16 ^ int64(j)))
+	backoff := 25 * time.Millisecond
+	for {
+		var conn net.Conn
+		var err error
+		if t.opt.Fault.dialRefused(time.Now()) {
+			err = errors.New("faultplan: dial refused")
+		} else {
+			conn, err = net.DialTimeout("tcp", t.opt.Peers[j], time.Second)
+		}
+		if err == nil {
+			var p *tcpPeer
+			p, err = t.dialHandshake(conn, j, local)
+			if err == nil {
+				out <- p
+				return
+			}
+			conn.Close()
+			if permanentHandshake(err) {
+				errs <- fmt.Errorf("timewarp: node %d dial node %d (%s): %w", t.opt.Node, j, t.opt.Peers[j], err)
+				return
+			}
+		}
+		if !time.Now().Before(deadline) {
+			errs <- fmt.Errorf("timewarp: node %d dial node %d (%s): %w within %v: %v",
+				t.opt.Node, j, t.opt.Peers[j], ErrPeerDown, t.opt.DialTimeout, err)
+			return
+		}
+		time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+		if backoff < 400*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
 // start opens the mesh: every node listens, dials every lower-numbered peer
-// (with retry — the peer's process may still be starting), and identifies
-// itself with a hello frame. Returns once all n-1 connections are up.
+// (jittered backoff — the peer's process may still be starting), accepts
+// from every higher-numbered one, and versions/validates each connection
+// with the two-way hello exchange. Returns once all n-1 connections are up,
+// or with an error when any handshake fails permanently or the DialTimeout
+// window closes with the mesh incomplete — a peer that never shows up fails
+// the run, it cannot wedge it.
 func (t *TCPTransport) start() error {
 	t.started = true
 	n := len(t.opt.Peers)
 	if n == 1 {
 		return nil
 	}
+	t.opt.Fault.arm(time.Now())
 	if t.ln == nil {
 		ln, err := net.Listen("tcp", t.opt.Peers[t.opt.Node])
 		if err != nil {
@@ -213,83 +548,79 @@ func (t *TCPTransport) start() error {
 		}
 		t.ln = ln
 	}
+	local := t.helloLocal()
 
-	type dialed struct {
-		peer *tcpPeer
-		err  error
-	}
-	results := make(chan dialed, n-1)
-
-	// Accept from every higher-numbered peer; each opens with a hello frame
-	// naming its node.
+	// Accept from every higher-numbered peer. The listener deadline is
+	// absolute — strays cannot extend the window — and transient handshake
+	// failures (strays, truncated hellos) do not count toward expect.
 	expect := n - 1 - t.opt.Node
+	type acceptResult struct {
+		peers []*tcpPeer
+		err   error
+	}
+	acceptCh := make(chan acceptResult, 1)
 	go func() {
-		for i := 0; i < expect; i++ {
+		var got []*tcpPeer
+		if expect == 0 {
+			acceptCh <- acceptResult{}
+			return
+		}
+		if dl, ok := t.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			dl.SetDeadline(time.Now().Add(t.opt.DialTimeout))
+		}
+		seen := make([]bool, n)
+		for len(got) < expect {
 			conn, err := t.ln.Accept()
 			if err != nil {
-				results <- dialed{err: fmt.Errorf("timewarp: node %d accept: %w", t.opt.Node, err)}
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					err = fmt.Errorf("timewarp: node %d: %w: only %d of %d higher-numbered peers dialed in within %v",
+						t.opt.Node, ErrPeerDown, len(got), expect, t.opt.DialTimeout)
+				} else {
+					err = fmt.Errorf("timewarp: node %d accept: %w", t.opt.Node, err)
+				}
+				acceptCh <- acceptResult{peers: got, err: err}
 				return
 			}
-			br := bufio.NewReaderSize(conn, 64<<10)
-			typ, body, _, err := readFrame(br, nil)
-			if err != nil || typ != frameHello {
+			p, herr := t.acceptHandshake(conn, local, seen)
+			if herr != nil {
 				conn.Close()
-				results <- dialed{err: fmt.Errorf("timewarp: node %d bad handshake: %v", t.opt.Node, err)}
-				return
+				if permanentHandshake(herr) {
+					acceptCh <- acceptResult{peers: got, err: fmt.Errorf("timewarp: node %d accept handshake: %w", t.opt.Node, herr)}
+					return
+				}
+				continue // transient: keep accepting, the real peer retries
 			}
-			r := wireReader{b: body}
-			from := int(r.i32())
-			if r.done() != nil || from <= t.opt.Node || from >= n {
-				conn.Close()
-				results <- dialed{err: fmt.Errorf("timewarp: node %d hello from invalid node %d", t.opt.Node, from)}
-				return
-			}
-			results <- dialed{peer: &tcpPeer{node: from, conn: conn, br: br}}
+			got = append(got, p)
 		}
+		acceptCh <- acceptResult{peers: got}
 	}()
 
-	// Dial every lower-numbered peer.
+	// Dial every lower-numbered peer concurrently. Channels are buffered so
+	// every goroutine can deliver its one result even if we bail early.
+	dialCh := make(chan *tcpPeer, t.opt.Node)
+	dialErrs := make(chan error, t.opt.Node)
 	for j := 0; j < t.opt.Node; j++ {
-		go func(j int) {
-			deadline := time.Now().Add(t.opt.DialTimeout)
-			var conn net.Conn
-			var err error
-			for {
-				conn, err = net.DialTimeout("tcp", t.opt.Peers[j], time.Second)
-				if err == nil || time.Now().After(deadline) {
-					break
-				}
-				time.Sleep(50 * time.Millisecond)
-			}
-			if err != nil {
-				results <- dialed{err: fmt.Errorf("timewarp: node %d dial node %d (%s): %w", t.opt.Node, j, t.opt.Peers[j], err)}
-				return
-			}
-			var hello []byte
-			var off int
-			hello, off = beginFrame(hello, frameHello)
-			hello = appendI32(hello, int32(t.opt.Node))
-			hello = endFrame(hello, off)
-			if _, err := conn.Write(hello); err != nil {
-				conn.Close()
-				results <- dialed{err: fmt.Errorf("timewarp: node %d hello to node %d: %w", t.opt.Node, j, err)}
-				return
-			}
-			results <- dialed{peer: &tcpPeer{node: j, conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}}
-		}(j)
+		go t.dialPeer(j, local, dialCh, dialErrs)
 	}
 
 	var firstErr error
-	for i := 0; i < n-1; i++ {
-		d := <-results
-		if d.err != nil {
+	for i := 0; i < t.opt.Node; i++ {
+		select {
+		case p := <-dialCh:
+			t.peers[p.node] = p
+		case err := <-dialErrs:
 			if firstErr == nil {
-				firstErr = d.err
+				firstErr = err
 			}
-			continue
 		}
-		d.peer.wake = make(chan struct{}, 1)
-		t.peers[d.peer.node] = d.peer
+	}
+	ar := <-acceptCh
+	for _, p := range ar.peers {
+		t.peers[p.node] = p
+	}
+	if ar.err != nil && firstErr == nil {
+		firstErr = ar.err
 	}
 	if firstErr != nil {
 		t.Close()
@@ -307,12 +638,13 @@ func (t *TCPTransport) start() error {
 	return nil
 }
 
-// fatal records the first fatal transport error and unsticks everything
-// local: the kernel's done flag ends cluster loops, the broadcasts end
-// barrier waits.
+// fatal records the first fatal transport error, broadcasts an abort frame
+// so the rest of the mesh tears down too, and unsticks everything local: the
+// kernel's done flag ends cluster loops, the broadcasts end barrier waits.
 func (t *TCPTransport) fatal(err error) {
 	t.errOnce.Do(func() {
 		t.err.Store(err)
+		t.broadcastAbort(err)
 		atomic.StoreInt32(&t.k.done, 1)
 		for _, c := range t.k.local {
 			c.mail.wake()
@@ -326,6 +658,38 @@ func (t *TCPTransport) fatal(err error) {
 	})
 }
 
+// broadcastAbort enqueues this node's dying breath on every lane
+// (best-effort: the writers are still running until Close). When the fatal
+// error is itself a received abort, origin and code are forwarded unchanged
+// so every node ends up blaming the root cause, not its messenger.
+func (t *TCPTransport) broadcastAbort(err error) {
+	if atomic.LoadInt32(&t.closing) == 1 {
+		return
+	}
+	origin, code := int32(t.opt.Node), abortCodeFatal
+	var ae *abortError
+	switch {
+	case errors.As(err, &ae):
+		origin, code = int32(ae.origin), ae.code
+	case errors.Is(err, ErrProtoMismatch):
+		code = abortCodeProto
+	case errors.Is(err, ErrConfigMismatch):
+		code = abortCodeConfig
+	}
+	frame := appendAbort(nil, origin, code, err.Error())
+	for _, p := range t.peers {
+		if p != nil {
+			p.enqueue(frame, 0, 0)
+		}
+	}
+}
+
+// peerFail builds the loud per-peer failure error every surviving node
+// returns: it wraps ErrPeerDown and names the failed peer.
+func (t *TCPTransport) peerFail(node int, format string, args ...interface{}) error {
+	return fmt.Errorf("timewarp: node %d: %w: node %d %s", t.opt.Node, ErrPeerDown, node, fmt.Sprintf(format, args...))
+}
+
 func (t *TCPTransport) fatalErr() error {
 	if e := t.err.Load(); e != nil {
 		return e.(error)
@@ -335,15 +699,42 @@ func (t *TCPTransport) fatalErr() error {
 
 // writeLoop drains one peer's outbound lane. The swap hands the writer the
 // whole accumulated FIFO at once; the conflated mirror frames are appended
-// (from writer-owned scratch) after the lane bytes of each cycle.
+// (from writer-owned scratch) after the lane bytes of each cycle. When the
+// lane has been idle for HeartbeatEvery, the writer emits a heartbeat frame
+// instead, so the peer's failure detector always sees traffic from a live
+// node.
 func (t *TCPTransport) writeLoop(p *tcpPeer) {
 	defer t.writeWG.Done()
 	w := bufio.NewWriterSize(p.conn, 64<<10)
+	hb := t.opt.HeartbeatEvery
+	var hbFrame []byte
+	var timerC <-chan time.Time
+	if hb > 0 {
+		var off int
+		hbFrame, off = beginFrame(hbFrame, frameHeartbeat)
+		hbFrame = endFrame(hbFrame, off)
+		timerC = time.After(hb)
+	}
+	lastWrite := time.Now()
 	for {
-		<-p.wake
+		heartbeat := false
+		select {
+		case <-p.wake:
+		case now := <-timerC:
+			// Re-armed on every fire (once per HeartbeatEvery per peer —
+			// cold). A lane that wrote recently just sleeps out the
+			// remainder; an idle one owes the peer proof of life.
+			if idle := now.Sub(lastWrite); idle < hb {
+				timerC = time.After(hb - idle)
+				continue
+			}
+			timerC = time.After(hb)
+			heartbeat = true
+		}
 		if atomic.LoadInt32(&t.closing) == 1 {
 			return
 		}
+		wrote := false
 		for {
 			p.mu.Lock()
 			out := p.buf
@@ -360,7 +751,7 @@ func (t *TCPTransport) writeLoop(p *tcpPeer) {
 			}
 			if len(out) > 0 {
 				if _, err := w.Write(out); err != nil {
-					t.fatal(fmt.Errorf("timewarp: node %d write to node %d: %w", t.opt.Node, p.node, err))
+					t.fatal(t.peerFail(p.node, "write failed: %v", err))
 					atomic.StoreInt32(&p.writing, 0)
 					return
 				}
@@ -368,17 +759,32 @@ func (t *TCPTransport) writeLoop(p *tcpPeer) {
 			if dirty {
 				p.pubBuf = t.encodeMirrors(p.pubBuf[:0])
 				if _, err := w.Write(p.pubBuf); err != nil {
-					t.fatal(fmt.Errorf("timewarp: node %d write to node %d: %w", t.opt.Node, p.node, err))
+					t.fatal(t.peerFail(p.node, "write failed: %v", err))
 					atomic.StoreInt32(&p.writing, 0)
 					return
 				}
 			}
 			if err := w.Flush(); err != nil {
-				t.fatal(fmt.Errorf("timewarp: node %d flush to node %d: %w", t.opt.Node, p.node, err))
+				t.fatal(t.peerFail(p.node, "flush failed: %v", err))
 				atomic.StoreInt32(&p.writing, 0)
 				return
 			}
 			atomic.StoreInt32(&p.writing, 0)
+			wrote = true
+		}
+		if heartbeat && !wrote {
+			if _, err := w.Write(hbFrame); err != nil {
+				t.fatal(t.peerFail(p.node, "heartbeat write failed: %v", err))
+				return
+			}
+			if err := w.Flush(); err != nil {
+				t.fatal(t.peerFail(p.node, "heartbeat flush failed: %v", err))
+				return
+			}
+			wrote = true
+		}
+		if wrote {
+			lastWrite = time.Now()
 		}
 	}
 }
@@ -401,11 +807,19 @@ func (t *TCPTransport) encodeMirrors(b []byte) []byte {
 	return b
 }
 
-// readLoop decodes and applies one peer's inbound frames.
+// readLoop decodes and applies one peer's inbound frames. With PeerTimeout
+// set, every read carries a deadline: the peer's writer heartbeats idle
+// lanes, so a deadline expiry means the peer is dead or wedged — the
+// failure detector — and the run aborts naming it. A received abort frame
+// surfaces through apply as an *abortError and is adopted as-is, so the
+// originator's blame propagates instead of being re-wrapped per hop.
 func (t *TCPTransport) readLoop(p *tcpPeer) {
 	defer t.readWG.Done()
 	var scratch []byte
 	for {
+		if t.opt.PeerTimeout > 0 {
+			p.conn.SetReadDeadline(time.Now().Add(t.opt.PeerTimeout))
+		}
 		typ, body, s, err := readFrame(p.br, scratch)
 		scratch = s
 		if err != nil {
@@ -415,11 +829,21 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 			if errors.Is(err, io.EOF) && t.finFrom(p.node) {
 				return // clean shutdown: the peer FINed and closed
 			}
-			t.fatal(fmt.Errorf("timewarp: node %d read from node %d: %w", t.opt.Node, p.node, err))
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				t.fatal(t.peerFail(p.node, "sent no frame within %v (process dead or wedged)", t.opt.PeerTimeout))
+			} else {
+				t.fatal(t.peerFail(p.node, "read failed: %v", err))
+			}
 			return
 		}
 		if err := t.apply(p, typ, body); err != nil {
-			t.fatal(fmt.Errorf("timewarp: node %d frame from node %d: %w", t.opt.Node, p.node, err))
+			var ae *abortError
+			if errors.As(err, &ae) {
+				t.fatal(fmt.Errorf("timewarp: node %d: %w", t.opt.Node, err))
+			} else {
+				t.fatal(t.peerFail(p.node, "sent a bad frame (type %d): %v", typ, err))
+			}
 			return
 		}
 	}
@@ -618,6 +1042,16 @@ func (t *TCPTransport) apply(p *tcpPeer, typ uint8, body []byte) error {
 		t.sumCond.Broadcast()
 		t.sumMu.Unlock()
 		return nil
+	case frameHeartbeat:
+		// Liveness only; arriving at all is the payload.
+		return r.done()
+	case frameAbort:
+		hdr := r.abortHdr()
+		reason := r.bytes(int(hdr.reasonLen))
+		if err := r.done(); err != nil {
+			return err
+		}
+		return &abortError{origin: int(hdr.origin), code: hdr.code, reason: string(reason)}
 	default:
 		return fmt.Errorf("unknown frame type %d", typ)
 	}
@@ -903,6 +1337,13 @@ func (t *TCPTransport) announceRoute(lp LPID, to int) {
 // (white round-1 traffic), which the GVT protocol accounts like any other
 // in-flight message.
 func (t *TCPTransport) initQuiet() bool {
+	if t.fatalErr() != nil {
+		// A peer died during init: report quiet so Run proceeds to the
+		// cluster loops (which exit immediately on the done flag) and
+		// surfaces the error from finishRun, instead of spinning on lanes a
+		// dead writer will never drain.
+		return true
+	}
 	for _, p := range t.peers {
 		if p == nil {
 			continue
@@ -923,6 +1364,7 @@ func (t *TCPTransport) initQuiet() bool {
 // stay open for GatherSum; Close tears them down.
 func (t *TCPTransport) finishRun() error {
 	if len(t.opt.Peers) == 1 {
+		atomic.StoreInt32(&t.finished, 1)
 		return nil
 	}
 	if err := t.fatalErr(); err != nil {
@@ -938,8 +1380,19 @@ func (t *TCPTransport) finishRun() error {
 		}
 		p.enqueue(b, 0, 0)
 	}
+	// Backstop, not the failure detector: a peer whose process died is
+	// caught within PeerTimeout by its read loop. This fuse catches a peer
+	// that is alive (heartbeating) but logically wedged before its FIN.
 	deadline := time.AfterFunc(30*time.Second, func() {
-		t.fatal(fmt.Errorf("timewarp: node %d timed out waiting for peer FINs", t.opt.Node))
+		t.finMu.Lock()
+		var missing []int
+		for node, seen := range t.finSeen {
+			if !seen {
+				missing = append(missing, node)
+			}
+		}
+		t.finMu.Unlock()
+		t.fatal(fmt.Errorf("timewarp: node %d: %w: no FIN from nodes %v within 30s", t.opt.Node, ErrPeerDown, missing))
 	})
 	t.finMu.Lock()
 	for t.fatalErr() == nil && !t.allFinsLocked() {
@@ -947,7 +1400,11 @@ func (t *TCPTransport) finishRun() error {
 	}
 	t.finMu.Unlock()
 	deadline.Stop()
-	return t.fatalErr()
+	if err := t.fatalErr(); err != nil {
+		return err
+	}
+	atomic.StoreInt32(&t.finished, 1)
+	return nil
 }
 
 func (t *TCPTransport) allFinsLocked() bool {
@@ -976,7 +1433,7 @@ func (t *TCPTransport) GatherSum(vals []uint64) ([]uint64, error) {
 		return nil, err
 	}
 	deadline := time.AfterFunc(30*time.Second, func() {
-		t.fatal(fmt.Errorf("timewarp: node %d timed out in GatherSum", t.opt.Node))
+		t.fatal(fmt.Errorf("timewarp: node %d: %w: timed out in GatherSum", t.opt.Node, ErrPeerDown))
 	})
 	defer deadline.Stop()
 	if t.opt.Node == 0 {
@@ -1046,28 +1503,42 @@ func (t *TCPTransport) allSumsLocked() bool {
 }
 
 // Close tears the mesh down. Safe to call more than once and on a transport
-// that never started.
+// that never started. Closing a transport whose run is still in flight is
+// itself a fatal event: the local clusters stop and the peers hear an abort,
+// rather than discovering a silent FIN-barrier hang.
 func (t *TCPTransport) Close() error {
-	// On a healthy shutdown, let the writers drain frames enqueued just
-	// before Close — the GatherSum reply in particular — since setting
-	// closing would make them exit with bytes still buffered. Bounded: a
-	// wedged peer cannot hold Close hostage.
-	if t.err.Load() == nil {
-		deadline := time.Now().Add(2 * time.Second)
-		for _, p := range t.peers {
-			if p == nil {
-				continue
+	t.closeOnce.Do(t.closeLocked)
+	return nil
+}
+
+// closeLocked is the one-shot teardown behind Close.
+func (t *TCPTransport) closeLocked() {
+	if t.started && atomic.LoadInt32(&t.finished) == 0 && t.k != nil && t.fatalErr() == nil {
+		t.fatal(fmt.Errorf("timewarp: node %d: transport closed during the run", t.opt.Node))
+	}
+	// Let the writers drain frames enqueued just before Close — the
+	// GatherSum reply on a healthy shutdown, the abort broadcast on a fatal
+	// one — since setting closing would make them exit with bytes still
+	// buffered. Bounded either way: a wedged peer cannot hold Close hostage,
+	// and an erroring mesh gets a shorter grace.
+	grace := 2 * time.Second
+	if t.err.Load() != nil {
+		grace = 500 * time.Millisecond
+	}
+	deadline := time.Now().Add(grace)
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		for time.Now().Before(deadline) {
+			p.mu.Lock()
+			pending := len(p.buf) > 0
+			p.mu.Unlock()
+			if !pending && atomic.LoadInt32(&p.writing) == 0 {
+				break
 			}
-			for time.Now().Before(deadline) {
-				p.mu.Lock()
-				pending := len(p.buf) > 0
-				p.mu.Unlock()
-				if !pending && atomic.LoadInt32(&p.writing) == 0 {
-					break
-				}
-				p.wakeWriter()
-				time.Sleep(time.Millisecond)
-			}
+			p.wakeWriter()
+			time.Sleep(time.Millisecond)
 		}
 	}
 	atomic.StoreInt32(&t.closing, 1)
@@ -1083,5 +1554,4 @@ func (t *TCPTransport) Close() error {
 	}
 	t.readWG.Wait()
 	t.writeWG.Wait()
-	return nil
 }

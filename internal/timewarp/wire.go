@@ -24,9 +24,13 @@ import (
 // truncated frame therefore surfaces as an error from the transport, never as
 // an out-of-bounds access or a silently misparsed event.
 
-// Frame types. The hello frame opens every connection (it names the dialing
-// node); fin is the last frame a node sends for the run proper (GatherSum
-// frames may follow).
+// Frame types. The hello frame opens every connection (versioned handshake,
+// see wireHello); fin is the last frame a node sends for the run proper
+// (GatherSum frames may follow). Heartbeat frames keep idle lanes visibly
+// alive for the peer-failure detector; an abort frame is a node's dying
+// breath, telling the mesh why it is tearing down. New types are appended —
+// renumbering existing ones is a wire-protocol break and must bump
+// protoVersion.
 const (
 	frameHello uint8 = 1 + iota
 	frameBatch
@@ -44,6 +48,8 @@ const (
 	frameFin
 	frameSum
 	frameSumReply
+	frameHeartbeat
+	frameAbort
 )
 
 // maxFrameLen caps a frame body. The largest legitimate frames are event
@@ -51,6 +57,24 @@ const (
 // optimistic suffix); 64 MiB is orders of magnitude above both, so anything
 // larger is a corrupt length prefix, rejected before any allocation.
 const maxFrameLen = 64 << 20
+
+// helloMagic opens every wireHello. A connection whose first frame does not
+// carry it is not a timewarp mesh peer (a port scanner, a stray client, a
+// mesh from a different deployment) and is rejected before anything else is
+// decoded. "TWMP": Time Warp Mesh Protocol.
+const helloMagic uint32 = 0x54574d50
+
+// protoVersion is the wire-protocol version carried in every hello. Bump it
+// on any frame-layout or frame-numbering change; peers with different
+// versions refuse to mesh (ErrProtoMismatch) instead of misparsing each
+// other. Version 1 was the bare node-id hello of PR 8; version 2 added the
+// versioned handshake itself plus heartbeat and abort frames.
+const protoVersion uint16 = 2
+
+// maxAbortReason caps the reason string carried by a frameAbort. Reasons are
+// human-readable error text; anything longer is truncated at encode time,
+// and a decoded length above the cap marks the frame corrupt.
+const maxAbortReason = 1 << 12
 
 // eventWireSize is the encoded size of one payload-free Event: ID(8) +
 // Sender(4) + Receiver(4) + SendTime(8) + RecvTime(8) + Kind(4) + Value(4) +
@@ -77,6 +101,8 @@ const batchHdrWireSize = 13
 // Append-style primitive encoders.
 
 func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
 
 func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
 
@@ -150,6 +176,16 @@ func (r *wireReader) u8() uint8 {
 	}
 	v := r.b[0]
 	r.b = r.b[1:]
+	return v
+}
+
+func (r *wireReader) u16() uint16 {
+	if len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b)
+	r.b = r.b[2:]
 	return v
 }
 
@@ -504,4 +540,100 @@ func (r *wireReader) loadBuf(buf *loadSnapBuf) {
 		buf.edgeDst = append(buf.edgeDst, LPID(r.i32()))
 		buf.edgeCnt = append(buf.edgeCnt, r.u64())
 	}
+}
+
+// wireHello is the versioned handshake, the first frame on every connection
+// in both directions: the dialer sends one, the acceptor validates it and
+// replies with its own. Beyond the magic number and wire-protocol version it
+// carries the dialing node's id and a fingerprint of everything that must
+// agree for a deterministic distributed run — the mesh size, the cluster and
+// LP counts, and a digest folding in every remaining config knob that
+// affects event ordering (GVT period, flush/latency model, optimism window,
+// seeds via TCPOptions.ConfigTag). Any disagreement is rejected at connect
+// time with ErrProtoMismatch or ErrConfigMismatch instead of surfacing hours
+// later as diverged results.
+//
+//kernelvet:wire
+type wireHello struct {
+	magic    uint32
+	proto    uint16
+	node     int32
+	nodes    int32
+	clusters int32
+	lps      int32
+	digest   uint64
+}
+
+// wireHelloSize is the encoded size of a wireHello body: magic(4) + proto(2)
+// + node(4) + nodes(4) + clusters(4) + lps(4) + digest(8).
+const wireHelloSize = 30
+
+func appendHello(b []byte, h wireHello) []byte {
+	b, off := beginFrame(b, frameHello)
+	b = appendU32(b, h.magic)
+	b = appendU16(b, h.proto)
+	b = appendI32(b, h.node)
+	b = appendI32(b, h.nodes)
+	b = appendI32(b, h.clusters)
+	b = appendI32(b, h.lps)
+	b = appendU64(b, h.digest)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) hello() wireHello {
+	return wireHello{
+		magic:    r.u32(),
+		proto:    r.u16(),
+		node:     r.i32(),
+		nodes:    r.i32(),
+		clusters: r.i32(),
+		lps:      r.i32(),
+		digest:   r.u64(),
+	}
+}
+
+// Abort codes classify a mesh abort so the far side can map it back to the
+// matching sentinel error without parsing the reason text.
+const (
+	abortCodeFatal  uint8 = iota // runtime failure: peer death, I/O error, local fatal
+	abortCodeProto               // wire-protocol version or magic mismatch
+	abortCodeConfig              // configuration digest mismatch
+)
+
+// wireAbort heads a frameAbort, a node's dying breath: the node where the
+// failure originated (forwarded unchanged when the abort itself is being
+// relayed), a code classifying it, and reasonLen bytes of human-readable
+// reason text following the header. It is broadcast best-effort on every
+// lane when a node turns fatal, so survivors tear down immediately instead
+// of waiting out their failure detectors.
+//
+//kernelvet:wire
+type wireAbort struct {
+	origin    int32
+	code      uint8
+	reasonLen int32
+}
+
+func appendAbort(b []byte, origin int32, code uint8, reason string) []byte {
+	if len(reason) > maxAbortReason {
+		reason = reason[:maxAbortReason]
+	}
+	b, off := beginFrame(b, frameAbort)
+	b = appendI32(b, origin)
+	b = appendU8(b, code)
+	b = appendI32(b, int32(len(reason)))
+	b = append(b, reason...)
+	return endFrame(b, off)
+}
+
+func (r *wireReader) abortHdr() wireAbort {
+	h := wireAbort{
+		origin:    r.i32(),
+		code:      r.u8(),
+		reasonLen: r.i32(),
+	}
+	if h.reasonLen < 0 || h.reasonLen > maxAbortReason {
+		r.fail()
+	}
+	return h
 }

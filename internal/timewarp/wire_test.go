@@ -240,6 +240,50 @@ func TestWireRoundTrip(t *testing.T) {
 			t.Fatalf("loadBuf round trip:\ngot  %+v\nwant %+v", out, in)
 		}
 	})
+	t.Run("hello", func(t *testing.T) {
+		in := wireHello{magic: helloMagic, proto: protoVersion, node: 3, nodes: 4, clusters: 8, lps: 100, digest: 0xDEADBEEFCAFEF00D}
+		b := appendHello(nil, in)
+		typ, body := decodeOneFrame(t, b)
+		if typ != frameHello {
+			t.Fatalf("frame type %d, want hello", typ)
+		}
+		if len(body) != wireHelloSize {
+			t.Fatalf("hello body is %d bytes, want wireHelloSize=%d", len(body), wireHelloSize)
+		}
+		r := &wireReader{b: body}
+		out := r.hello()
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("hello round trip: got %+v, want %+v", out, in)
+		}
+	})
+	t.Run("abort", func(t *testing.T) {
+		for _, reason := range []string{"", "node 2: mesh peer failure", strings.Repeat("x", maxAbortReason+50)} {
+			b := appendAbort(nil, 2, abortCodeConfig, reason)
+			typ, body := decodeOneFrame(t, b)
+			if typ != frameAbort {
+				t.Fatalf("frame type %d, want abort", typ)
+			}
+			r := &wireReader{b: body}
+			hdr := r.abortHdr()
+			got := string(r.bytes(int(hdr.reasonLen)))
+			if err := r.done(); err != nil {
+				t.Fatal(err)
+			}
+			if hdr.origin != 2 || hdr.code != abortCodeConfig {
+				t.Fatalf("abort header round trip: %+v", hdr)
+			}
+			want := reason
+			if len(want) > maxAbortReason {
+				want = want[:maxAbortReason] // encoder truncates oversized reasons
+			}
+			if got != want {
+				t.Fatalf("abort reason round trip: got %d bytes, want %d", len(got), len(want))
+			}
+		}
+	})
 }
 
 // TestWireFrameRejection: the framing layer and the decoders must reject
@@ -325,6 +369,50 @@ func TestWireFrameRejection(t *testing.T) {
 		r.loadBuf(&buf)
 		if r.done() == nil {
 			t.Fatal("absurd loadBuf count accepted")
+		}
+	})
+	t.Run("truncated hello", func(t *testing.T) {
+		b := appendHello(nil, wireHello{magic: helloMagic, proto: protoVersion, node: 1, nodes: 2, clusters: 2, lps: 2, digest: 9})
+		// A v1-era short hello: cut the body and patch the prefix. The decoder
+		// must saturate and fail done(), which the handshake maps to
+		// ErrProtoMismatch.
+		short := b[:4+5]
+		binary.LittleEndian.PutUint32(short[:4], 5)
+		_, body := decodeOneFrame(t, short)
+		r := &wireReader{b: body}
+		r.hello()
+		if r.done() == nil {
+			t.Fatal("truncated hello accepted")
+		}
+	})
+	t.Run("abort negative reason length", func(t *testing.T) {
+		var b []byte
+		var off int
+		b, off = beginFrame(b, frameAbort)
+		b = appendI32(b, 1)
+		b = appendU8(b, abortCodeFatal)
+		b = appendI32(b, -5)
+		b = endFrame(b, off)
+		_, body := decodeOneFrame(t, b)
+		r := &wireReader{b: body}
+		r.abortHdr()
+		if r.done() == nil {
+			t.Fatal("negative abort reason length accepted")
+		}
+	})
+	t.Run("abort reason length beyond cap", func(t *testing.T) {
+		var b []byte
+		var off int
+		b, off = beginFrame(b, frameAbort)
+		b = appendI32(b, 1)
+		b = appendU8(b, abortCodeFatal)
+		b = appendI32(b, maxAbortReason+1)
+		b = endFrame(b, off)
+		_, body := decodeOneFrame(t, b)
+		r := &wireReader{b: body}
+		r.abortHdr()
+		if r.done() == nil {
+			t.Fatal("abort reason length beyond cap accepted")
 		}
 	})
 }
@@ -425,7 +513,12 @@ func fuzzFrameStream(t *testing.T, data []byte) {
 		r := &wireReader{b: body}
 		switch typ {
 		case frameHello:
-			r.i32()
+			r.hello()
+		case frameHeartbeat:
+			// No body.
+		case frameAbort:
+			hdr := r.abortHdr()
+			r.bytes(int(hdr.reasonLen))
 		case frameBatch:
 			r.i32()
 			hdr := r.batchHdr()
@@ -514,6 +607,12 @@ func FuzzWireFrame(f *testing.F) {
 	batch = appendEvent(batch, &Event{ID: 7, Sender: 1, RecvTime: 9})
 	batch = endFrame(batch, off)
 	f.Add(batch)
+	var hs []byte
+	hs = appendHello(hs, wireHello{magic: helloMagic, proto: protoVersion, node: 0, nodes: 2, clusters: 2, lps: 2, digest: 7})
+	hs = appendAbort(hs, 1, abortCodeProto, "wire-protocol mismatch")
+	hs, off = beginFrame(hs, frameHeartbeat)
+	hs = endFrame(hs, off)
+	f.Add(hs)
 	f.Add([]byte{0, 0, 0, 0})
 	f.Fuzz(fuzzFrameStream)
 }
@@ -670,6 +769,36 @@ func TestGenerateWireCorpus(t *testing.T) {
 	trunc = appendU32(trunc, 50)
 	trunc = append(trunc, frameCoord, 1, 2, 3)
 	write("FuzzWireFrame", "seed_truncated", trunc)
+
+	// Handshake and failure frames: a well-formed hello, an abort with a
+	// reason, and a bare heartbeat, as one stream.
+	var hshake []byte
+	hshake = appendHello(hshake, wireHello{magic: helloMagic, proto: protoVersion, node: 1, nodes: 2, clusters: 4, lps: 8, digest: 0x1234567890ABCDEF})
+	hshake = appendAbort(hshake, 0, abortCodeFatal, "node 0: mesh peer failure: node 1 sent no frame within 500ms")
+	hshake, off = beginFrame(hshake, frameHeartbeat)
+	hshake = endFrame(hshake, off)
+	write("FuzzWireFrame", "seed_handshake", hshake)
+
+	// A version-skewed hello: well-framed, wrong proto. The stream decoder
+	// accepts the frame shape; rejection is the handshake's job.
+	write("FuzzWireFrame", "seed_hello_skewed",
+		appendHello(nil, wireHello{magic: helloMagic, proto: protoVersion + 1, node: 0, nodes: 2, clusters: 2, lps: 2, digest: 1}))
+
+	// A truncated hello, as a v1 peer (whose hello was a bare node id) would
+	// send: 4-byte body, patched prefix.
+	oldHello := appendHello(nil, wireHello{magic: helloMagic, proto: protoVersion, node: 1, nodes: 2, clusters: 2, lps: 2, digest: 1})
+	oldHello = oldHello[:4+1+4]
+	binary.LittleEndian.PutUint32(oldHello[:4], 5)
+	write("FuzzWireFrame", "seed_hello_truncated", oldHello)
+
+	// An abort whose reason length overruns both the cap and the body.
+	var badAbort []byte
+	badAbort, off = beginFrame(badAbort, frameAbort)
+	badAbort = appendI32(badAbort, 1)
+	badAbort = appendU8(badAbort, abortCodeFatal)
+	badAbort = appendI32(badAbort, maxAbortReason+9)
+	badAbort = endFrame(badAbort, off)
+	write("FuzzWireFrame", "seed_abort_overrun", badAbort)
 
 	write("FuzzWireEvent", "seed_plain",
 		appendEvent(nil, &Event{ID: 3, Sender: 1, Receiver: 0, SendTime: 4, RecvTime: 9, Kind: 2, Value: -7}))
